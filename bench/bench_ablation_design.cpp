@@ -1,0 +1,142 @@
+// ABLATION — design choices called out in DESIGN.md, each toggled in
+// isolation:
+//   1. switch contention modelling (off by default; Rettberg & Thomas say
+//      it is negligible — verify that in-model at application level);
+//   2. the SMP SAR cache (delaying unmaps to amortize the ~1 ms map cost);
+//   3. Uniform System tree initialization (the Rochester "faster
+//      initialization" contribution);
+//   4. Butterfly-I vs Butterfly Plus on the Hough locality ladder (the
+//      paper: "the issue of locality will be even more important in the
+//      Butterfly Plus, since local references have improved by a factor of
+//      four, while remote references have improved by only a factor of
+//      two").
+
+#include <cstdio>
+
+#include "apps/gauss.hpp"
+#include "apps/hough.hpp"
+#include "bench_common.hpp"
+#include "smp/family.hpp"
+#include "us/uniform_system.hpp"
+
+int main() {
+  using namespace bfly;
+  using sim::Time;
+  bench::header("ABLATION", "design-choice ablations",
+                "switch contention negligible; SAR cache pays; tree init "
+                "pays; the Plus rewards locality even more");
+
+  // 1. Switch contention on/off under a heavy all-to-all workload.
+  {
+    auto run = [](bool model_switch) {
+      sim::MachineConfig mc = sim::butterfly1(64);
+      mc.model_switch_contention = model_switch;
+      sim::Machine m(mc);
+      apps::GaussConfig cfg;
+      cfg.n = 64;
+      cfg.processors = 64;
+      return apps::gauss_us(m, cfg).elapsed;
+    };
+    const Time off = run(false);
+    const Time on = run(true);
+    std::printf("1. switch contention model: off %.3fs  on %.3fs  "
+                "(delta %.2f%% — negligible, as Rettberg & Thomas found)\n",
+                bench::seconds(off), bench::seconds(on),
+                100.0 * (static_cast<double>(on) - static_cast<double>(off)) /
+                    static_cast<double>(off));
+  }
+
+  // 2. SMP SAR cache on/off (20-message burst on one channel).
+  {
+    auto run = [](std::uint32_t cache) {
+      sim::Machine m(sim::butterfly1(8));
+      chrys::Kernel k(m);
+      Time t = 0;
+      k.create_process(0, [&] {
+        smp::FamilyOptions opt;
+        opt.sar_cache_capacity = cache;
+        smp::Family fam(
+            k, smp::Topology::line(2),
+            [&](smp::Member& me) {
+              if (me.index() == 0) {
+                const Time t0 = m.now();
+                for (int i = 0; i < 20; ++i)
+                  me.send_value<std::uint32_t>(1, 0, i);
+                t = m.now() - t0;
+              } else {
+                for (int i = 0; i < 20; ++i) (void)me.receive();
+              }
+            },
+            opt);
+        fam.join();
+      });
+      m.run();
+      return t;
+    };
+    const Time off = run(0);
+    const Time on = run(200);
+    std::printf("2. SMP SAR cache: off %.1fms  on %.1fms per 20 sends "
+                "(%.1fx — the map/unmap tax)\n",
+                off / 1e6, on / 1e6,
+                static_cast<double>(off) / static_cast<double>(on));
+  }
+
+  // 3. US initialization: serial vs tree, 64 managers.
+  {
+    auto run = [](bool tree) {
+      sim::Machine m(sim::butterfly1(64));
+      chrys::Kernel k(m);
+      us::UsConfig cfg;
+      cfg.tree_init = tree;
+      us::UniformSystem us(k, cfg);
+      Time t = 0;
+      k.create_process(0, [&] {
+        const Time t0 = m.now();
+        us.initialize();
+        us.for_all(0, 64, [](us::TaskCtx&) {});
+        t = m.now() - t0;
+        us.terminate();
+      });
+      m.run();
+      return t;
+    };
+    const Time serial = run(false);
+    const Time tree = run(true);
+    std::printf("3. US initialization (64 managers): serial %.1fms  "
+                "tree %.1fms  (%.1fx)\n",
+                serial / 1e6, tree / 1e6,
+                static_cast<double>(serial) / static_cast<double>(tree));
+  }
+
+  // 4. Hough locality ladder on both hardware generations.
+  {
+    std::printf("4. Hough locality gain by hardware generation "
+                "(64 procs, naive -> local-tables):\n");
+    for (int gen = 0; gen < 2; ++gen) {
+      const sim::MachineConfig mc =
+          gen == 0 ? sim::butterfly1(128) : sim::butterfly_plus(128);
+      Time naive = 0, local = 0;
+      for (int variant = 0; variant < 2; ++variant) {
+        apps::HoughConfig cfg;
+        cfg.width = cfg.height = 256;
+        cfg.lines = 2;
+        cfg.line_fraction = 0.25;
+        cfg.noise = 60;
+        cfg.processors = 64;
+        cfg.variant = variant == 0 ? apps::HoughVariant::kNaive
+                                   : apps::HoughVariant::kLocalTables;
+        sim::Machine m(mc);
+        const Time t = apps::hough(m, cfg).elapsed;
+        (variant == 0 ? naive : local) = t;
+      }
+      std::printf("   %-14s naive %.1fms -> local %.1fms  (gain %.1f%%)\n",
+                  gen == 0 ? "Butterfly-I" : "Butterfly Plus", naive / 1e6,
+                  local / 1e6,
+                  100.0 * (static_cast<double>(naive) - static_cast<double>(local)) /
+                      static_cast<double>(naive));
+    }
+    std::printf("   shape check: the Plus's gain percentage should be at "
+                "least as large.\n");
+  }
+  return 0;
+}

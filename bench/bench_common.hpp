@@ -1,0 +1,34 @@
+// Shared helpers for the paper-reproduction benches.
+//
+// Every bench binary regenerates one table or figure from the paper's
+// evaluation, printing the same rows/series the paper reports.  Benches run
+// entirely in simulated time, so "seconds" below are Butterfly seconds, not
+// host seconds.  Set BFLY_FAST=1 in the environment to shrink problem sizes
+// for smoke runs (CI); the default sizes match the paper's scale.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace bfly::bench {
+
+inline bool fast_mode() {
+  const char* v = std::getenv("BFLY_FAST");
+  return v != nullptr && v[0] != '0';
+}
+
+inline double seconds(sim::Time t) {
+  return static_cast<double>(t) / sim::kSecond;
+}
+
+inline void header(const char* id, const char* title, const char* claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s: %s\n", id, title);
+  std::printf("paper: %s\n", claim);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bfly::bench

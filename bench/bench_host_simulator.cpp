@@ -1,0 +1,93 @@
+// HOST — google-benchmark microbenchmarks of the simulator itself.
+//
+// Everything else in bench/ measures *simulated* Butterfly time; this
+// binary measures the host cost of the simulation substrate (events,
+// fiber switches, timed references), which bounds how big an experiment
+// is practical.  These are host-machine numbers and carry no
+// paper-reproduction meaning.
+
+#include <benchmark/benchmark.h>
+
+#include "chrysalis/kernel.hpp"
+#include "sim/machine.hpp"
+
+namespace {
+
+using namespace bfly;
+
+void BM_EngineEventDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine e;
+    std::uint64_t sink = 0;
+    for (int i = 0; i < 1000; ++i)
+      e.post_at(static_cast<sim::Time>(i), [&sink, i] { sink += i; });
+    e.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EngineEventDispatch);
+
+void BM_FiberSwitchPair(benchmark::State& state) {
+  sim::Fiber f(
+      [] {
+        while (true) sim::Fiber::yield_to_engine();
+      },
+      64 * 1024);
+  for (auto _ : state) f.resume();  // resume + yield = one switch pair
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FiberSwitchPair);
+
+void BM_TimedRemoteReference(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Machine m(sim::butterfly1(128));
+    sim::PhysAddr a = m.alloc(64, 64);
+    m.spawn(0, [&] {
+      for (int i = 0; i < 500; ++i)
+        benchmark::DoNotOptimize(m.read<std::uint32_t>(a));
+    });
+    m.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_TimedRemoteReference);
+
+void BM_ChrysalisProcessCreation(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Machine m(sim::butterfly1(16));
+    chrys::Kernel k(m);
+    k.create_process(0, [&] {
+      for (int i = 0; i < 20; ++i) k.create_process(i % 16, [] {});
+    });
+    m.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 21);
+}
+BENCHMARK(BM_ChrysalisProcessCreation);
+
+void BM_DualQueueRoundTrip(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Machine m(sim::butterfly1(4));
+    chrys::Kernel k(m);
+    chrys::Oid q1 = chrys::kNoObject, q2 = chrys::kNoObject;
+    k.create_process(0, [&] {
+      q1 = k.make_dual_queue();
+      for (int i = 0; i < 50; ++i) k.dq_enqueue(q2, k.dq_dequeue(q1));
+    });
+    k.create_process(1, [&] {
+      q2 = k.make_dual_queue();
+      for (int i = 0; i < 50; ++i) {
+        k.dq_enqueue(q1, i);
+        benchmark::DoNotOptimize(k.dq_dequeue(q2));
+      }
+    });
+    m.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 50);
+}
+BENCHMARK(BM_DualQueueRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// T-AMDAHL — serial bottlenecks in system software (Section 4.1).
+//
+// Paper: "Amdahl's law is extremely important in large-scale
+// multiprocessors."  Three Rochester case studies:
+//   * serial memory allocation in the Uniform System "was a dominant factor
+//     in many programs until a parallel memory allocator was introduced"
+//     (Ellis & Olson);
+//   * serial process creation limits startup — Crowd Control parallelizes
+//     it, but "serial access to system resources (such as process templates
+//     in Chrysalis) ultimately limits" the achievable speedup;
+//   * "serial access to a large file is especially unacceptable when 100
+//     processes are available" — the Bridge motivation (see T-BRIDGE).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "crowd/crowd.hpp"
+#include "us/uniform_system.hpp"
+
+int main() {
+  using namespace bfly;
+  using sim::Time;
+  bench::header("T-AMDAHL", "serial bottlenecks: allocator and process creation",
+                "parallel allocator removes a dominant serial factor; Crowd "
+                "Control helps but the template section caps it");
+
+  // --- Allocator: alloc-heavy task load, serial vs parallel first fit ----
+  std::printf("allocation-heavy workload (every task allocates+frees):\n");
+  std::printf("%6s %16s %16s %10s\n", "procs", "serial alloc(s)",
+              "parallel alloc(s)", "gain");
+  for (std::uint32_t p : {8u, 32u, 64u}) {
+    auto run = [&](bool parallel_alloc) {
+      sim::Machine m(sim::butterfly1(64));
+      chrys::Kernel k(m);
+      us::UsConfig cfg;
+      cfg.processors = p;
+      cfg.parallel_allocator = parallel_alloc;
+      us::UniformSystem us(k, cfg);
+      Time t = 0;
+      us.run_main([&] {
+        const Time t0 = m.now();
+        us.for_all(0, 300, [](us::TaskCtx& c) {
+          const sim::PhysAddr a = c.us.alloc_on(c.node, 512);
+          c.m.charge(2 * sim::kMillisecond);  // the useful work
+          c.us.free_global(a, 512);
+        });
+        t = m.now() - t0;
+      });
+      return t;
+    };
+    const Time serial = run(false);
+    const Time parallel = run(true);
+    std::printf("%6u %16.3f %16.3f %9.1f%%\n", p, bench::seconds(serial),
+                bench::seconds(parallel),
+                100.0 * (bench::seconds(serial) - bench::seconds(parallel)) /
+                    bench::seconds(serial));
+  }
+
+  // --- Process creation: serial vs Crowd Control tree ---------------------
+  std::printf("\nstartup of P worker processes:\n");
+  std::printf("%6s %14s %12s %22s\n", "procs", "serial(s)", "crowd(s)",
+              "template floor (s)");
+  for (std::uint32_t p : {16u, 64u, 120u}) {
+    sim::Machine m1(sim::butterfly1(128));
+    chrys::Kernel k1(m1);
+    Time serial = 0;
+    k1.create_process(0, [&] {
+      serial = crowd::spread_serial(k1, p, [](std::uint32_t) {});
+    });
+    m1.run();
+
+    sim::Machine m2(sim::butterfly1(128));
+    chrys::Kernel k2(m2);
+    Time tree = 0;
+    k2.create_process(0,
+                      [&] { tree = crowd::spread(k2, p, [](std::uint32_t) {}); });
+    m2.run();
+
+    const Time floor = (p - 1) * m1.config().proc_create_serial_ns;
+    std::printf("%6u %14.3f %12.3f %22.3f\n", p, bench::seconds(serial),
+                bench::seconds(tree), bench::seconds(floor));
+  }
+  std::printf("\nshape check: crowd beats serial, but never beats the "
+              "serialized\ntemplate floor — \"none of these parallel "
+              "solutions is particularly simple\".\n");
+  return 0;
+}

@@ -1,0 +1,254 @@
+// T-RPC — the communication cost spectrum (Sections 2.2, 3.2, 4.2; Low's
+// RPC experiments, Scott & Cox's message-passing overhead study).
+//
+// Paper: "A comparison with the costs of the basic primitives provided by
+// Chrysalis shows that any general scheme for communication on the
+// Butterfly will have comparable costs" — i.e. there is a ladder from raw
+// shared references through microcoded primitives to library messages to
+// full RPC, each buying semantics with microseconds.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "antfarm/antfarm.hpp"
+#include "chrysalis/kernel.hpp"
+#include "elmwood/elmwood.hpp"
+#include "lynx/lynx.hpp"
+#include "smp/family.hpp"
+
+int main() {
+  using namespace bfly;
+  using sim::Time;
+  bench::header("T-RPC", "one word, node 1 -> node 2 and back (8 mechanisms)",
+                "shared ref < event < dual queue < Ant Farm msg < SMP msg < "
+                "Lynx RPC; all 'reasonable for the semantics provided'");
+
+  struct Row {
+    const char* name;
+    double us;
+    const char* semantics;
+  };
+  std::vector<Row> rows;
+  constexpr int kReps = 20;
+
+  // 1. Raw shared-memory round trip (two remote reads).
+  {
+    sim::Machine m(sim::butterfly1(16));
+    sim::PhysAddr cell = m.alloc(2, 8);
+    Time t = 0;
+    m.spawn(1, [&] {
+      const Time t0 = m.now();
+      for (int i = 0; i < kReps; ++i) {
+        m.write<std::uint32_t>(cell, i);
+        (void)m.read<std::uint32_t>(cell);
+      }
+      t = (m.now() - t0) / kReps;
+    });
+    m.run();
+    rows.push_back(Row{"shared memory (write+read)", t / 1e3,
+                       "no synchronization at all"});
+  }
+
+  // 2. Shared-memory polling RPC: the crudest request/response — the
+  // client writes an argument and spins on a reply word; the server polls.
+  {
+    sim::Machine m(sim::butterfly1(16));
+    chrys::Kernel k(m);
+    sim::PhysAddr req = m.alloc(2, 8), rep = m.alloc(1, 8);
+    m.poke<std::uint32_t>(req, 0);
+    m.poke<std::uint32_t>(rep, 0);
+    Time t = 0;
+    k.create_process(2, [&] {
+      for (int i = 0; i < kReps; ++i) {
+        while (m.read<std::uint32_t>(req) == 0) m.charge(5 * sim::kMicrosecond);
+        m.write<std::uint32_t>(req, 0);
+        m.write<std::uint32_t>(rep, 1);
+      }
+    });
+    k.create_process(1, [&] {
+      k.delay(sim::kMillisecond);
+      const Time t0 = m.now();
+      for (int i = 0; i < kReps; ++i) {
+        m.write<std::uint32_t>(req, 1);
+        while (m.read<std::uint32_t>(rep) == 0) m.charge(5 * sim::kMicrosecond);
+        m.write<std::uint32_t>(rep, 0);
+      }
+      t = (m.now() - t0) / kReps;
+    });
+    m.run();
+    rows.push_back(Row{"shared-memory polling RPC", t / 1e3,
+                       "busy-waits steal remote cycles"});
+  }
+
+  // 3. Chrysalis event ping-pong.
+  {
+    sim::Machine m(sim::butterfly1(16));
+    chrys::Kernel k(m);
+    Time t = 0;
+    chrys::Oid ping = chrys::kNoObject, pong = chrys::kNoObject;
+    chrys::Oid server = k.create_process(2, [&] {
+      ping = k.make_event();
+      for (int i = 0; i < kReps; ++i) {
+        (void)k.event_wait(ping);
+        k.event_post(pong, 1);
+      }
+    });
+    (void)server;
+    k.create_process(1, [&] {
+      pong = k.make_event();
+      k.delay(sim::kMillisecond);  // let the server set up
+      const Time t0 = m.now();
+      for (int i = 0; i < kReps; ++i) {
+        k.event_post(ping, 1);
+        (void)k.event_wait(pong);
+      }
+      t = (m.now() - t0) / kReps;
+    });
+    m.run();
+    rows.push_back(Row{"event post/wait round trip", t / 1e3,
+                       "blocking, one 32-bit datum"});
+  }
+
+  // 3. Dual queue round trip.
+  {
+    sim::Machine m(sim::butterfly1(16));
+    chrys::Kernel k(m);
+    Time t = 0;
+    chrys::Oid q1 = chrys::kNoObject, q2 = chrys::kNoObject;
+    k.create_process(2, [&] {
+      q1 = k.make_dual_queue();
+      for (int i = 0; i < kReps; ++i) k.dq_enqueue(q2, k.dq_dequeue(q1));
+    });
+    k.create_process(1, [&] {
+      q2 = k.make_dual_queue();
+      k.delay(sim::kMillisecond);
+      const Time t0 = m.now();
+      for (int i = 0; i < kReps; ++i) {
+        k.dq_enqueue(q1, i);
+        (void)k.dq_dequeue(q2);
+      }
+      t = (m.now() - t0) / kReps;
+    });
+    m.run();
+    rows.push_back(Row{"dual queue round trip", t / 1e3,
+                       "blocking queue, multiple waiters"});
+  }
+
+  // 4. Ant Farm thread message round trip.
+  {
+    sim::Machine m(sim::butterfly1(16));
+    chrys::Kernel k(m);
+    Time t = 0;
+    k.create_process(0, [&] {
+      antfarm::Colony col(k, 4);
+      antfarm::ThreadId echo_id = 0, main_id = 0;
+      echo_id = col.start(2, [&col, &main_id] {
+        for (int i = 0; i < kReps; ++i) {
+          const auto v = col.receive();
+          col.send(main_id, v);
+        }
+      });
+      col.start(1, [&col, &t, echo_id, &main_id, &m] {
+        main_id = col.self();
+        const Time t0 = m.now();
+        for (int i = 0; i < kReps; ++i) {
+          col.send(echo_id, i);
+          (void)col.receive();
+        }
+        t = (m.now() - t0) / kReps;
+      });
+      col.join();
+    });
+    m.run();
+    rows.push_back(Row{"Ant Farm send/receive round trip", t / 1e3,
+                       "lightweight blockable threads"});
+  }
+
+  // 5. SMP message round trip.
+  {
+    sim::Machine m(sim::butterfly1(16));
+    chrys::Kernel k(m);
+    Time t = 0;
+    k.create_process(0, [&] {
+      smp::FamilyOptions opt;
+      opt.base_node = 1;
+      smp::Family fam(
+          k, smp::Topology::line(2),
+          [&](smp::Member& me) {
+            if (me.index() == 0) {
+              const Time t0 = m.now();
+              for (int i = 0; i < kReps; ++i) {
+                me.send_value<std::uint32_t>(1, 0, i);
+                (void)me.receive();
+              }
+              t = (m.now() - t0) / kReps;
+            } else {
+              for (int i = 0; i < kReps; ++i) {
+                smp::Message msg = me.receive();
+                me.send_value<std::uint32_t>(0, 0, msg.as<std::uint32_t>());
+              }
+            }
+          },
+          opt);
+      fam.join();
+    });
+    m.run();
+    rows.push_back(Row{"SMP message round trip", t / 1e3,
+                       "typed messages, family topology"});
+  }
+
+  // 7. Elmwood object invocation.
+  {
+    sim::Machine m(sim::butterfly1(16));
+    chrys::Kernel k(m);
+    elmwood::Elmwood os(k);
+    Time t = 0;
+    k.create_process(1, [&] {
+      const elmwood::Capability obj = os.create_object(2, "echo");
+      os.add_entry(obj, "echo",
+                   [](elmwood::Invocation&, std::uint64_t v) { return v; });
+      const Time t0 = m.now();
+      for (int i = 0; i < kReps; ++i) (void)os.invoke(obj, "echo", i);
+      t = (m.now() - t0) / kReps;
+      os.shutdown();
+    });
+    m.run();
+    rows.push_back(Row{"Elmwood object invocation", t / 1e3,
+                       "capabilities, monitor objects"});
+  }
+
+  // 8. Lynx RPC.
+  {
+    sim::Machine m(sim::butterfly1(16));
+    chrys::Kernel k(m);
+    Time t = 0;
+    k.create_process(0, [&] {
+      lynx::Runtime rt(k);
+      lynx::End e;
+      const auto server = rt.spawn(2, [](lynx::Proc& p) {
+        for (int i = 0; i < kReps; ++i) {
+          lynx::Request r = p.accept();
+          p.reply_value<int>(r, r.as<int>());
+        }
+      });
+      const auto client = rt.spawn(1, [&](lynx::Proc& p) {
+        const Time t0 = m.now();
+        for (int i = 0; i < kReps; ++i)
+          (void)p.call_value<int, int>(e, i);
+        t = (m.now() - t0) / kReps;
+      });
+      e = rt.connect(client, server);
+      rt.join();
+    });
+    m.run();
+    rows.push_back(Row{"Lynx RPC (call/accept/reply)", t / 1e3,
+                       "RPC, type check, dispatcher, movable links"});
+  }
+
+  std::printf("%-34s %12s   %s\n", "mechanism", "round trip", "semantics bought");
+  for (const auto& r : rows)
+    std::printf("%-34s %10.1fus   %s\n", r.name, r.us, r.semantics);
+  std::printf("\nshape check: each step up the ladder costs more; the whole\n"
+              "ladder spans roughly two orders of magnitude.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// T-SPEEDUP — application speedups at scale (Section 4.1).
+//
+// Paper: "We have achieved significant speedups (often almost linear) using
+// over 100 processors on a range of applications including connectionist
+// network simulation, game-playing, Gaussian elimination, parallel data
+// structure management, and numerous computer vision and graph algorithms."
+
+#include <cstdio>
+
+#include "apps/connectionist.hpp"
+#include "apps/gauss.hpp"
+#include "apps/geometry.hpp"
+#include "apps/graph.hpp"
+#include "apps/image.hpp"
+#include "apps/pedagogical.hpp"
+#include "apps/sort.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace bfly;
+  using sim::Time;
+  bench::header("T-SPEEDUP", "application suite: speedup vs processors",
+                "significant speedups, often almost linear, beyond 100 "
+                "processors");
+
+  const bool fast = bench::fast_mode();
+  const std::uint32_t plist[] = {1, 8, 32, 64, 120};
+
+  struct App {
+    const char* name;
+    std::function<Time(std::uint32_t)> run;
+  };
+  std::vector<App> apps;
+
+  apps.push_back({"connectionist", [&](std::uint32_t p) {
+    sim::Machine m(sim::butterfly1(128));
+    apps::ConnectionistConfig cfg;
+    cfg.units = fast ? 240 : 480;
+    cfg.fanin = 16;
+    cfg.rounds = fast ? 3 : 5;
+    cfg.processors = p;
+    return apps::connectionist(m, cfg).elapsed;
+  }});
+  apps.push_back({"gauss (US)", [&](std::uint32_t p) {
+    sim::Machine m(sim::butterfly1(128));
+    apps::GaussConfig cfg;
+    cfg.n = fast ? 64 : 128;
+    cfg.processors = p;
+    return apps::gauss_us(m, cfg).elapsed;
+  }});
+  apps.push_back({"CC labeling", [&](std::uint32_t p) {
+    sim::Machine m(sim::butterfly1(128));
+    const apps::Graph g = apps::Graph::random(fast ? 400 : 800, 4, 3);
+    return apps::connected_components(m, g, p).elapsed;
+  }});
+  apps.push_back({"bitonic sort", [&](std::uint32_t p) {
+    sim::Machine m(sim::butterfly1(128));
+    apps::SortConfig cfg;
+    cfg.n = fast ? 2048 : 4096;
+    cfg.processors = p;
+    return apps::bitonic_sort(m, cfg).elapsed;
+  }});
+  apps.push_back({"convex hull", [&](std::uint32_t p) {
+    sim::Machine m(sim::butterfly1(128));
+    const auto pts = apps::random_points(fast ? 2000 : 6000, 21);
+    return apps::convex_hull(m, pts, p).elapsed;
+  }});
+  apps.push_back({"sobel (BIFF)", [&](std::uint32_t p) {
+    sim::Machine m(sim::butterfly1(128));
+    const apps::Image img = apps::Image::synthetic(fast ? 128 : 256,
+                                                   fast ? 128 : 256, 4);
+    return apps::biff_apply(m, img, apps::filter_sobel(), p, 30).elapsed;
+  }});
+  apps.push_back({"8-queens (x4 boards)", [&](std::uint32_t p) {
+    sim::Machine m(sim::butterfly1(128));
+    return apps::queens(m, fast ? 9 : 10, p).elapsed;
+  }});
+
+  std::printf("%-22s", "application");
+  for (std::uint32_t p : plist) std::printf("   P=%-4u", p);
+  std::printf("   speedup@120\n");
+  for (const App& a : apps) {
+    std::printf("%-22s", a.name);
+    Time t1 = 0;
+    double spd = 0;
+    for (std::uint32_t p : plist) {
+      const Time t = a.run(p);
+      if (p == 1) t1 = t;
+      spd = sim::ratio(t1, t);
+      std::printf(" %7.2fs", bench::seconds(t));
+    }
+    std::printf("   %6.1fx\n", spd);
+  }
+  std::printf("\nshape check: most rows should approach their task "
+              "parallelism limit;\nnothing should slow down as processors "
+              "are added.\n");
+  return 0;
+}

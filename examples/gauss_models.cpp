@@ -1,0 +1,50 @@
+// Two programming models, one problem (Sections 3.1 and 4.1): Gaussian
+// elimination implemented under shared memory (Uniform System) and message
+// passing (SMP), on the same simulated hardware.
+//
+// "The results of this comparison suggested that neither shared memory nor
+// message passing was inherently superior, and that either might be
+// preferred for individual applications."
+//
+// Run with an argument to choose the matrix size: ./gauss_models 192
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/gauss.hpp"
+#include "sim/machine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bfly;
+  apps::GaussConfig cfg;
+  cfg.n = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 128;
+
+  std::printf("solving a %ux%u system under both models (64 processors)\n\n",
+              cfg.n, cfg.n);
+  cfg.processors = 64;
+
+  sim::MachineConfig mc = sim::butterfly1(128);
+  mc.memory_per_node = 4u << 20;
+
+  sim::Machine mu(mc);
+  const apps::GaussResult us = apps::gauss_us(mu, cfg);
+  std::printf("shared memory (US):   %8.2fs   %llu remote refs, "
+              "%llu block words\n",
+              us.elapsed / 1e9,
+              static_cast<unsigned long long>(us.remote_refs),
+              static_cast<unsigned long long>(us.block_words));
+
+  sim::Machine ms(mc);
+  const apps::GaussResult smp = apps::gauss_smp(ms, cfg);
+  std::printf("message passing (SMP): %7.2fs   %llu messages\n",
+              smp.elapsed / 1e9,
+              static_cast<unsigned long long>(smp.messages));
+
+  const double eu = apps::gauss_error(us, cfg.n, cfg.seed);
+  const double es = apps::gauss_error(smp, cfg.n, cfg.seed);
+  std::printf("\nmax error vs reference: US %.2e, SMP %.2e\n", eu, es);
+  std::printf("(run bench_fig5_gauss for the full Figure 5 sweep: the SMP\n"
+              "curve rises past 64 processors because its communication\n"
+              "volume is P*N messages.)\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Multiple programming models on one machine (Sections 3.4 and 4.2) — the
+// observation that became Psyche: "Some large applications may even require
+// different programming models for different components; therefore it is
+// also important that mechanisms be in place for communication across
+// programming models."
+//
+// One simulated Butterfly runs, simultaneously:
+//   * a Uniform System crowd producing work items into shared memory,
+//   * an SMP family post-processing them via messages,
+//   * an Ant Farm thread swarm doing fine-grain bookkeeping,
+// all meeting in a Psyche realm in the uniform address space.
+
+#include <cstdio>
+
+#include "antfarm/antfarm.hpp"
+#include "psyche/psyche.hpp"
+#include "sim/machine.hpp"
+#include "smp/family.hpp"
+#include "us/uniform_system.hpp"
+
+int main() {
+  using namespace bfly;
+  sim::Machine m(sim::butterfly1(32));
+  chrys::Kernel k(m);
+  psyche::Psyche os(k);
+  us::UsConfig ucfg;
+  ucfg.processors = 8;
+  us::UniformSystem us(k, ucfg);
+
+  std::uint64_t smp_checksum = 0;
+  std::uint64_t ant_count = 0;
+
+  us.run_main([&] {
+    // The meeting point: a realm with a deposit protocol.
+    const psyche::RealmId pool = os.create_realm(0, 8192, "work-pool");
+    const std::uint64_t base = os.realm_base(pool);
+    os.uwrite<std::uint32_t>(base, 0);  // item count
+    os.define_operation(pool, "deposit", [&os, base](std::uint64_t v) {
+      const auto n = os.uread<std::uint32_t>(base);
+      os.uwrite<std::uint64_t>(base + 8 + 8 * n, v);
+      os.uwrite<std::uint32_t>(base, n + 1);
+      return static_cast<std::uint64_t>(n);
+    });
+
+    // Model 1: a Uniform System crowd computes 64 items.
+    us.for_all(0, 64, [&](us::TaskCtx& c) {
+      const std::uint64_t item = 1000 + c.arg * c.arg;
+      c.m.compute(500);
+      (void)os.invoke(pool, "deposit", item, psyche::Access::kOptimized);
+    });
+    std::printf("US crowd deposited %u items into the realm\n",
+                os.uread<std::uint32_t>(base));
+
+    // Model 2: an SMP family of 4 splits the pool and reduces by message
+    // passing up a star.
+    smp::Family fam(k, smp::Topology::star(4), [&](smp::Member& me) {
+      if (me.index() == 0) {
+        std::uint64_t total = 0;
+        for (int i = 0; i < 3; ++i) total += me.receive().as<std::uint64_t>();
+        smp_checksum = total;
+      } else {
+        const std::uint32_t n = os.uread<std::uint32_t>(base);
+        std::uint64_t sum = 0;
+        for (std::uint32_t i = me.index() - 1; i < n; i += 3)
+          sum += os.uread<std::uint64_t>(base + 8 + 8 * i);
+        me.send_value<std::uint64_t>(0, 0, sum);
+      }
+    });
+    fam.join();
+    std::printf("SMP family reduced the pool by messages: checksum %llu\n",
+                static_cast<unsigned long long>(smp_checksum));
+
+    // Model 3: an Ant Farm swarm — one lightweight thread per item — each
+    // verifies one entry and reports to a tally thread.
+    antfarm::Colony col(k, 8);
+    antfarm::ThreadId tally = col.start(0, [&] {
+      const std::uint32_t n = os.uread<std::uint32_t>(base);
+      for (std::uint32_t i = 0; i < n; ++i) ant_count += col.receive();
+    });
+    const std::uint32_t n = os.uread<std::uint32_t>(base);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      col.start(i % 8, [&os, &col, base, tally, i] {
+        const std::uint64_t v = os.uread<std::uint64_t>(base + 8 + 8 * i);
+        col.send(tally, v >= 1000 ? 1 : 0);
+      });
+    }
+    col.join();
+    std::printf("Ant Farm swarm (%llu threads) verified %llu items\n",
+                static_cast<unsigned long long>(col.threads_started()),
+                static_cast<unsigned long long>(ant_count));
+  });
+
+  // Host-side check: the three models agree.
+  std::uint64_t expect = 0;
+  for (std::uint32_t i = 0; i < 64; ++i) expect += 1000 + i * i;
+  std::printf("\nexpected checksum %llu -> %s; three models, one machine, "
+              "one address space.\n",
+              static_cast<unsigned long long>(expect),
+              smp_checksum == expect && ant_count == 64 ? "MATCH" : "MISMATCH");
+  return 0;
+}

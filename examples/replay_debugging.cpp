@@ -1,0 +1,78 @@
+// Debugging a nondeterministic program with Instant Replay and Moviola
+// (Section 3.3): record once, replay exactly, browse the partial order.
+//
+// The workload is a four-process race on one shared account object; which
+// process "wins" each round depends on timing.  We record an execution,
+// replay it under completely different timing, and print the Moviola graph
+// a Rochester developer would have browsed.
+
+#include <cstdio>
+
+#include "chrysalis/kernel.hpp"
+#include "replay/instant_replay.hpp"
+#include "replay/moviola.hpp"
+#include "sim/machine.hpp"
+
+namespace {
+
+using namespace bfly;
+
+std::vector<std::uint32_t> run(replay::Mode mode, std::uint64_t jitter,
+                               replay::Log* inout_log) {
+  sim::Machine m(sim::butterfly1(8));
+  chrys::Kernel k(m);
+  replay::Monitor mon(k, 4);
+  const std::uint32_t account = mon.register_object(0, "account");
+  mon.set_mode(mode);
+  if (mode == replay::Mode::kReplay) mon.load_log(*inout_log);
+  std::vector<std::uint32_t> order;
+  sim::Rng rng(jitter);
+  for (std::uint32_t a = 0; a < 4; ++a) {
+    const sim::Time delay = (1 + rng.below(20)) * 300 * sim::kMicrosecond;
+    k.create_process(a, [&, a, delay] {
+      for (int round = 0; round < 3; ++round) {
+        k.delay(delay * (round + 1));
+        mon.begin_write(a, account);
+        order.push_back(a);  // "deposit"
+        m.charge(sim::kMillisecond);
+        mon.end_write(a, account);
+      }
+    });
+  }
+  m.run();
+  if (mode == replay::Mode::kRecord) *inout_log = mon.take_log();
+  return order;
+}
+
+void print_order(const char* label, const std::vector<std::uint32_t>& o) {
+  std::printf("%-28s", label);
+  for (std::uint32_t a : o) std::printf(" P%u", a);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  replay::Log log;
+  const auto recorded = run(replay::Mode::kRecord, 42, &log);
+  print_order("recorded execution:", recorded);
+
+  // The same program under different timing — different answer.
+  replay::Log scratch;
+  const auto other = run(replay::Mode::kRecord, 4242, &scratch);
+  print_order("different timing, no replay:", other);
+
+  // Replay pins the interleaving no matter what timing does.
+  const auto replayed = run(replay::Mode::kReplay, 4242, &log);
+  print_order("same timing, WITH replay:", replayed);
+  std::printf("replay reproduced the recording: %s\n\n",
+              replayed == recorded ? "YES" : "no");
+
+  std::printf("the log holds %zu fixed-size entries — order, not contents.\n\n",
+              log.total_entries());
+
+  replay::Moviola mv(log);
+  std::printf("Moviola partial order (%zu events, critical path %u):\n%s",
+              mv.events().size(), mv.critical_path(), mv.to_dot().c_str());
+  return 0;
+}

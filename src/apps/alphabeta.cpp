@@ -1,0 +1,111 @@
+#include "apps/alphabeta.hpp"
+
+#include <algorithm>
+
+#include "chrysalis/spinlock.hpp"
+#include "us/uniform_system.hpp"
+
+namespace bfly::apps {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t h, std::uint32_t move) {
+  h ^= move + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h *= 0xbf58476d1ce4e5b9ULL;
+  return h ^ (h >> 31);
+}
+
+int leaf_value(std::uint64_t path_hash) {
+  return static_cast<int>(path_hash % 201) - 100;
+}
+
+struct Searcher {
+  const GameConfig& cfg;
+  std::uint64_t nodes = 0;
+
+  int negamax(std::uint64_t path, std::uint32_t depth, int alpha, int beta) {
+    ++nodes;
+    if (depth == 0) return leaf_value(path);
+    // Static move ordering by child hash (deterministic, imperfect — so
+    // alpha-beta has real work to do).
+    int best = -1000;
+    for (std::uint32_t mv = 0; mv < cfg.branching; ++mv) {
+      const int v = -negamax(mix(path, mv), depth - 1, -beta, -alpha);
+      best = std::max(best, v);
+      alpha = std::max(alpha, v);
+      if (alpha >= beta) break;  // cutoff
+    }
+    return best;
+  }
+};
+
+}  // namespace
+
+SearchResult alphabeta_reference(const GameConfig& cfg) {
+  Searcher s{cfg};
+  SearchResult r;
+  int alpha = -1000;
+  for (std::uint32_t mv = 0; mv < cfg.branching; ++mv) {
+    const int v =
+        -s.negamax(mix(cfg.seed, mv), cfg.depth - 1, -1000, -alpha);
+    if (v > r.value || mv == 0) {
+      r.value = v;
+      r.best_move = mv;
+    }
+    alpha = std::max(alpha, v);
+  }
+  r.nodes = s.nodes;
+  return r;
+}
+
+SearchResult alphabeta_parallel(sim::Machine& m, const GameConfig& cfg,
+                                std::uint32_t processors) {
+  chrys::Kernel k(m);
+  us::UsConfig ucfg;
+  ucfg.processors = processors;
+  us::UniformSystem us(k, ucfg);
+
+  SearchResult result;
+  result.value = -1000;
+
+  us.run_main([&] {
+    // Shared alpha bound, protected by a spin lock (atomic-max emulation).
+    sim::PhysAddr alpha_cell = us.alloc_on(0, 8);
+    sim::PhysAddr alpha_lock = us.alloc_on(0, 8);
+    m.poke<std::uint32_t>(alpha_cell, static_cast<std::uint32_t>(-1000 + 1024));
+    m.poke<std::uint32_t>(alpha_lock, 0);
+
+    const sim::Time t0 = m.now();
+    us.for_all(0, cfg.branching, [&](us::TaskCtx& c) {
+      const std::uint32_t mv = c.arg;
+      // Read the bound other tasks have established so far.
+      const int shared_alpha =
+          static_cast<int>(c.us.get<std::uint32_t>(alpha_cell)) - 1024;
+      Searcher s{cfg};
+      const int v = -s.negamax(mix(cfg.seed, mv), cfg.depth - 1, -1000,
+                               -shared_alpha);
+      // ~25 integer ops per search-tree node (move gen + evaluation).
+      c.m.compute(s.nodes * 25);
+      // Publish results under the lock.
+      chrys::SpinLock lock(c.m, alpha_lock);
+      lock.acquire();
+      const int cur =
+          static_cast<int>(c.us.get<std::uint32_t>(alpha_cell)) - 1024;
+      if (v > cur)
+        c.us.put<std::uint32_t>(alpha_cell,
+                                static_cast<std::uint32_t>(v + 1024));
+      lock.release();
+      // Host-side reduction for best move and node count.
+      if (v > result.value ||
+          (v == result.value && mv < result.best_move)) {
+        result.value = v;
+        result.best_move = mv;
+      }
+      result.nodes += s.nodes;
+    });
+    result.elapsed = m.now() - t0;
+  });
+  return result;
+}
+
+}  // namespace bfly::apps

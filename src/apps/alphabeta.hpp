@@ -1,0 +1,40 @@
+// Parallel game-tree search (Section 3.1): "we have running a large
+// checkers-playing program (written in Lynx), that uses a parallel version
+// of alpha-beta search" (after Fishburn & Finkel's Arachne work).
+//
+// The game is synthetic — a deterministic uniform tree whose leaf values
+// are hashes of the move path — so the search behaviour (cutoffs, move
+// ordering, search overhead) is real while the rules stay out of the way.
+// The parallel version splits the root moves across Uniform System tasks
+// that share the alpha bound through shared memory: latecomers benefit
+// from earlier tasks' cutoffs, but speculative subtrees still cost extra
+// nodes — the classic search-overhead tradeoff.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/machine.hpp"
+
+namespace bfly::apps {
+
+struct GameConfig {
+  std::uint32_t depth = 6;
+  std::uint32_t branching = 8;
+  std::uint64_t seed = 1234;
+};
+
+struct SearchResult {
+  sim::Time elapsed = 0;
+  int value = 0;                 ///< minimax value of the root
+  std::uint32_t best_move = 0;
+  std::uint64_t nodes = 0;       ///< nodes visited (search overhead shows here)
+};
+
+/// Serial alpha-beta on the host (the reference answer and node count).
+SearchResult alphabeta_reference(const GameConfig& cfg);
+
+/// Root-split parallel alpha-beta with a shared alpha bound.
+SearchResult alphabeta_parallel(sim::Machine& m, const GameConfig& cfg,
+                                std::uint32_t processors);
+
+}  // namespace bfly::apps

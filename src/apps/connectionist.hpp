@@ -1,0 +1,44 @@
+// Connectionist network simulator (Fanty, TR 164; Section 3.1).
+//
+// "The first significant application developed for the Butterfly at
+// Rochester was the Connectionist Simulator ... With 120 Mbytes of physical
+// memory we were able to build networks that had led to hopeless thrashing
+// on a VAX.  With 120-way parallelism, we were able to simulate in minutes
+// networks that had previously taken hours."
+//
+// The model: units with weighted fan-in; each round every unit computes a
+// squashed weighted sum of its inputs' activations.  Units are partitioned
+// across processors; each worker pulls the (dense) activation vector into
+// local memory once per round (the US copy idiom), computes its units, and
+// writes its chunk of the new activations back.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace bfly::apps {
+
+struct ConnectionistConfig {
+  std::uint32_t units = 512;
+  std::uint32_t fanin = 16;      ///< connections per unit
+  std::uint32_t rounds = 10;
+  std::uint32_t processors = 0;  ///< 0 = all
+  std::uint64_t seed = 17;
+};
+
+struct ConnectionistResult {
+  sim::Time elapsed = 0;
+  std::vector<float> activations;
+  std::size_t network_bytes = 0;  ///< simulated memory the network occupies
+};
+
+/// Host-side reference simulation for verification.
+std::vector<float> connectionist_reference(const ConnectionistConfig& cfg);
+
+/// Uniform System implementation on the simulated Butterfly.
+ConnectionistResult connectionist(sim::Machine& m,
+                                  const ConnectionistConfig& cfg);
+
+}  // namespace bfly::apps

@@ -1,0 +1,146 @@
+#include "apps/geometry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/rng.hpp"
+#include "us/uniform_system.hpp"
+
+namespace bfly::apps {
+
+std::vector<Point> random_points(std::uint32_t n, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<Point> pts;
+  pts.reserve(n);
+  while (pts.size() < n) {
+    const double x = rng.uniform() * 2 - 1;
+    const double y = rng.uniform() * 2 - 1;
+    if (x * x + y * y <= 1.0) pts.push_back(Point{x, y});
+  }
+  return pts;
+}
+
+namespace {
+double cross(const Point& o, const Point& a, const Point& b) {
+  return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x);
+}
+}  // namespace
+
+std::vector<Point> hull_reference(const std::vector<Point>& pts) {
+  std::vector<Point> p = pts;
+  std::sort(p.begin(), p.end(), [](const Point& a, const Point& b) {
+    return a.x != b.x ? a.x < b.x : a.y < b.y;
+  });
+  p.erase(std::unique(p.begin(), p.end()), p.end());
+  if (p.size() < 3) return p;
+  std::vector<Point> h(2 * p.size());
+  std::size_t k = 0;
+  for (const Point& pt : p) {  // lower
+    while (k >= 2 && cross(h[k - 2], h[k - 1], pt) <= 0) --k;
+    h[k++] = pt;
+  }
+  const std::size_t lower = k + 1;
+  for (auto it = p.rbegin() + 1; it != p.rend(); ++it) {  // upper
+    while (k >= lower && cross(h[k - 2], h[k - 1], *it) <= 0) --k;
+    h[k++] = *it;
+  }
+  h.resize(k - 1);
+  return h;
+}
+
+HullResult convex_hull(sim::Machine& m, const std::vector<Point>& pts,
+                       std::uint32_t processors) {
+  chrys::Kernel k(m);
+  us::UsConfig ucfg;
+  ucfg.processors = processors;
+  us::UniformSystem us(k, ucfg);
+
+  HullResult result;
+  const auto n = static_cast<std::uint32_t>(pts.size());
+
+  us.run_main([&] {
+    // Points live in shared memory, scattered in chunks.
+    constexpr std::uint32_t kChunk = 64;
+    const std::uint32_t chunks = (n + kChunk - 1) / kChunk;
+    std::vector<sim::PhysAddr> mem = us.scatter_rows(chunks, kChunk * 16);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      m.poke<double>(mem[i / kChunk].plus(16 * (i % kChunk)), pts[i].x);
+      m.poke<double>(mem[i / kChunk].plus(16 * (i % kChunk) + 8), pts[i].y);
+    }
+    auto charge_scan = [&](us::TaskCtx& c, std::size_t count) {
+      // Each candidate point is fetched (4 words) and tested (4 flops).
+      c.m.access_words(sim::PhysAddr{c.node, 0},
+                       static_cast<std::uint32_t>(4 * count));
+      c.m.flops(4 * count);
+    };
+
+    std::vector<Point> hull_points;  // gathered hull vertices (host side)
+    // Seed: leftmost and rightmost points.
+    std::uint32_t li = 0, ri = 0;
+    for (std::uint32_t i = 1; i < n; ++i) {
+      if (pts[i].x < pts[li].x) li = i;
+      if (pts[i].x > pts[ri].x) ri = i;
+    }
+    m.access_words(mem[0], 4 * n);  // the initial scan
+    m.flops(2 * n);
+    hull_points.push_back(pts[li]);
+    hull_points.push_back(pts[ri]);
+
+    // Recursive quickhull tasks; each carries its candidate subset.
+    struct Job {
+      Point a, b;
+      std::vector<std::uint32_t> candidates;
+    };
+    std::deque<Job> jobs;  // stable storage; index passed as task arg
+    std::function<void(Point, Point, std::vector<std::uint32_t>)> spawn =
+        [&](Point a, Point b, std::vector<std::uint32_t> cand) {
+          jobs.push_back(Job{a, b, std::move(cand)});
+          const auto id = static_cast<std::uint32_t>(jobs.size() - 1);
+          us.gen_task(
+              [&](us::TaskCtx& c) {
+                const Job& job = jobs[c.arg];
+                charge_scan(c, job.candidates.size());
+                double best = 1e-12;
+                std::uint32_t far = 0xffffffffu;
+                for (std::uint32_t i : job.candidates) {
+                  const double d = cross(job.a, job.b, pts[i]);
+                  if (d > best) {
+                    best = d;
+                    far = i;
+                  }
+                }
+                if (far == 0xffffffffu) return;  // a-b is a hull edge
+                const Point c2 = pts[far];
+                hull_points.push_back(c2);
+                std::vector<std::uint32_t> left, right;
+                for (std::uint32_t i : job.candidates) {
+                  if (i == far) continue;
+                  if (cross(job.a, c2, pts[i]) > 1e-12) left.push_back(i);
+                  else if (cross(c2, job.b, pts[i]) > 1e-12)
+                    right.push_back(i);
+                }
+                spawn(job.a, c2, std::move(left));
+                spawn(c2, job.b, std::move(right));
+              },
+              id);
+        };
+
+    const sim::Time t0 = m.now();
+    std::vector<std::uint32_t> above, below;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (i == li || i == ri) continue;
+      if (cross(pts[li], pts[ri], pts[i]) > 1e-12) above.push_back(i);
+      else if (cross(pts[ri], pts[li], pts[i]) > 1e-12) below.push_back(i);
+    }
+    spawn(pts[li], pts[ri], std::move(above));
+    spawn(pts[ri], pts[li], std::move(below));
+    us.wait_idle();
+    result.elapsed = m.now() - t0;
+
+    // Order the gathered vertices (small set) with a host-side chain.
+    result.hull = hull_reference(hull_points);
+  });
+  return result;
+}
+
+}  // namespace bfly::apps

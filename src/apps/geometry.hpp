@@ -1,0 +1,34 @@
+// Computational geometry from the DARPA benchmark (Section 3.1): planar
+// convex hull by parallel quickhull over the Uniform System work queue.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace bfly::apps {
+
+struct Point {
+  double x = 0, y = 0;
+  bool operator==(const Point&) const = default;
+};
+
+/// Deterministic point cloud (uniform in a disk, so the hull is small
+/// relative to n).
+std::vector<Point> random_points(std::uint32_t n, std::uint64_t seed);
+
+struct HullResult {
+  sim::Time elapsed = 0;
+  std::vector<Point> hull;  ///< counter-clockwise, starting at leftmost
+};
+
+/// Host-side reference (Andrew's monotone chain).
+std::vector<Point> hull_reference(const std::vector<Point>& pts);
+
+/// Parallel quickhull: tasks split point sets above/below dividing lines;
+/// sub-problems recurse through the work queue.
+HullResult convex_hull(sim::Machine& m, const std::vector<Point>& pts,
+                       std::uint32_t processors);
+
+}  // namespace bfly::apps

@@ -1,0 +1,284 @@
+#include "apps/graph.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+#include "sim/rng.hpp"
+#include "us/uniform_system.hpp"
+
+namespace bfly::apps {
+
+void Graph::add_edge(std::uint32_t a, std::uint32_t b) {
+  if (a == b) return;
+  adj[a].push_back(b);
+  adj[b].push_back(a);
+}
+
+Graph Graph::random(std::uint32_t n, std::uint32_t avg_degree,
+                    std::uint64_t seed) {
+  Graph g;
+  g.n = n;
+  g.adj.resize(n);
+  sim::Rng rng(seed);
+  const std::uint64_t edges = static_cast<std::uint64_t>(n) * avg_degree / 2;
+  for (std::uint64_t e = 0; e < edges; ++e)
+    g.add_edge(static_cast<std::uint32_t>(rng.below(n)),
+               static_cast<std::uint32_t>(rng.below(n)));
+  return g;
+}
+
+Graph Graph::cliques(std::uint32_t count, std::uint32_t size) {
+  Graph g;
+  g.n = count * size;
+  g.adj.resize(g.n);
+  for (std::uint32_t c = 0; c < count; ++c)
+    for (std::uint32_t i = 0; i < size; ++i)
+      for (std::uint32_t j = i + 1; j < size; ++j)
+        g.add_edge(c * size + i, c * size + j);
+  return g;
+}
+
+// --- Connected components ---------------------------------------------------
+
+std::vector<std::uint32_t> cc_reference(const Graph& g) {
+  std::vector<std::uint32_t> label(g.n);
+  std::iota(label.begin(), label.end(), 0u);
+  // Union by min-label until fixpoint (matches the parallel algorithm's
+  // final labeling: min vertex id in the component).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::uint32_t v = 0; v < g.n; ++v)
+      for (std::uint32_t u : g.adj[v])
+        if (label[u] < label[v]) {
+          label[v] = label[u];
+          changed = true;
+        }
+  }
+  return label;
+}
+
+GraphRunResult connected_components(sim::Machine& m, const Graph& g,
+                                    std::uint32_t processors) {
+  chrys::Kernel k(m);
+  us::UsConfig ucfg;
+  ucfg.processors = processors;
+  us::UniformSystem us(k, ucfg);
+  const std::uint32_t procs = us.processors();
+
+  GraphRunResult result;
+  us.run_main([&] {
+    // Labels in shared memory, one word per vertex, scattered by chunks.
+    constexpr std::uint32_t kChunk = 64;
+    const std::uint32_t chunks = (g.n + kChunk - 1) / kChunk;
+    std::vector<sim::PhysAddr> lab = us.scatter_rows(chunks, kChunk * 4);
+    auto label_addr = [&](std::uint32_t v) {
+      return lab[v / kChunk].plus(4 * (v % kChunk));
+    };
+    for (std::uint32_t v = 0; v < g.n; ++v)
+      m.poke<std::uint32_t>(label_addr(v), v);
+    sim::PhysAddr changed = us.alloc_on(0, 4);
+
+    const sim::Time t0 = m.now();
+    const std::uint32_t span = std::max(1u, (g.n + procs - 1) / procs);
+    const std::uint32_t tasks = (g.n + span - 1) / span;
+    while (true) {
+      m.poke<std::uint32_t>(changed, 0);
+      us.for_all(0, tasks, [&, span](us::TaskCtx& c) {
+        const std::uint32_t lo = c.arg * span;
+        const std::uint32_t hi = std::min(lo + span, g.n);
+        bool any = false;
+        for (std::uint32_t v = lo; v < hi; ++v) {
+          std::uint32_t best = m.read<std::uint32_t>(label_addr(v));
+          // One remote read per neighbour.
+          for (std::uint32_t u : g.adj[v]) {
+            const std::uint32_t lu = m.read<std::uint32_t>(label_addr(u));
+            c.m.compute(2);
+            if (lu < best) best = lu;
+          }
+          const std::uint32_t lv = m.read<std::uint32_t>(label_addr(v));
+          if (best < lv) {
+            m.write<std::uint32_t>(label_addr(v), best);
+            any = true;
+          }
+        }
+        if (any) c.us.atomic_add(changed, 1);
+      });
+      if (m.peek<std::uint32_t>(changed) == 0) break;
+    }
+    result.elapsed = m.now() - t0;
+    result.labels.resize(g.n);
+    for (std::uint32_t v = 0; v < g.n; ++v)
+      result.labels[v] = m.peek<std::uint32_t>(label_addr(v));
+  });
+  return result;
+}
+
+// --- Transitive closure -------------------------------------------------------
+
+std::uint64_t closure_reference(const Graph& g) {
+  const std::uint32_t n = g.n;
+  const std::uint32_t words = (n + 63) / 64;
+  std::vector<std::uint64_t> reach(static_cast<std::size_t>(n) * words, 0);
+  auto set = [&](std::uint32_t i, std::uint32_t j) {
+    reach[static_cast<std::size_t>(i) * words + j / 64] |= 1ull << (j % 64);
+  };
+  auto get = [&](std::uint32_t i, std::uint32_t j) {
+    return (reach[static_cast<std::size_t>(i) * words + j / 64] >>
+            (j % 64)) & 1ull;
+  };
+  for (std::uint32_t v = 0; v < n; ++v) {
+    set(v, v);
+    for (std::uint32_t u : g.adj[v]) set(v, u);
+  }
+  for (std::uint32_t kk = 0; kk < n; ++kk)
+    for (std::uint32_t i = 0; i < n; ++i)
+      if (get(i, kk))
+        for (std::uint32_t w = 0; w < words; ++w)
+          reach[static_cast<std::size_t>(i) * words + w] |=
+              reach[static_cast<std::size_t>(kk) * words + w];
+  std::uint64_t pairs = 0;
+  for (std::uint64_t w : reach) pairs += static_cast<std::uint64_t>(__builtin_popcountll(w));
+  return pairs;
+}
+
+GraphRunResult transitive_closure(sim::Machine& m, const Graph& g,
+                                  std::uint32_t processors) {
+  chrys::Kernel k(m);
+  us::UsConfig ucfg;
+  ucfg.processors = processors;
+  us::UniformSystem us(k, ucfg);
+  const std::uint32_t procs = us.processors();
+  const std::uint32_t n = g.n;
+  const std::uint32_t words = (n + 63) / 64;
+
+  GraphRunResult result;
+  us.run_main([&] {
+    std::vector<sim::PhysAddr> rows = us.scatter_rows(n, words * 8);
+    std::vector<std::uint64_t> row(words);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      std::fill(row.begin(), row.end(), 0);
+      row[v / 64] |= 1ull << (v % 64);
+      for (std::uint32_t u : g.adj[v]) row[u / 64] |= 1ull << (u % 64);
+      m.poke_bytes(rows[v], row.data(), words * 8);
+    }
+    std::vector<std::vector<std::uint64_t>> scratch(
+        procs, std::vector<std::uint64_t>(2 * words));
+
+    const sim::Time t0 = m.now();
+    const std::uint32_t span = std::max(1u, (n + procs - 1) / procs);
+    const std::uint32_t tasks = (n + span - 1) / span;
+    for (std::uint32_t kk = 0; kk < n; ++kk) {
+      us.for_all(0, tasks, [&, kk, span](us::TaskCtx& c) {
+        auto& buf = scratch[c.worker];
+        std::uint64_t* krow = buf.data();
+        std::uint64_t* irow = buf.data() + words;
+        c.us.copy_to_local(krow, rows[kk], words * 8);
+        const std::uint32_t lo = c.arg * span;
+        const std::uint32_t hi = std::min(lo + span, n);
+        for (std::uint32_t i = lo; i < hi; ++i) {
+          if (i == kk) continue;
+          c.us.copy_to_local(irow, rows[i], words * 8);
+          if ((irow[kk / 64] >> (kk % 64)) & 1ull) {
+            bool grew = false;
+            for (std::uint32_t w = 0; w < words; ++w) {
+              const std::uint64_t nv = irow[w] | krow[w];
+              if (nv != irow[w]) grew = true;
+              irow[w] = nv;
+            }
+            c.m.compute(words);
+            if (grew) c.us.copy_from_local(rows[i], irow, words * 8);
+          }
+        }
+      });
+    }
+    result.elapsed = m.now() - t0;
+    std::uint64_t pairs = 0;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      m.peek_bytes(row.data(), rows[v], words * 8);
+      for (std::uint64_t w : row)
+        pairs += static_cast<std::uint64_t>(__builtin_popcountll(w));
+    }
+    result.value = pairs;
+  });
+  return result;
+}
+
+// --- Subgraph isomorphism --------------------------------------------------------
+
+namespace {
+
+bool pattern_edge(const Graph& p, std::uint32_t a, std::uint32_t b) {
+  return std::find(p.adj[a].begin(), p.adj[a].end(), b) != p.adj[a].end();
+}
+
+// Count completions of a partial injective mapping (pattern vertex `depth`
+// onward), node-induced semantics.
+std::uint64_t count_from(const Graph& pat, const Graph& host,
+                         std::vector<std::uint32_t>& map,
+                         std::uint32_t depth, std::uint64_t* steps) {
+  if (depth == pat.n) return 1;
+  std::uint64_t total = 0;
+  for (std::uint32_t cand = 0; cand < host.n; ++cand) {
+    ++*steps;
+    bool ok = true;
+    for (std::uint32_t prev = 0; prev < depth && ok; ++prev) {
+      if (map[prev] == cand) ok = false;
+      if (ok) {
+        const bool pe = pattern_edge(pat, prev, depth);
+        const bool he = pattern_edge(host, map[prev], cand);
+        if (pe != he) ok = false;  // induced: edges must match exactly
+      }
+    }
+    if (!ok) continue;
+    map[depth] = cand;
+    total += count_from(pat, host, map, depth + 1, steps);
+  }
+  return total;
+}
+
+}  // namespace
+
+std::uint64_t iso_reference(const Graph& pattern, const Graph& host) {
+  std::vector<std::uint32_t> map(pattern.n);
+  std::uint64_t steps = 0;
+  return count_from(pattern, host, map, 0, &steps);
+}
+
+GraphRunResult subgraph_isomorphism(sim::Machine& m, const Graph& pattern,
+                                    const Graph& host,
+                                    std::uint32_t processors) {
+  chrys::Kernel k(m);
+  us::UsConfig ucfg;
+  ucfg.processors = processors;
+  us::UniformSystem us(k, ucfg);
+
+  GraphRunResult result;
+  us.run_main([&] {
+    sim::PhysAddr matches = us.alloc_on(0, 8);
+    m.poke<std::uint32_t>(matches, 0);
+    const sim::Time t0 = m.now();
+    // One task per first-level assignment; each explores its subtree.
+    us.for_all(0, host.n, [&](us::TaskCtx& c) {
+      std::vector<std::uint32_t> map(pattern.n);
+      map[0] = c.arg;
+      std::uint64_t steps = 0;
+      const std::uint64_t found =
+          pattern.n == 0 ? 0 : count_from(pattern, host, map, 1, &steps);
+      // Each examined candidate costs a handful of (remote) adjacency
+      // probes plus compare work.
+      c.m.compute(steps * 4);
+      m.access_words(sim::PhysAddr{c.node, 0}, static_cast<std::uint32_t>(
+                                                   std::min<std::uint64_t>(
+                                                       steps, 100000))) ;
+      if (found > 0)
+        c.us.atomic_add(matches, static_cast<std::uint32_t>(found));
+    });
+    result.elapsed = m.now() - t0;
+    result.value = m.peek<std::uint32_t>(matches);
+  });
+  return result;
+}
+
+}  // namespace bfly::apps

@@ -1,0 +1,56 @@
+// Graph algorithms from the DARPA benchmark study and class projects
+// (Sections 3.1 and 4.2): connected component labeling, transitive
+// closure, and subgraph isomorphism.
+//
+// These are the applications whose awkward fit with the 1986-era
+// environments ("none of the models then available was appropriate for
+// certain graph problems") motivated Ant Farm; here they run under the
+// Uniform System with the label-propagation / row-sweep / work-queue
+// formulations the benchmark study used.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace bfly::apps {
+
+/// Undirected graph as adjacency lists, deterministic random construction.
+struct Graph {
+  std::uint32_t n = 0;
+  std::vector<std::vector<std::uint32_t>> adj;
+
+  static Graph random(std::uint32_t n, std::uint32_t avg_degree,
+                      std::uint64_t seed);
+  /// Disjoint cliques (for easy component verification).
+  static Graph cliques(std::uint32_t count, std::uint32_t size);
+  void add_edge(std::uint32_t a, std::uint32_t b);
+};
+
+struct GraphRunResult {
+  sim::Time elapsed = 0;
+  std::vector<std::uint32_t> labels;  // CC: component label per vertex
+  std::uint64_t value = 0;            // closure: reachable pairs; iso: matches
+};
+
+/// Connected component labeling by parallel label propagation.
+GraphRunResult connected_components(sim::Machine& m, const Graph& g,
+                                    std::uint32_t processors);
+/// Host reference.
+std::vector<std::uint32_t> cc_reference(const Graph& g);
+
+/// Transitive closure (boolean Warshall, row-parallel).  Returns the number
+/// of reachable ordered pairs (including self).
+GraphRunResult transitive_closure(sim::Machine& m, const Graph& g,
+                                  std::uint32_t processors);
+std::uint64_t closure_reference(const Graph& g);
+
+/// Count embeddings of `pattern` in `host` (subgraph isomorphism by
+/// work-queue backtracking; node-induced, injective).
+GraphRunResult subgraph_isomorphism(sim::Machine& m, const Graph& pattern,
+                                    const Graph& host,
+                                    std::uint32_t processors);
+std::uint64_t iso_reference(const Graph& pattern, const Graph& host);
+
+}  // namespace bfly::apps

@@ -1,0 +1,201 @@
+#include "apps/hough.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "sim/rng.hpp"
+#include "us/uniform_system.hpp"
+
+namespace bfly::apps {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+std::vector<std::uint8_t> make_edge_image(const HoughConfig& cfg) {
+  std::vector<std::uint8_t> img(
+      static_cast<std::size_t>(cfg.width) * cfg.height, 0);
+  sim::Rng rng(cfg.seed);
+  for (std::uint32_t l = 0; l < cfg.lines; ++l) {
+    const double theta = kPi * (0.2 + 0.5 * l / std::max(1u, cfg.lines));
+    const double rho = 0.25 * cfg.width + 12.0 * l;
+    const double c = std::cos(theta), s = std::sin(theta);
+    // Draw only the middle `line_fraction` of the segment, so edge density
+    // (and with it the vote workload) is controllable.
+    const double lo = 0.5 - cfg.line_fraction / 2;
+    const double hi = 0.5 + cfg.line_fraction / 2;
+    if (std::fabs(s) > std::fabs(c)) {
+      const auto x0 = static_cast<std::uint32_t>(lo * cfg.width);
+      const auto x1 = static_cast<std::uint32_t>(hi * cfg.width);
+      for (std::uint32_t x = x0; x < x1; ++x) {
+        const double y = (rho - x * c) / s;
+        if (y >= 0 && y < cfg.height)
+          img[static_cast<std::size_t>(y) * cfg.width + x] = 1;
+      }
+    } else {
+      const auto y0 = static_cast<std::uint32_t>(lo * cfg.height);
+      const auto y1 = static_cast<std::uint32_t>(hi * cfg.height);
+      for (std::uint32_t y = y0; y < y1; ++y) {
+        const double x = (rho - y * s) / c;
+        if (x >= 0 && x < cfg.width)
+          img[static_cast<std::size_t>(y) * cfg.width +
+              static_cast<std::uint32_t>(x)] = 1;
+      }
+    }
+  }
+  for (std::uint32_t i = 0; i < cfg.noise; ++i) {
+    const auto x = rng.below(cfg.width);
+    const auto y = rng.below(cfg.height);
+    img[y * cfg.width + x] = 1;
+  }
+  return img;
+}
+
+HoughResult hough(sim::Machine& m, const HoughConfig& cfg) {
+  const std::uint32_t w = cfg.width, h = cfg.height, na = cfg.angles;
+  const double rho_max = std::hypot(w, h);
+  const std::uint32_t nr = static_cast<std::uint32_t>(rho_max) + 1;
+  const bool naive = cfg.variant == HoughVariant::kNaive;
+  const bool local_trig = cfg.variant == HoughVariant::kLocalTables;
+
+  chrys::Kernel k(m);
+  us::UsConfig ucfg;
+  ucfg.processors = cfg.processors;
+  us::UniformSystem us(k, ucfg);
+  const std::uint32_t procs = us.processors();
+
+  const std::vector<std::uint8_t> img = make_edge_image(cfg);
+
+  HoughResult result;
+  result.rho_bins = nr;
+  result.accumulator.assign(static_cast<std::size_t>(na) * nr, 0);
+
+  us.run_main([&] {
+    // Image rows and accumulator rows (one per angle) scattered across the
+    // memories; the shared trig table sits on node 0.  The three variants
+    // run the identical voting computation — they differ only in where the
+    // image bytes and the trig table are read from, which is the paper's
+    // locality lesson in its purest form.
+    std::vector<sim::PhysAddr> img_rows = us.scatter_rows(h, w);
+    for (std::uint32_t y = 0; y < h; ++y)
+      m.poke_bytes(img_rows[y], &img[static_cast<std::size_t>(y) * w], w);
+
+    std::vector<sim::PhysAddr> acc_rows = us.scatter_rows(na, nr * 4);
+    for (std::uint32_t a = 0; a < na; ++a) {
+      std::vector<std::uint32_t> zero(nr, 0);
+      m.poke_bytes(acc_rows[a], zero.data(), nr * 4);
+    }
+    const sim::PhysAddr trig = us.alloc_on(0, na * 8);  // cos + sin floats
+    std::vector<float> trig_host(2 * na);
+    for (std::uint32_t a = 0; a < na; ++a) {
+      const double theta = kPi * a / na;
+      trig_host[2 * a] = static_cast<float>(std::cos(theta));
+      trig_host[2 * a + 1] = static_cast<float>(std::sin(theta));
+    }
+
+    // kLocalTables: each worker keeps a private copy of the trig table in
+    // its node's memory, filled on first touch.
+    std::vector<sim::PhysAddr> trig_copy(procs);
+    std::vector<bool> trig_cached(procs, false);
+    for (std::uint32_t p = 0; p < procs; ++p)
+      trig_copy[p] = m.alloc(p % m.nodes(), na * 8);
+
+    const sim::Time t0 = m.now();
+    m.stats().reset();
+
+    // One task per image row.
+    us.for_all(0, h, [&](us::TaskCtx& c) {
+      const std::uint32_t y = c.arg;
+      std::vector<std::uint8_t> row(w);
+      if (naive) {
+        // Word-at-a-time remote reads: one reference per pixel.
+        m.access_words(img_rows[y], w);
+        m.peek_bytes(row.data(), img_rows[y], w);
+      } else {
+        // The 42% idiom: block-copy the row into local memory first.
+        us.copy_to_local(row.data(), img_rows[y], w);
+      }
+      m.compute(2 * w);  // edge scan
+      std::vector<std::uint32_t> edges;
+      for (std::uint32_t x = 0; x < w; ++x)
+        if (row[x]) edges.push_back(x);
+      if (edges.empty()) return;
+
+      // Trig lookups: cos and sin, once per angle for this row's batch of
+      // edge pixels.
+      if (local_trig) {
+        if (!trig_cached[c.worker]) {
+          std::vector<std::uint8_t> tmp(na * 8);
+          us.copy_to_local(tmp.data(), trig, na * 8);
+          us.copy_from_local(trig_copy[c.worker], tmp.data(), na * 8);
+          trig_cached[c.worker] = true;
+        }
+        m.access_words(trig_copy[c.worker], 2 * na);
+      } else {
+        m.access_words(trig, 2 * na);  // shared table on node 0
+      }
+      // Fixed-point multiply-accumulate per (angle, edge pixel).
+      m.compute(3 * na * static_cast<std::uint64_t>(edges.size()));
+
+      // Voting: an atomic add on the shared accumulator per (angle, pixel)
+      // — identical (and identically remote) in every variant.
+      for (std::uint32_t a = 0; a < na; ++a) {
+        for (std::uint32_t x : edges) {
+          const double rho =
+              x * trig_host[2 * a] + y * trig_host[2 * a + 1];
+          if (rho < 0 || rho >= rho_max) continue;
+          const auto bin = static_cast<std::uint32_t>(rho);
+          m.fetch_add_u32(acc_rows[a].plus(4 * bin), 1);
+        }
+      }
+    });
+
+    result.elapsed = m.now() - t0;
+    for (std::uint32_t a = 0; a < na; ++a)
+      m.peek_bytes(&result.accumulator[static_cast<std::size_t>(a) * nr],
+                   acc_rows[a], nr * 4);
+  });
+
+  for (const auto& s : m.stats().node) {
+    result.remote_refs += s.remote_refs;
+    result.queue_ns += s.queue_ns;
+  }
+  return result;
+}
+
+bool peaks_match_planted_lines(const HoughConfig& cfg, const HoughResult& r) {
+  const std::uint32_t na = cfg.angles, nr = r.rho_bins;
+  double sum = 0;
+  std::uint64_t nz = 0;
+  for (std::uint32_t v : r.accumulator) {
+    if (v) {
+      sum += v;
+      ++nz;
+    }
+  }
+  if (nz == 0) return false;
+  const double mean = sum / static_cast<double>(nz);
+  for (std::uint32_t l = 0; l < cfg.lines; ++l) {
+    const double theta = kPi * (0.2 + 0.5 * l / std::max(1u, cfg.lines));
+    const double rho = 0.25 * cfg.width + 12.0 * l;
+    const auto a = static_cast<std::uint32_t>(theta / kPi * na) % na;
+    bool found = false;
+    for (int da = -1; da <= 1 && !found; ++da) {
+      for (int dr = -2; dr <= 2 && !found; ++dr) {
+        const int aa = static_cast<int>(a) + da;
+        const int rr = static_cast<int>(rho) + dr;
+        if (aa < 0 || aa >= static_cast<int>(na) || rr < 0 ||
+            rr >= static_cast<int>(nr))
+          continue;
+        const std::uint32_t v =
+            r.accumulator[static_cast<std::size_t>(aa) * nr + rr];
+        if (v > 4 * mean) found = true;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+}  // namespace bfly::apps

@@ -1,0 +1,67 @@
+// BIFF — Butterfly IFF image processing (Olson, BPR 9; Section 3.1).
+//
+// Rochester's vision group extended the UBC IFF model — vision utilities
+// composed as filters over image streams — into parallel processing: "A
+// researcher at a workstation can download an image into the Butterfly,
+// apply a complex sequence of operations, and upload the result in a tiny
+// fraction of the time required to perform the same operations locally."
+//
+// This module provides Uniform System-based parallel versions of the
+// standard filters (threshold, box smooth, 3x3 convolution, Sobel edge
+// magnitude, histogram) over 8-bit images in shared memory, plus a
+// pipeline combinator for composing them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace bfly::apps {
+
+struct Image {
+  std::uint32_t width = 0, height = 0;
+  std::vector<std::uint8_t> pixels;
+
+  std::uint8_t at(std::uint32_t x, std::uint32_t y) const {
+    return pixels[static_cast<std::size_t>(y) * width + x];
+  }
+  static Image synthetic(std::uint32_t w, std::uint32_t h,
+                         std::uint64_t seed);
+};
+
+class BiffSession;
+
+/// A filter maps an input image row band to output pixels; provided filters
+/// cover the standard IFF set.
+using Filter = std::function<void(const Image& in, Image& out)>;
+
+struct BiffResult {
+  sim::Time elapsed = 0;
+  Image image;
+  std::vector<std::uint32_t> histogram;  // filled by biff_histogram
+};
+
+/// Apply one host-defined per-band filter in parallel on the machine.
+BiffResult biff_apply(sim::Machine& m, const Image& input,
+                      const Filter& host_filter, std::uint32_t processors,
+                      std::uint64_t ops_per_pixel = 8);
+
+// Standard filters (host semantics; biff_apply parallelizes them).
+Filter filter_threshold(std::uint8_t level);
+Filter filter_box3();                 ///< 3x3 box smoothing
+Filter filter_sobel();                ///< edge magnitude, clamped to 255
+Filter filter_zero_crossings();       ///< Laplacian zero-crossing detector
+Filter filter_invert();
+
+/// 256-bin histogram with per-worker local accumulation and a merge phase.
+BiffResult biff_histogram(sim::Machine& m, const Image& input,
+                          std::uint32_t processors);
+
+/// Compose filters as an IFF-style pipeline (each stage fully parallel).
+BiffResult biff_pipeline(sim::Machine& m, const Image& input,
+                         const std::vector<Filter>& stages,
+                         std::uint32_t processors);
+
+}  // namespace bfly::apps

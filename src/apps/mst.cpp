@@ -1,0 +1,148 @@
+#include "apps/mst.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sim/rng.hpp"
+#include "us/uniform_system.hpp"
+
+namespace bfly::apps {
+
+WeightedGraph WeightedGraph::random(std::uint32_t n,
+                                    std::uint32_t extra_edges,
+                                    std::uint64_t seed) {
+  WeightedGraph g;
+  g.n = n;
+  sim::Rng rng(seed);
+  // Spanning cycle guarantees connectivity; distinct weights guarantee a
+  // unique MST (easier verification).
+  std::vector<std::uint32_t> weights(n + extra_edges);
+  std::iota(weights.begin(), weights.end(), 1u);
+  for (std::uint32_t i = weights.size(); i-- > 1;)
+    std::swap(weights[i], weights[rng.below(i + 1)]);
+  std::uint32_t wi = 0;
+  for (std::uint32_t v = 0; v < n; ++v)
+    g.edges.push_back(Edge{v, (v + 1) % n, weights[wi++]});
+  for (std::uint32_t e = 0; e < extra_edges; ++e) {
+    const auto a = static_cast<std::uint32_t>(rng.below(n));
+    const auto b = static_cast<std::uint32_t>(rng.below(n));
+    if (a != b) g.edges.push_back(Edge{a, b, weights[wi]});
+    ++wi;
+  }
+  return g;
+}
+
+namespace {
+struct Dsu {
+  std::vector<std::uint32_t> parent;
+  explicit Dsu(std::uint32_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), 0u);
+  }
+  std::uint32_t find(std::uint32_t v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  }
+  bool unite(std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent[a] = b;
+    return true;
+  }
+};
+}  // namespace
+
+std::uint64_t mst_reference(const WeightedGraph& g) {
+  std::vector<WeightedGraph::Edge> es = g.edges;
+  std::sort(es.begin(), es.end(),
+            [](const auto& x, const auto& y) { return x.w < y.w; });
+  Dsu dsu(g.n);
+  std::uint64_t total = 0;
+  for (const auto& e : es)
+    if (dsu.unite(e.a, e.b)) total += e.w;
+  return total;
+}
+
+MstResult boruvka_mst(sim::Machine& m, const WeightedGraph& g,
+                      std::uint32_t processors) {
+  chrys::Kernel k(m);
+  us::UsConfig ucfg;
+  ucfg.processors = processors;
+  us::UniformSystem us(k, ucfg);
+  const std::uint32_t procs = us.processors();
+
+  MstResult result;
+  us.run_main([&] {
+    // Component labels in shared memory; edges scattered in chunks that
+    // tasks pull local before scanning (the usual US idiom).
+    constexpr std::uint32_t kChunk = 64;
+    const std::uint32_t lchunks = (g.n + kChunk - 1) / kChunk;
+    std::vector<sim::PhysAddr> labels = us.scatter_rows(lchunks, kChunk * 4);
+    auto label_addr = [&](std::uint32_t v) {
+      return labels[v / kChunk].plus(4 * (v % kChunk));
+    };
+    Dsu dsu(g.n);
+    for (std::uint32_t v = 0; v < g.n; ++v)
+      m.poke<std::uint32_t>(label_addr(v), v);
+
+    const auto ecount = static_cast<std::uint32_t>(g.edges.size());
+    const std::uint32_t span = std::max(1u, (ecount + procs - 1) / procs);
+    const std::uint32_t tasks = (ecount + span - 1) / span;
+    // best[c] = (weight, edge index) cheapest edge leaving component c;
+    // maintained host-side per worker then merged (min-reduction).
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> best;
+
+    const sim::Time t0 = m.now();
+    bool merged = true;
+    while (merged) {
+      merged = false;
+      best.assign(g.n, {0xffffffffu, 0xffffffffu});
+      std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+          wbest(procs);
+      us.for_all(0, tasks, [&, span](us::TaskCtx& c) {
+        auto& mine = wbest[c.worker];
+        if (mine.empty()) mine.assign(g.n, {0xffffffffu, 0xffffffffu});
+        const std::uint32_t lo = c.arg * span;
+        const std::uint32_t hi = std::min(lo + span, ecount);
+        // Pull this chunk of the edge list local (3 words per edge).
+        c.m.access_words(sim::PhysAddr{c.node, 0}, 3 * (hi - lo));
+        c.m.compute(4 * (hi - lo));
+        for (std::uint32_t i = lo; i < hi; ++i) {
+          const auto& e = g.edges[i];
+          // Component lookups: two shared label reads.
+          const auto ca = m.read<std::uint32_t>(label_addr(e.a));
+          const auto cb = m.read<std::uint32_t>(label_addr(e.b));
+          if (ca == cb) continue;
+          if (e.w < mine[ca].first) mine[ca] = {e.w, i};
+          if (e.w < mine[cb].first) mine[cb] = {e.w, i};
+        }
+      });
+      // Serial reduction + merge (the coordinator's share).
+      for (const auto& wb : wbest)
+        for (std::uint32_t comp = 0; comp < wb.size(); ++comp)
+          if (wb[comp].first < best[comp].first) best[comp] = wb[comp];
+      m.compute(g.n / 2);
+      for (std::uint32_t comp = 0; comp < g.n; ++comp) {
+        const auto [w, ei] = best[comp];
+        if (ei == 0xffffffffu) continue;
+        const auto& e = g.edges[ei];
+        if (dsu.unite(e.a, e.b)) {
+          result.total_weight += w;
+          ++result.edges_used;
+          merged = true;
+        }
+      }
+      // Publish new labels (path-compressed roots).
+      for (std::uint32_t v = 0; v < g.n; ++v)
+        m.poke<std::uint32_t>(label_addr(v), dsu.find(v));
+      m.access_words(labels[0], g.n / 8);  // label update traffic
+    }
+    result.elapsed = m.now() - t0;
+  });
+  return result;
+}
+
+}  // namespace bfly::apps

@@ -1,0 +1,41 @@
+// Minimal spanning tree — one of the DARPA benchmark's "geometric
+// constructions (convex hull, Voronoi diagram, minimal spanning tree)"
+// (Section 3.1).  Parallel Boruvka: in each round every component finds its
+// cheapest outgoing edge in parallel (Uniform System tasks over vertex
+// chunks), then components merge; O(log V) rounds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace bfly::apps {
+
+struct WeightedGraph {
+  std::uint32_t n = 0;
+  struct Edge {
+    std::uint32_t a, b;
+    std::uint32_t w;
+  };
+  std::vector<Edge> edges;
+
+  /// Connected random graph: a spanning cycle plus extra random edges.
+  static WeightedGraph random(std::uint32_t n, std::uint32_t extra_edges,
+                              std::uint64_t seed);
+};
+
+struct MstResult {
+  sim::Time elapsed = 0;
+  std::uint64_t total_weight = 0;
+  std::uint32_t edges_used = 0;
+};
+
+/// Parallel Boruvka on the simulated machine.
+MstResult boruvka_mst(sim::Machine& m, const WeightedGraph& g,
+                      std::uint32_t processors);
+
+/// Host reference (Kruskal).
+std::uint64_t mst_reference(const WeightedGraph& g);
+
+}  // namespace bfly::apps

@@ -1,0 +1,156 @@
+#include "apps/pedagogical.hpp"
+
+#include <algorithm>
+
+#include "chrysalis/spinlock.hpp"
+#include "sim/rng.hpp"
+#include "us/uniform_system.hpp"
+
+namespace bfly::apps {
+
+// --- N-queens ---------------------------------------------------------------
+
+namespace {
+
+std::uint64_t queens_count(std::uint32_t n, std::uint32_t row,
+                           std::uint32_t cols, std::uint32_t diag1,
+                           std::uint32_t diag2, std::uint64_t* nodes) {
+  if (row == n) return 1;
+  std::uint64_t total = 0;
+  std::uint32_t avail = ~(cols | diag1 | diag2) & ((1u << n) - 1);
+  while (avail) {
+    const std::uint32_t bit = avail & (~avail + 1);
+    avail ^= bit;
+    ++*nodes;
+    total += queens_count(n, row + 1, cols | bit, (diag1 | bit) << 1,
+                          (diag2 | bit) >> 1, nodes);
+  }
+  return total;
+}
+
+}  // namespace
+
+std::uint64_t queens_reference(std::uint32_t n) {
+  std::uint64_t nodes = 0;
+  return queens_count(n, 0, 0, 0, 0, &nodes);
+}
+
+QueensResult queens(sim::Machine& m, std::uint32_t n,
+                    std::uint32_t processors) {
+  chrys::Kernel k(m);
+  us::UsConfig ucfg;
+  ucfg.processors = processors;
+  us::UniformSystem us(k, ucfg);
+
+  QueensResult result;
+  us.run_main([&] {
+    sim::PhysAddr total = us.alloc_on(0, 8);
+    m.poke<std::uint32_t>(total, 0);
+    const sim::Time t0 = m.now();
+    // One task per first-row column; each explores its subtree.
+    us.for_all(0, n, [&, n](us::TaskCtx& c) {
+      const std::uint32_t bit = 1u << c.arg;
+      std::uint64_t nodes = 0;
+      const std::uint64_t found =
+          queens_count(n, 1, bit, bit << 1, bit >> 1, &nodes);
+      c.m.compute(nodes * 6);  // bit ops per search-tree node
+      if (found) c.us.atomic_add(total, static_cast<std::uint32_t>(found));
+    });
+    result.elapsed = m.now() - t0;
+    result.solutions = m.peek<std::uint32_t>(total);
+  });
+  return result;
+}
+
+// --- Knight's tour -------------------------------------------------------------
+
+namespace {
+
+constexpr int kMoves[8][2] = {{1, 2},  {2, 1},  {2, -1}, {1, -2},
+                              {-1, -2}, {-2, -1}, {-2, 1}, {-1, 2}};
+
+struct TourSearch {
+  std::uint32_t size;
+  std::vector<std::uint8_t> board;  // visit order, 0 = unvisited
+  std::uint64_t visits = 0;
+
+  bool on(int x, int y) const {
+    return x >= 0 && y >= 0 && x < static_cast<int>(size) &&
+           y < static_cast<int>(size);
+  }
+  std::uint8_t& at(int x, int y) { return board[y * size + x]; }
+
+  int degree(int x, int y) {
+    int d = 0;
+    for (const auto& mv : kMoves) {
+      const int nx = x + mv[0], ny = y + mv[1];
+      if (on(nx, ny) && at(nx, ny) == 0) ++d;
+    }
+    return d;
+  }
+
+  /// Warnsdorf-ordered depth-first search; `tiebreak` rotates the move
+  /// ordering so different workers find different tours.
+  bool dfs(int x, int y, std::uint32_t step, std::uint32_t tiebreak) {
+    ++visits;
+    at(x, y) = static_cast<std::uint8_t>(step);
+    if (step == size * size) return true;
+    // Sort moves by onward degree (Warnsdorf), rotated by the tiebreak.
+    struct Cand {
+      int x, y, deg;
+    };
+    std::vector<Cand> cands;
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      const auto& mv = kMoves[(i + tiebreak) % 8];
+      const int nx = x + mv[0], ny = y + mv[1];
+      if (on(nx, ny) && at(nx, ny) == 0)
+        cands.push_back(Cand{nx, ny, degree(nx, ny)});
+    }
+    std::stable_sort(cands.begin(), cands.end(),
+                     [](const Cand& a, const Cand& b) { return a.deg < b.deg; });
+    for (const Cand& cd : cands)
+      if (dfs(cd.x, cd.y, step + 1, tiebreak)) return true;
+    at(x, y) = 0;
+    return false;
+  }
+};
+
+}  // namespace
+
+KnightResult knights_tour(sim::Machine& m, std::uint32_t size,
+                          std::uint32_t processors, std::uint64_t jitter_seed) {
+  chrys::Kernel k(m);
+  const std::uint32_t procs = std::min(processors, m.nodes());
+
+  KnightResult result;
+  sim::PhysAddr found_flag = m.alloc(0, 8);
+  m.poke<std::uint32_t>(found_flag, 0);
+  sim::Rng jitter(jitter_seed);
+  std::vector<sim::Time> delay(procs);
+  for (auto& d : delay) d = (1 + jitter.below(50)) * 100 * sim::kMicrosecond;
+
+  for (std::uint32_t w = 0; w < procs; ++w) {
+    k.create_process(w, [&, w] {
+      k.delay(delay[w]);  // timing perturbation: who wins is up for grabs
+      TourSearch s;
+      s.size = size;
+      s.board.assign(static_cast<std::size_t>(size) * size, 0);
+      // Workers start from different corners/tiebreaks.
+      const int sx = (w % 2 == 0) ? 0 : static_cast<int>(size) - 1;
+      const int sy = (w / 2 % 2 == 0) ? 0 : static_cast<int>(size) - 1;
+      const bool ok = s.dfs(sx, sy, 1, w);
+      m.compute(s.visits * 30);
+      // First finisher claims the flag (an atomic on shared memory).
+      if (ok && m.test_and_set(found_flag) == 0) {
+        result.found = true;
+        result.winner = w;
+        result.tour = s.board;
+      }
+    });
+  }
+  const sim::Time t0 = m.now();
+  result.elapsed = m.run() - t0;
+  return result;
+}
+
+}  // namespace bfly::apps

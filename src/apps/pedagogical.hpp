@@ -1,0 +1,38 @@
+// Pedagogical applications from class projects (Section 3.1): N-queens by
+// work-queue backtracking and the nondeterministic knight's tour that the
+// debugging research (Instant Replay) studied.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace bfly::apps {
+
+struct QueensResult {
+  sim::Time elapsed = 0;
+  std::uint64_t solutions = 0;
+};
+
+/// Count all N-queens placements using Uniform System tasks (one per
+/// first-row column, each exploring its subtree).
+QueensResult queens(sim::Machine& m, std::uint32_t n,
+                    std::uint32_t processors);
+std::uint64_t queens_reference(std::uint32_t n);
+
+struct KnightResult {
+  sim::Time elapsed = 0;
+  bool found = false;
+  std::vector<std::uint8_t> tour;  ///< visit order per square, 1-based
+  std::uint32_t winner = 0;        ///< which worker found it (timing-dependent)
+};
+
+/// Parallel nondeterministic knight's tour on a `size` x `size` board:
+/// workers race to extend partial tours from a shared work pool; WHICH tour
+/// is found (and by whom) depends on timing — the workload Instant Replay
+/// was built to tame.  `jitter_seed` perturbs worker timing.
+KnightResult knights_tour(sim::Machine& m, std::uint32_t size,
+                          std::uint32_t processors, std::uint64_t jitter_seed);
+
+}  // namespace bfly::apps

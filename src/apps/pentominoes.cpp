@@ -1,0 +1,166 @@
+#include "apps/pentominoes.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "us/uniform_system.hpp"
+
+namespace bfly::apps {
+
+namespace {
+
+// The 12 pentominoes as base cell sets (letter, 5 (x,y) cells).
+struct Shape {
+  char letter;
+  std::array<std::pair<int, int>, 5> cells;
+};
+constexpr Shape kShapes[] = {
+    {'F', {{{1, 0}, {2, 0}, {0, 1}, {1, 1}, {1, 2}}}},
+    {'I', {{{0, 0}, {0, 1}, {0, 2}, {0, 3}, {0, 4}}}},
+    {'L', {{{0, 0}, {0, 1}, {0, 2}, {0, 3}, {1, 3}}}},
+    {'N', {{{1, 0}, {1, 1}, {0, 2}, {1, 2}, {0, 3}}}},
+    {'P', {{{0, 0}, {1, 0}, {0, 1}, {1, 1}, {0, 2}}}},
+    {'T', {{{0, 0}, {1, 0}, {2, 0}, {1, 1}, {1, 2}}}},
+    {'U', {{{0, 0}, {2, 0}, {0, 1}, {1, 1}, {2, 1}}}},
+    {'V', {{{0, 0}, {0, 1}, {0, 2}, {1, 2}, {2, 2}}}},
+    {'W', {{{0, 0}, {0, 1}, {1, 1}, {1, 2}, {2, 2}}}},
+    {'X', {{{1, 0}, {0, 1}, {1, 1}, {2, 1}, {1, 2}}}},
+    {'Y', {{{1, 0}, {0, 1}, {1, 1}, {1, 2}, {1, 3}}}},
+    {'Z', {{{0, 0}, {1, 0}, {1, 1}, {1, 2}, {2, 2}}}},
+};
+
+using Cells = std::vector<std::pair<int, int>>;
+
+Cells normalize(Cells c) {
+  int mx = 1000, my = 1000;
+  for (auto& [x, y] : c) {
+    mx = std::min(mx, x);
+    my = std::min(my, y);
+  }
+  for (auto& [x, y] : c) {
+    x -= mx;
+    y -= my;
+  }
+  std::sort(c.begin(), c.end());
+  return c;
+}
+
+/// All distinct orientations (rotations + reflections) of a shape.
+std::vector<Cells> orientations(const Shape& s) {
+  std::vector<Cells> out;
+  Cells cur(s.cells.begin(), s.cells.end());
+  for (int refl = 0; refl < 2; ++refl) {
+    for (int rot = 0; rot < 4; ++rot) {
+      Cells n = normalize(cur);
+      if (std::find(out.begin(), out.end(), n) == out.end()) out.push_back(n);
+      for (auto& [x, y] : cur) std::tie(x, y) = std::pair{-y, x};  // rotate
+    }
+    for (auto& [x, y] : cur) x = -x;  // reflect
+  }
+  return out;
+}
+
+struct Placement {
+  std::uint32_t piece;   // index into the chosen piece list
+  std::uint64_t mask;    // board cells covered
+};
+
+struct Problem {
+  std::uint32_t w, h, npieces;
+  std::vector<Placement> placements;
+  // placements_at[c]: placements whose lowest set cell is c (for the
+  // "fill the first empty cell" strategy).
+  std::vector<std::vector<std::uint32_t>> placements_at;
+
+  explicit Problem(const PentominoConfig& cfg) {
+    w = cfg.width;
+    h = cfg.height;
+    npieces = static_cast<std::uint32_t>(cfg.pieces.size());
+    placements_at.resize(static_cast<std::size_t>(w) * h);
+    for (std::uint32_t pi = 0; pi < npieces; ++pi) {
+      const auto* shape =
+          std::find_if(std::begin(kShapes), std::end(kShapes),
+                       [&](const Shape& s) { return s.letter == cfg.pieces[pi]; });
+      for (const Cells& o : orientations(*shape)) {
+        int maxx = 0, maxy = 0;
+        for (auto& [x, y] : o) {
+          maxx = std::max(maxx, x);
+          maxy = std::max(maxy, y);
+        }
+        for (std::uint32_t oy = 0; oy + maxy < h; ++oy) {
+          for (std::uint32_t ox = 0; ox + maxx < w; ++ox) {
+            std::uint64_t mask = 0;
+            for (auto& [x, y] : o)
+              mask |= 1ull << ((oy + y) * w + (ox + x));
+            const auto idx = static_cast<std::uint32_t>(placements.size());
+            placements.push_back(Placement{pi, mask});
+            // Lowest covered cell.
+            placements_at[static_cast<std::uint32_t>(
+                              __builtin_ctzll(mask))]
+                .push_back(idx);
+          }
+        }
+      }
+    }
+  }
+
+  std::uint64_t count(std::uint64_t board, std::uint32_t used,
+                      std::uint64_t* nodes) const {
+    const std::uint64_t full = (w * h >= 64) ? ~0ull
+                                             : ((1ull << (w * h)) - 1);
+    if (board == full) return used == (1u << npieces) - 1 ? 1 : 0;
+    const auto cell =
+        static_cast<std::uint32_t>(__builtin_ctzll(~board & full));
+    std::uint64_t total = 0;
+    for (std::uint32_t idx : placements_at[cell]) {
+      const Placement& p = placements[idx];
+      ++*nodes;
+      if ((used >> p.piece) & 1) continue;
+      if (p.mask & board) continue;
+      total += count(board | p.mask, used | (1u << p.piece), nodes);
+    }
+    return total;
+  }
+};
+
+}  // namespace
+
+std::uint64_t pentomino_reference(const PentominoConfig& cfg) {
+  Problem prob(cfg);
+  std::uint64_t nodes = 0;
+  return prob.count(0, 0, &nodes);
+}
+
+PentominoResult pentominoes(sim::Machine& m, const PentominoConfig& cfg,
+                            std::uint32_t processors) {
+  chrys::Kernel k(m);
+  us::UsConfig ucfg;
+  ucfg.processors = processors;
+  us::UniformSystem us(k, ucfg);
+
+  Problem prob(cfg);
+  PentominoResult result;
+  us.run_main([&] {
+    sim::PhysAddr total = us.alloc_on(0, 8);
+    m.poke<std::uint32_t>(total, 0);
+    const sim::Time t0 = m.now();
+    // One task per first placement at cell 0.
+    const auto& first = prob.placements_at[0];
+    us.for_all(0, static_cast<std::uint32_t>(first.size()),
+               [&](us::TaskCtx& c) {
+                 const Placement& p = prob.placements[first[c.arg]];
+                 std::uint64_t nodes = 0;
+                 const std::uint64_t found =
+                     prob.count(p.mask, 1u << p.piece, &nodes);
+                 c.m.compute(nodes * 8);  // placement tests
+                 result.nodes += nodes;
+                 if (found)
+                   c.us.atomic_add(total, static_cast<std::uint32_t>(found));
+               });
+    result.elapsed = m.now() - t0;
+    result.solutions = m.peek<std::uint32_t>(total);
+  });
+  return result;
+}
+
+}  // namespace bfly::apps

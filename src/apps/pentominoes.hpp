@@ -1,0 +1,40 @@
+// Pentominoes — one of the pedagogical class projects (Section 3.1:
+// "graph transitive closure, 8-queens, and the game of pentominoes").
+//
+// Exact-cover tiling: place a chosen set of pentominoes to tile a
+// rectangle exactly once each.  The parallel version fans the placements
+// of the first piece out over Uniform System tasks, each counting the
+// completions of its subtree — the same work-queue backtracking shape as
+// 8-queens and subgraph isomorphism.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace bfly::apps {
+
+struct PentominoConfig {
+  std::uint32_t width = 5;
+  std::uint32_t height = 5;
+  /// Which pentominoes to use, by conventional letter (each exactly once).
+  /// width*height must equal 5 * pieces.size().
+  std::string pieces = "FILTY";
+};
+
+struct PentominoResult {
+  sim::Time elapsed = 0;
+  std::uint64_t solutions = 0;
+  std::uint64_t nodes = 0;  ///< placements examined
+};
+
+/// Host-side serial count (the reference).
+std::uint64_t pentomino_reference(const PentominoConfig& cfg);
+
+/// Parallel count on the simulated machine.
+PentominoResult pentominoes(sim::Machine& m, const PentominoConfig& cfg,
+                            std::uint32_t processors);
+
+}  // namespace bfly::apps

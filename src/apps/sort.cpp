@@ -1,0 +1,173 @@
+#include "apps/sort.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <unordered_map>
+
+#include "sim/rng.hpp"
+#include "smp/family.hpp"
+#include "us/uniform_system.hpp"
+
+namespace bfly::apps {
+
+std::vector<std::uint32_t> random_keys(std::uint32_t n, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<std::uint32_t> keys(n);
+  for (auto& k : keys) k = static_cast<std::uint32_t>(rng.next());
+  return keys;
+}
+
+// ---------------------------------------------------------------------------
+// Odd-even transposition sort (SMP).
+// ---------------------------------------------------------------------------
+
+SortResult odd_even_sort(sim::Machine& m, const SortConfig& cfg) {
+  const std::uint32_t procs = std::min(cfg.processors, m.nodes());
+  const std::uint32_t n = cfg.n;
+  chrys::Kernel k(m);
+
+  SortResult result;
+  std::vector<std::uint32_t> keys = random_keys(n, cfg.seed);
+  // Slices: member w owns keys [w*n/P, (w+1)*n/P).
+  std::vector<std::vector<std::uint32_t>> slice(procs);
+  for (std::uint32_t w = 0; w < procs; ++w)
+    slice[w].assign(keys.begin() + w * n / procs,
+                    keys.begin() + (w + 1) * n / procs);
+
+  k.create_process(0, [&] {
+    const sim::Time t0 = m.now();
+    smp::Family fam(
+        k, smp::Topology::line(procs),
+        [&](smp::Member& me) {
+          const std::uint32_t w = me.index();
+          std::vector<std::uint32_t>& mine = slice[w];
+          std::sort(mine.begin(), mine.end());
+          m.compute(mine.size() * 12);  // local sort
+          // Neighbours can run one phase ahead; match replies by phase tag.
+          std::unordered_map<std::uint32_t, smp::Message> stash;
+          auto recv_tag = [&](std::uint32_t want) {
+            auto it = stash.find(want);
+            if (it != stash.end()) {
+              smp::Message msg = std::move(it->second);
+              stash.erase(it);
+              return msg;
+            }
+            while (true) {
+              smp::Message msg = me.receive();
+              if (msg.tag == want) return msg;
+              stash.emplace(msg.tag, std::move(msg));
+            }
+          };
+          for (std::uint32_t phase = 0; phase < procs; ++phase) {
+            const bool even_phase = phase % 2 == 0;
+            const bool lower = even_phase ? (w % 2 == 0) : (w % 2 == 1);
+            const std::uint32_t partner = lower ? w + 1 : w - 1;
+            if (partner >= procs || (!lower && w == 0)) continue;
+
+            auto exchange = [&] {
+              smp::Message msg = recv_tag(phase);
+              std::vector<std::uint32_t> theirs(msg.payload.size() / 4);
+              std::memcpy(theirs.data(), msg.payload.data(),
+                          msg.payload.size());
+              // Merge; keep low half if lower partner, high half otherwise.
+              std::vector<std::uint32_t> merged;
+              merged.reserve(mine.size() + theirs.size());
+              std::merge(mine.begin(), mine.end(), theirs.begin(),
+                         theirs.end(), std::back_inserter(merged));
+              m.compute(merged.size() * 3);
+              if (lower)
+                mine.assign(merged.begin(), merged.begin() + mine.size());
+              else
+                mine.assign(merged.end() - mine.size(), merged.end());
+            };
+
+            if (cfg.inject_deadlock) {
+              // THE BUG (Figure 6): both partners wait for the other's
+              // slice before sending their own.  Nobody ever sends.
+              exchange();
+              me.send(partner, phase, mine.data(), mine.size() * 4);
+            } else {
+              me.send(partner, phase, mine.data(), mine.size() * 4);
+              exchange();
+            }
+          }
+        });
+    fam.join();
+    result.elapsed = m.now() - t0;
+  });
+  m.run();
+  result.deadlocked = m.deadlocked();
+  if (!result.deadlocked) {
+    for (std::uint32_t w = 0; w < procs; ++w)
+      result.keys.insert(result.keys.end(), slice[w].begin(), slice[w].end());
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Bitonic sort (Uniform System).
+// ---------------------------------------------------------------------------
+
+SortResult bitonic_sort(sim::Machine& m, const SortConfig& cfg) {
+  const std::uint32_t n = cfg.n;
+  assert((n & (n - 1)) == 0 && "bitonic sort needs a power of two");
+  chrys::Kernel k(m);
+  us::UsConfig ucfg;
+  ucfg.processors = cfg.processors;
+  us::UniformSystem us(k, ucfg);
+  const std::uint32_t procs = us.processors();
+
+  SortResult result;
+  std::vector<std::uint32_t> keys = random_keys(n, cfg.seed);
+
+  us.run_main([&] {
+    // The array lives in shared memory, scattered in chunks of 256 keys.
+    constexpr std::uint32_t kChunk = 256;
+    const std::uint32_t chunks = (n + kChunk - 1) / kChunk;
+    std::vector<sim::PhysAddr> arr = us.scatter_rows(chunks, kChunk * 4);
+    for (std::uint32_t c = 0; c < chunks; ++c)
+      m.poke_bytes(arr[c], keys.data() + c * kChunk,
+                   std::min<std::uint32_t>(kChunk, n - c * kChunk) * 4);
+    auto key_addr = [&](std::uint32_t i) {
+      return arr[i / kChunk].plus(4 * (i % kChunk));
+    };
+
+    const sim::Time t0 = m.now();
+    // Batcher's network: outer size k, inner distance j.
+    for (std::uint32_t kk = 2; kk <= n; kk <<= 1) {
+      for (std::uint32_t j = kk >> 1; j > 0; j >>= 1) {
+        const std::uint32_t pairs = n / 2;
+        const std::uint32_t span = std::max(1u, pairs / procs);
+        const std::uint32_t tasks = (pairs + span - 1) / span;
+        us.for_all(0, tasks, [&, kk, j, span](us::TaskCtx& c) {
+          const std::uint32_t lo = c.arg * span;
+          const std::uint32_t hi = std::min(lo + span, n / 2);
+          for (std::uint32_t p = lo; p < hi; ++p) {
+            // The p-th compare-exchange at distance j.
+            const std::uint32_t i = 2 * j * (p / j) + (p % j);
+            const std::uint32_t partner = i ^ j;
+            if (partner <= i) continue;
+            const bool ascending = (i & kk) == 0;
+            const std::uint32_t a = m.read<std::uint32_t>(key_addr(i));
+            const std::uint32_t b = m.read<std::uint32_t>(key_addr(partner));
+            c.m.compute(2);
+            if ((a > b) == ascending) {
+              m.write<std::uint32_t>(key_addr(i), b);
+              m.write<std::uint32_t>(key_addr(partner), a);
+            }
+          }
+        });
+      }
+    }
+    result.elapsed = m.now() - t0;
+    result.keys.resize(n);
+    for (std::uint32_t c = 0; c < chunks; ++c)
+      m.peek_bytes(result.keys.data() + c * kChunk, arr[c],
+                   std::min<std::uint32_t>(kChunk, n - c * kChunk) * 4);
+  });
+  result.deadlocked = m.deadlocked();
+  return result;
+}
+
+}  // namespace bfly::apps

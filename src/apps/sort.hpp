@@ -1,0 +1,46 @@
+// Parallel sorting on the Butterfly (Sections 3.1 and 3.3).
+//
+// Two sorters from the Rochester application suite:
+//
+//  * odd_even_sort — odd-even transposition sort over an SMP line of P
+//    processes, each holding a slice of the keys.  In each phase adjacent
+//    partners exchange whole slices and keep the lower/upper halves.  The
+//    paper's Figure 6 is a Moviola view of *deadlock* in an odd-even merge
+//    sort; `inject_deadlock` reproduces that bug: both partners receive
+//    before sending, so every process blocks on its mailbox forever.
+//
+//  * bitonic_sort — Batcher's bitonic network over Uniform System shared
+//    memory ("extensive analysis of a Butterfly implementation of
+//    Batcher's bitonic merge sort" was part of the Instant Replay work).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace bfly::apps {
+
+struct SortConfig {
+  std::uint32_t n = 1024;        ///< number of keys (power of two for bitonic)
+  std::uint32_t processors = 8;
+  std::uint64_t seed = 3;
+  bool inject_deadlock = false;  ///< odd-even only: the Figure 6 bug
+};
+
+struct SortResult {
+  sim::Time elapsed = 0;
+  std::vector<std::uint32_t> keys;
+  bool deadlocked = false;
+};
+
+std::vector<std::uint32_t> random_keys(std::uint32_t n, std::uint64_t seed);
+
+/// SMP odd-even transposition sort.  With cfg.inject_deadlock the run ends
+/// in a machine-wide deadlock (result.deadlocked = true, keys empty).
+SortResult odd_even_sort(sim::Machine& m, const SortConfig& cfg);
+
+/// Uniform System bitonic sort (n and processors powers of two).
+SortResult bitonic_sort(sim::Machine& m, const SortConfig& cfg);
+
+}  // namespace bfly::apps

@@ -1,0 +1,285 @@
+#include "bridge/bridge.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace bfly::bridge {
+
+namespace {
+constexpr sim::Time kRequestOverhead = 100 * sim::kMicrosecond;
+// Per-record comparison work during scans/merges.
+constexpr std::uint64_t kScanOpsPerBlock = kBlockSize / 16;
+}  // namespace
+
+BridgeFs::BridgeFs(chrys::Kernel& k, std::uint32_t servers, DiskParams disk)
+    : k_(k), m_(k.machine()), nservers_(servers), disk_params_(disk) {
+  done_dq_ = k_.make_dual_queue();
+  for (std::uint32_t s = 0; s < nservers_; ++s) {
+    auto sv = std::make_unique<Server>(disk_params_);
+    sv->node = s % m_.nodes();
+    sv->req_dq = k_.make_dual_queue();
+    servers_.push_back(std::move(sv));
+  }
+  for (std::uint32_t s = 0; s < nservers_; ++s) {
+    k_.create_process(servers_[s]->node, [this, s] { server_loop(s); },
+                      "bridge-srv" + std::to_string(s));
+  }
+}
+
+BridgeFs::~BridgeFs() = default;
+
+FileId BridgeFs::create(std::string name) {
+  files_.push_back(FileMeta{std::move(name), 0});
+  for (auto& sv : servers_) sv->store.emplace_back();
+  return static_cast<FileId>(files_.size() - 1);
+}
+
+std::uint32_t BridgeFs::blocks(FileId f) const { return files_[f].nblocks; }
+
+std::vector<std::uint8_t>& BridgeFs::block_ref(std::uint32_t s, FileId f,
+                                               std::uint32_t local) {
+  auto& file_store = servers_[s]->store[f];
+  if (file_store.size() <= local) file_store.resize(local + 1);
+  if (file_store[local].empty()) file_store[local].assign(kBlockSize, 0);
+  return file_store[local];
+}
+
+void BridgeFs::charge_disk(Server& sv, std::uint32_t lbn) {
+  const sim::Time done = sv.disk.access(m_.now(), lbn);
+  m_.charge(done - m_.now());
+}
+
+void BridgeFs::server_loop(std::uint32_t s) {
+  Server& sv = *servers_[s];
+  while (true) {
+    const std::uint32_t rid = k_.dq_dequeue(sv.req_dq);
+    Request& rq = reqs_[rid];
+    bool stop = false;
+    switch (rq.op) {
+      case Request::kRead: {
+        const std::uint32_t local = rq.index / nservers_;
+        charge_disk(sv, rq.file * 65536 + local);
+        const auto& blk = block_ref(s, rq.file, local);
+        std::memcpy(rq.rdata, blk.data(), kBlockSize);
+        break;
+      }
+      case Request::kWrite: {
+        const std::uint32_t local = rq.index / nservers_;
+        charge_disk(sv, rq.file * 65536 + local);
+        auto& blk = block_ref(s, rq.file, local);
+        std::memcpy(blk.data(), rq.wdata, kBlockSize);
+        break;
+      }
+      case Request::kToolCopy: {
+        const std::uint32_t n = local_count(rq.file, s);
+        for (std::uint32_t l = 0; l < n; ++l) {
+          charge_disk(sv, rq.file * 65536 + l);   // read src
+          charge_disk(sv, rq.file2 * 65536 + l);  // write dst
+          block_ref(s, rq.file2, l) = block_ref(s, rq.file, l);
+        }
+        rq.result = n;
+        break;
+      }
+      case Request::kToolSearch: {
+        const std::uint32_t n = local_count(rq.file, s);
+        std::uint64_t count = 0;
+        for (std::uint32_t l = 0; l < n; ++l) {
+          charge_disk(sv, rq.file * 65536 + l);
+          m_.compute(kScanOpsPerBlock);
+          for (std::uint8_t b : block_ref(s, rq.file, l))
+            if (b == rq.needle) ++count;
+        }
+        rq.result = count;
+        break;
+      }
+      case Request::kToolCompare: {
+        const std::uint32_t n = local_count(rq.file, s);
+        std::uint64_t diff = 0;
+        for (std::uint32_t l = 0; l < n; ++l) {
+          charge_disk(sv, rq.file * 65536 + l);
+          charge_disk(sv, rq.file2 * 65536 + l);
+          m_.compute(kScanOpsPerBlock);
+          if (block_ref(s, rq.file, l) != block_ref(s, rq.file2, l)) ++diff;
+        }
+        rq.result = diff;
+        break;
+      }
+      case Request::kToolSortLocal: {
+        const std::uint32_t n = local_count(rq.file, s);
+        std::vector<std::uint32_t> recs;
+        recs.reserve(static_cast<std::size_t>(n) * (kBlockSize / 4));
+        for (std::uint32_t l = 0; l < n; ++l) {
+          charge_disk(sv, rq.file * 65536 + l);
+          const auto& blk = block_ref(s, rq.file, l);
+          const auto* p = reinterpret_cast<const std::uint32_t*>(blk.data());
+          recs.insert(recs.end(), p, p + kBlockSize / 4);
+        }
+        if (!recs.empty()) {
+          m_.compute(recs.size() * 4);  // ~n log n record moves
+          std::sort(recs.begin(), recs.end());
+        }
+        for (std::uint32_t l = 0; l < n; ++l) {
+          charge_disk(sv, rq.file * 65536 + l);
+          auto& blk = block_ref(s, rq.file, l);
+          std::memcpy(blk.data(), recs.data() + l * (kBlockSize / 4),
+                      kBlockSize);
+        }
+        rq.result = n;
+        break;
+      }
+      case Request::kStop:
+        stop = true;
+        break;
+    }
+    k_.dq_enqueue(rq.reply_dq, rid);
+    if (stop) break;
+  }
+}
+
+std::uint32_t BridgeFs::local_count(FileId f, std::uint32_t s) const {
+  const std::uint32_t n = files_[f].nblocks;
+  // Blocks s, s+D, s+2D, ... below n.
+  return n > s ? (n - s - 1) / nservers_ + 1 : 0;
+}
+
+void BridgeFs::write_block(FileId f, std::uint32_t index, const void* data) {
+  files_[f].nblocks = std::max(files_[f].nblocks, index + 1);
+  const std::uint32_t s = index % nservers_;
+  m_.charge(kRequestOverhead);
+  // The block travels to the server's node across the switch.
+  m_.access_words(sim::PhysAddr{servers_[s]->node, 0}, kBlockSize / 4 / 8);
+  const chrys::Oid reply = k_.make_dual_queue();
+  Request rq;
+  rq.op = Request::kWrite;
+  rq.file = f;
+  rq.index = index;
+  rq.wdata = data;
+  rq.reply_dq = reply;
+  const std::uint32_t rid = put_request(std::move(rq));
+  k_.dq_enqueue(servers_[s]->req_dq, rid);
+  (void)k_.dq_dequeue(reply);
+  release_request(rid);
+  k_.delete_object(reply);
+}
+
+void BridgeFs::read_block(FileId f, std::uint32_t index, void* out) {
+  const std::uint32_t s = index % nservers_;
+  m_.charge(kRequestOverhead);
+  const chrys::Oid reply = k_.make_dual_queue();
+  Request rq;
+  rq.op = Request::kRead;
+  rq.file = f;
+  rq.index = index;
+  rq.rdata = out;
+  rq.reply_dq = reply;
+  const std::uint32_t rid = put_request(std::move(rq));
+  k_.dq_enqueue(servers_[s]->req_dq, rid);
+  (void)k_.dq_dequeue(reply);
+  m_.access_words(sim::PhysAddr{servers_[s]->node, 0}, kBlockSize / 4 / 8);
+  release_request(rid);
+  k_.delete_object(reply);
+}
+
+std::uint32_t BridgeFs::put_request(Request rq) {
+  if (!req_free_.empty()) {
+    const std::uint32_t rid = req_free_.back();
+    req_free_.pop_back();
+    reqs_[rid] = std::move(rq);
+    return rid;
+  }
+  reqs_.push_back(std::move(rq));
+  return static_cast<std::uint32_t>(reqs_.size() - 1);
+}
+
+void BridgeFs::release_request(std::uint32_t rid) { req_free_.push_back(rid); }
+
+std::uint64_t BridgeFs::ship_to_all(Request::Op op, FileId f, FileId f2,
+                                    std::uint8_t needle) {
+  const chrys::Oid reply = k_.make_dual_queue();
+  std::vector<std::uint32_t> rids;
+  for (std::uint32_t s = 0; s < nservers_; ++s) {
+    m_.charge(kRequestOverhead);
+    Request rq;
+    rq.op = op;
+    rq.file = f;
+    rq.file2 = f2;
+    rq.needle = needle;
+    rq.reply_dq = reply;
+    const std::uint32_t rid = put_request(std::move(rq));
+    rids.push_back(rid);
+    k_.dq_enqueue(servers_[s]->req_dq, rid);
+  }
+  std::uint64_t total = 0;
+  for (std::uint32_t i = 0; i < nservers_; ++i) {
+    const std::uint32_t rid = k_.dq_dequeue(reply);
+    total += reqs_[rid].result;
+    release_request(rid);
+  }
+  k_.delete_object(reply);
+  return total;
+}
+
+void BridgeFs::tool_copy(FileId src, FileId dst) {
+  files_[dst].nblocks = files_[src].nblocks;
+  (void)ship_to_all(Request::kToolCopy, src, dst, 0);
+}
+
+std::uint64_t BridgeFs::tool_search(FileId f, std::uint8_t needle) {
+  return ship_to_all(Request::kToolSearch, f, 0, needle);
+}
+
+std::uint32_t BridgeFs::tool_compare(FileId a, FileId b) {
+  return static_cast<std::uint32_t>(
+      ship_to_all(Request::kToolCompare, a, b, 0));
+}
+
+void BridgeFs::tool_sort(FileId src, FileId dst) {
+  // Phase 1 (parallel): each server sorts its local blocks into a run.
+  (void)ship_to_all(Request::kToolSortLocal, src, 0, 0);
+  // Phase 2 (serial tail): the client merges the D runs.
+  const std::uint32_t n = files_[src].nblocks;
+  constexpr std::uint32_t kRec = kBlockSize / 4;
+  std::vector<std::vector<std::uint32_t>> runs(nservers_);
+  std::vector<std::uint8_t> buf(kBlockSize);
+  for (std::uint32_t b = 0; b < n; ++b) {
+    read_block(src, b, buf.data());
+    const auto* p = reinterpret_cast<const std::uint32_t*>(buf.data());
+    auto& run = runs[b % nservers_];
+    run.insert(run.end(), p, p + kRec);
+  }
+  std::vector<std::size_t> cur(nservers_, 0);
+  std::vector<std::uint32_t> out;
+  out.reserve(static_cast<std::size_t>(n) * kRec);
+  m_.compute(static_cast<std::uint64_t>(n) * kRec / 2);  // merge compares
+  while (out.size() < static_cast<std::size_t>(n) * kRec) {
+    std::uint32_t best = 0;
+    bool found = false;
+    std::uint32_t who = 0;
+    for (std::uint32_t s = 0; s < nservers_; ++s) {
+      if (cur[s] < runs[s].size() &&
+          (!found || runs[s][cur[s]] < best)) {
+        best = runs[s][cur[s]];
+        who = s;
+        found = true;
+      }
+    }
+    out.push_back(best);
+    ++cur[who];
+  }
+  files_[dst].nblocks = n;
+  for (std::uint32_t b = 0; b < n; ++b)
+    write_block(dst, b, out.data() + static_cast<std::size_t>(b) * kRec);
+}
+
+void BridgeFs::shutdown() {
+  (void)ship_to_all(Request::kStop, 0, 0, 0);
+}
+
+std::uint64_t BridgeFs::disk_ops() const {
+  std::uint64_t t = 0;
+  for (const auto& sv : servers_) t += sv->disk.ops();
+  return t;
+}
+
+}  // namespace bfly::bridge

@@ -1,0 +1,159 @@
+// Bridge — a high-performance parallel file system (Dibble, Scott & Ellis,
+// ICDCS 1988; Section 3.4 of the paper).
+//
+// "Any performance limit on the path between secondary storage and
+// application program must be considered an I/O bottleneck.  Faster storage
+// devices cannot solve the I/O bottleneck problem for large multiprocessor
+// systems if data passes through a file system on a single processor."
+//
+// Bridge distributes each file across multiple storage devices and
+// processors using *interleaved files*: consecutive logical blocks live on
+// consecutive servers (block k on server k mod D).  Naive programs use the
+// ordinary block interface and still benefit from striping; sophisticated
+// programs use the tool interface, which ships operations to the processors
+// managing the data so each server works on its local blocks — the source
+// of Bridge's near-linear speedup in the number of disks for copying,
+// searching, comparing, and (with a serial merge tail) sorting.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "chrysalis/kernel.hpp"
+
+namespace bfly::bridge {
+
+inline constexpr std::size_t kBlockSize = 4096;
+
+/// A simulated 1988-class disk: one request at a time, seek + transfer,
+/// sequential accesses skip the seek.
+struct DiskParams {
+  sim::Time seek_ns = 22 * sim::kMillisecond;
+  sim::Time block_transfer_ns = 4 * sim::kMillisecond;  // ~1 MB/s
+};
+
+class Disk {
+ public:
+  explicit Disk(DiskParams p) : p_(p) {}
+
+  /// Completion time of an access to logical block `lbn` issued at `now`.
+  sim::Time access(sim::Time now, std::uint32_t lbn) {
+    sim::Time start = std::max(now, busy_until_);
+    sim::Time cost = p_.block_transfer_ns;
+    if (!(has_pos_ && lbn == last_ + 1)) cost += p_.seek_ns;
+    busy_until_ = start + cost;
+    last_ = lbn;
+    has_pos_ = true;
+    ++ops_;
+    return busy_until_;
+  }
+
+  std::uint64_t ops() const { return ops_; }
+
+ private:
+  DiskParams p_;
+  sim::Time busy_until_ = 0;
+  std::uint32_t last_ = 0;
+  bool has_pos_ = false;
+  std::uint64_t ops_ = 0;
+};
+
+using FileId = std::uint32_t;
+
+class BridgeFs {
+ public:
+  /// Create `servers` Bridge server processes on nodes [0, servers), each
+  /// with one disk.  Must be called from a Chrysalis process.
+  BridgeFs(chrys::Kernel& k, std::uint32_t servers, DiskParams disk = {});
+  ~BridgeFs();
+
+  BridgeFs(const BridgeFs&) = delete;
+  BridgeFs& operator=(const BridgeFs&) = delete;
+
+  std::uint32_t servers() const { return nservers_; }
+
+  // --- Standard (naive) interface: one block at a time through the client --
+  FileId create(std::string name);
+  /// Logical length in blocks.
+  std::uint32_t blocks(FileId f) const;
+  void write_block(FileId f, std::uint32_t index, const void* data);
+  void read_block(FileId f, std::uint32_t index, void* out);
+
+  // --- Tool interface: the operation runs on every server in parallel -----
+  /// Copy src into dst (same interleaving: entirely server-local).
+  void tool_copy(FileId src, FileId dst);
+  /// Count occurrences of `needle` bytes.
+  std::uint64_t tool_search(FileId f, std::uint8_t needle);
+  /// Byte-compare two files of equal length; returns number of differing
+  /// blocks.
+  std::uint32_t tool_compare(FileId a, FileId b);
+  /// Sort the file viewed as uint32 records: parallel local sort into runs,
+  /// then a serial merge through the client (the paper's sub-linear tail).
+  void tool_sort(FileId src, FileId dst);
+
+  /// Stop the server processes (call before the creator exits).
+  void shutdown();
+
+  std::uint64_t disk_ops() const;
+
+ private:
+  struct Request {
+    enum Op {
+      kRead,
+      kWrite,
+      kToolCopy,
+      kToolSearch,
+      kToolCompare,
+      kToolSortLocal,
+      kStop
+    } op = kRead;
+    FileId file = 0;
+    FileId file2 = 0;
+    std::uint32_t index = 0;      // block ops
+    std::uint8_t needle = 0;      // search
+    const void* wdata = nullptr;  // write
+    void* rdata = nullptr;        // read
+    std::uint64_t result = 0;     // tool results
+    chrys::Oid reply_dq = chrys::kNoObject;
+  };
+  struct FileMeta {
+    std::string name;
+    std::uint32_t nblocks = 0;
+  };
+  struct Server {
+    sim::NodeId node = 0;
+    Disk disk;
+    chrys::Oid req_dq = chrys::kNoObject;
+    // Per (file, local index) block contents; block k of file f lives on
+    // server k % D at local index k / D.
+    std::vector<std::vector<std::vector<std::uint8_t>>> store;  // [file][local]
+    std::uint32_t next_lbn = 0;  // disk block allocation cursor
+
+    explicit Server(DiskParams p) : disk(p) {}
+  };
+
+  void server_loop(std::uint32_t s);
+  std::uint64_t ship_to_all(Request::Op op, FileId f, FileId f2,
+                            std::uint8_t needle);
+  std::vector<std::uint8_t>& block_ref(std::uint32_t s, FileId f,
+                                       std::uint32_t local);
+  void charge_disk(Server& sv, std::uint32_t lbn);
+  std::uint32_t local_count(FileId f, std::uint32_t s) const;
+  std::uint32_t put_request(Request rq);
+  void release_request(std::uint32_t rid);
+
+  chrys::Kernel& k_;
+  sim::Machine& m_;
+  std::uint32_t nservers_ = 0;
+  DiskParams disk_params_;
+  std::vector<std::unique_ptr<Server>> servers_;
+  std::vector<FileMeta> files_;
+  std::deque<Request> reqs_;            // host-side request slots (stable refs)
+  std::vector<std::uint32_t> req_free_;
+  chrys::Oid done_dq_ = chrys::kNoObject;
+};
+
+}  // namespace bfly::bridge

@@ -1,0 +1,547 @@
+#include "chrysalis/kernel.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+
+namespace bfly::chrys {
+
+namespace {
+// The 16 standard memory-object sizes (Section 2.2 footnote 3).  An
+// odd-sized object is rounded up, with an inaccessible fragment at the end.
+constexpr std::array<std::size_t, 16> kStandardSizes = {
+    0,         256,       512,       1024,     2048,      4096,
+    8192,      12 * 1024, 16 * 1024, 24 * 1024, 32 * 1024, 40 * 1024,
+    48 * 1024, 56 * 1024, 60 * 1024, 64 * 1024};
+}  // namespace
+
+Kernel::Kernel(sim::Machine& m)
+    : m_(m),
+      sched_(m.nodes()),
+      sars_free_(m.nodes(), m.config().sars_per_node) {}
+
+Kernel::~Kernel() = default;
+
+void Kernel::charge_if_on_fiber(sim::Time ns) {
+  if (sim::Fiber::current() != nullptr) m_.charge(ns);
+}
+
+// --- Object table ------------------------------------------------------------
+
+Oid Kernel::new_object(ObjKind kind, Oid owner) {
+  const Oid oid = next_oid_++;
+  ObjRec r;
+  r.kind = kind;
+  r.owner = owner;
+  r.creator = on_process() ? self().oid() : kNoObject;
+  objects_.emplace(oid, std::move(r));
+  if (owner != kNoObject) adopt(owner, oid);
+  return oid;
+}
+
+Kernel::ObjRec& Kernel::rec(Oid oid) {
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) throw ThrowSignal{kThrowBadObject, oid};
+  return it->second;
+}
+
+const Kernel::ObjRec& Kernel::rec(Oid oid) const {
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) throw ThrowSignal{kThrowBadObject, oid};
+  return it->second;
+}
+
+Process& Kernel::proc(Oid oid) {
+  ObjRec& r = rec(oid);
+  if (r.kind != ObjKind::kProcess) throw ThrowSignal{kThrowBadObject, oid};
+  return *std::get<std::unique_ptr<Process>>(r.u);
+}
+
+void Kernel::adopt(Oid parent, Oid child) {
+  auto it = objects_.find(parent);
+  if (it != objects_.end()) it->second.children.push_back(child);
+}
+
+void Kernel::orphan(Oid child) {
+  ObjRec& c = rec(child);
+  if (c.owner == kNoObject) return;
+  auto it = objects_.find(c.owner);
+  if (it != objects_.end()) {
+    auto& kids = it->second.children;
+    kids.erase(std::remove(kids.begin(), kids.end(), child), kids.end());
+  }
+  c.owner = kNoObject;
+}
+
+bool Kernel::object_alive(Oid oid) const {
+  return objects_.find(oid) != objects_.end();
+}
+
+ObjKind Kernel::object_kind(Oid oid) const { return rec(oid).kind; }
+
+void Kernel::give_to_system(Oid oid) {
+  orphan(oid);
+  rec(oid).system_owned = true;
+}
+
+void Kernel::delete_object(Oid oid) {
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) return;
+  // Reclaim subsidiary objects first (uniform ownership hierarchy).
+  std::vector<Oid> kids = it->second.children;
+  for (Oid k : kids) delete_object(k);
+  it = objects_.find(oid);
+  if (it == objects_.end()) return;
+  ObjRec& r = it->second;
+  orphan(oid);
+  switch (r.kind) {
+    case ObjKind::kMemoryObject: {
+      const MemObj& mo = std::get<MemObj>(r.u);
+      if (mo.size > 0) m_.free(mo.base, mo.size);
+      live_bytes_ -= mo.size;
+      wasted_bytes_ -= mo.size - mo.requested;
+      break;
+    }
+    case ObjKind::kProcess: {
+      Process& p = *std::get<std::unique_ptr<Process>>(r.u);
+      // Deleting a live process is not modelled (external kill); SARs were
+      // already refunded at exit.
+      assert(p.state_ == Process::State::kExited &&
+             "delete_object on a live process");
+      (void)p;
+      break;
+    }
+    default:
+      break;
+  }
+  objects_.erase(oid);
+}
+
+// --- Memory objects -----------------------------------------------------------
+
+std::size_t Kernel::standard_size(std::size_t bytes) {
+  for (std::size_t s : kStandardSizes)
+    if (s >= bytes) return s;
+  throw ThrowSignal{kThrowOutOfMemory, static_cast<std::uint32_t>(bytes)};
+}
+
+Oid Kernel::make_memory_object(sim::NodeId node, std::size_t bytes) {
+  const std::size_t size = standard_size(bytes);
+  MemObj mo;
+  mo.requested = bytes;
+  mo.size = size;
+  if (size > 0) {
+    try {
+      mo.base = m_.alloc(node, size);
+    } catch (const sim::SimError&) {
+      throw ThrowSignal{kThrowOutOfMemory, node};
+    }
+  }
+  const Oid owner = on_process() ? self().oid() : kNoObject;
+  const Oid oid = new_object(ObjKind::kMemoryObject, owner);
+  rec(oid).u = mo;
+  live_bytes_ += size;
+  wasted_bytes_ += size - bytes;
+  charge_if_on_fiber(200 * sim::kMicrosecond);  // Make_Obj kernel call
+  return oid;
+}
+
+sim::PhysAddr Kernel::memobj_base(Oid mo) const {
+  return std::get<MemObj>(rec(mo).u).base;
+}
+std::size_t Kernel::memobj_size(Oid mo) const {
+  return std::get<MemObj>(rec(mo).u).size;
+}
+sim::NodeId Kernel::memobj_node(Oid mo) const {
+  return std::get<MemObj>(rec(mo).u).base.node;
+}
+
+// --- Address space --------------------------------------------------------------
+
+std::uint32_t Kernel::sar_block_for(std::uint32_t max_segments) {
+  std::uint32_t b = 8;
+  while (b < max_segments) b *= 2;
+  return std::min<std::uint32_t>(b, 256);
+}
+
+std::uint32_t Kernel::map_object(Oid mo) {
+  Process& p = self();
+  const MemObj& obj = std::get<MemObj>(rec(mo).u);
+  (void)obj;
+  for (std::uint32_t s = 0; s < p.segments_.size(); ++s) {
+    if (p.segments_[s] == kNoObject) {
+      p.segments_[s] = mo;
+      m_.charge(m_.config().sar_map_ns);
+      return s;
+    }
+  }
+  throw ThrowSignal{kThrowAddressSpaceFull, p.oid()};
+}
+
+void Kernel::unmap_segment(std::uint32_t segment) {
+  Process& p = self();
+  if (segment >= p.segments_.size() || p.segments_[segment] == kNoObject)
+    throw ThrowSignal{kThrowSegmentFault, segment};
+  p.segments_[segment] = kNoObject;
+  m_.charge(m_.config().sar_map_ns);
+}
+
+Oid Kernel::segment_object(std::uint32_t segment) {
+  Process& p = self();
+  return segment < p.segments_.size() ? p.segments_[segment] : kNoObject;
+}
+
+sim::PhysAddr Kernel::translate(VirtAddr va, std::size_t bytes) {
+  Process& p = self();
+  const std::uint32_t seg = va.segment();
+  if (seg >= p.segments_.size() || p.segments_[seg] == kNoObject)
+    throw ThrowSignal{kThrowSegmentFault, va.raw};
+  const MemObj& mo = std::get<MemObj>(rec(p.segments_[seg]).u);
+  if (va.offset() + bytes > mo.size)
+    throw ThrowSignal{kThrowSegmentFault, va.raw};
+  return mo.base.plus(va.offset());
+}
+
+std::uint32_t Process::mapped_segments() const {
+  std::uint32_t n = 0;
+  for (Oid s : segments_)
+    if (s != kNoObject) ++n;
+  return n;
+}
+
+// --- Processes ------------------------------------------------------------------
+
+Kernel::PartitionId Kernel::create_partition(std::vector<sim::NodeId> nodes) {
+  for (sim::NodeId n : nodes)
+    if (n >= m_.nodes()) throw ThrowSignal{kThrowBadObject, n};
+  partitions_.push_back(std::move(nodes));
+  return static_cast<PartitionId>(partitions_.size() - 1);
+}
+
+const std::vector<sim::NodeId>& Kernel::partition_nodes(PartitionId p) const {
+  return partitions_.at(p);
+}
+
+Kernel::PartitionId Kernel::current_partition() {
+  return on_process() ? self().partition_ : kWholeMachine;
+}
+
+Oid Kernel::enter_partition(PartitionId p, std::uint32_t index,
+                            std::function<void()> main, std::string name) {
+  const auto& nodes = partitions_.at(p);
+  const Oid oid =
+      create_process(nodes[index % nodes.size()], std::move(main),
+                     std::move(name));
+  proc(oid).partition_ = p;
+  return oid;
+}
+
+Oid Kernel::create_process(sim::NodeId node, std::function<void()> main,
+                           std::string name, std::uint32_t max_segments) {
+  // Partition fence: a process inside a virtual machine may only create
+  // processes on that machine's nodes.
+  PartitionId inherited = kWholeMachine;
+  if (on_process()) {
+    inherited = self().partition_;
+    if (inherited != kWholeMachine) {
+      const auto& nodes = partitions_[inherited];
+      if (std::find(nodes.begin(), nodes.end(), node) == nodes.end())
+        throw ThrowSignal{kThrowBadObject, node};
+    }
+  }
+  const std::uint32_t block = sar_block_for(max_segments);
+  if (sars_free_[node] < block) throw ThrowSignal{kThrowNoSars, node};
+  sars_free_[node] -= block;
+
+  // Creation cost: local work plus a serialized pass over the global
+  // process-template resource.  The serial section is a time-domain
+  // resource: concurrent creators queue behind one another.
+  if (sim::Fiber::current() != nullptr) {
+    const auto& cfg = m_.config();
+    m_.charge(cfg.proc_create_local_ns);
+    const sim::Time start = std::max(m_.now(), template_busy_until_);
+    template_busy_until_ = start + cfg.proc_create_serial_ns;
+    m_.charge(template_busy_until_ - m_.now());
+  }
+
+  auto pp = std::make_unique<Process>();
+  Process* p = pp.get();
+  // A live process holds a reference to itself: it is not reclaimed when
+  // its creator is deleted (only its exit releases it).
+  const Oid oid = new_object(ObjKind::kProcess, kNoObject);
+  p->oid_ = oid;
+  p->node_ = node;
+  p->partition_ = inherited;
+  p->name_ = name.empty() ? "proc" + std::to_string(oid) : std::move(name);
+  p->sar_block_ = block;
+  p->segments_.assign(std::min(block, m_.config().max_segments_per_process),
+                      kNoObject);
+  p->state_ = Process::State::kReady;
+
+  p->fiber_ = m_.spawn_parked(node, [this, p, body = std::move(main)] {
+    // Top-level fault barrier: an uncaught throw terminates the process,
+    // as when Chrysalis unwinds to the outermost handler.
+    try {
+      body();
+    } catch (const ThrowSignal&) {
+      p->faulted_ = true;
+    }
+    exit_self();
+  });
+  p->fiber_->set_name(p->name_);
+  by_fiber_[p->fiber_] = p;
+  rec(oid).u = std::move(pp);
+  ++live_processes_;
+  make_ready(*p);
+  return oid;
+}
+
+std::vector<Kernel::BlockedInfo> Kernel::blocked_processes() const {
+  std::vector<BlockedInfo> out;
+  for (const auto& [oid, r] : objects_) {
+    if (r.kind != ObjKind::kProcess) continue;
+    const Process& p = *std::get<std::unique_ptr<Process>>(r.u);
+    if (p.state() == Process::State::kBlocked)
+      out.push_back(BlockedInfo{p.name(), oid, p.waiting_on()});
+  }
+  return out;
+}
+
+Process& Kernel::self() {
+  sim::Fiber* f = sim::Fiber::current();
+  auto it = by_fiber_.find(f);
+  if (f == nullptr || it == by_fiber_.end())
+    throw sim::SimError("self(): not called from a Chrysalis process");
+  return *it->second;
+}
+
+bool Kernel::on_process() const {
+  sim::Fiber* f = sim::Fiber::current();
+  return f != nullptr && by_fiber_.count(f) > 0;
+}
+
+void Kernel::make_ready(Process& p) {
+  if (p.state_ == Process::State::kRunning) {
+    // The target is on its CPU, part-way through deciding to block (e.g.
+    // inside the context-switch charge of block_self).  Flag the wakeup so
+    // the block is cancelled instead of lost.
+    p.wakeup_pending_ = true;
+    return;
+  }
+  p.state_ = Process::State::kReady;
+  NodeSched& ns = sched_[p.node_];
+  if (ns.current == nullptr) {
+    ns.current = &p;
+    p.state_ = Process::State::kRunning;
+    p.wakeup_pending_ = false;
+    m_.wakeup(p.fiber_);
+  } else {
+    ns.ready.push_back(&p);
+  }
+}
+
+void Kernel::dispatch_next(sim::NodeId node) {
+  NodeSched& ns = sched_[node];
+  if (ns.ready.empty()) {
+    ns.current = nullptr;
+    return;
+  }
+  ns.current = ns.ready.front();
+  ns.ready.pop_front();
+  ns.current->state_ = Process::State::kRunning;
+  ns.current->wakeup_pending_ = false;
+  m_.wakeup(ns.current->fiber_);
+}
+
+void Kernel::block_self() {
+  Process& p = self();
+  assert(sched_[p.node_].current == &p);
+  m_.charge(m_.config().proc_switch_ns);
+  if (p.wakeup_pending_) {
+    // A post raced with our decision to block: stay on the CPU.
+    p.wakeup_pending_ = false;
+    return;
+  }
+  p.state_ = Process::State::kBlocked;
+  dispatch_next(p.node_);
+  m_.park();
+  // Resumed: make_ready set us Running and installed us as current.
+}
+
+void Kernel::exit_self() {
+  Process& p = self();
+  p.state_ = Process::State::kExited;
+  by_fiber_.erase(p.fiber_);
+  --live_processes_;
+  // SARs return to the node at exit.
+  sars_free_[p.node_] += p.sar_block_;
+  p.sar_block_ = 0;
+  // Reclaim subsidiary objects (ownership hierarchy).
+  std::vector<Oid> kids = rec(p.oid()).children;
+  for (Oid k : kids) delete_object(k);
+  // System-owned objects this process created are now unreachable garbage:
+  // nothing will ever reclaim them.  "Chrysalis tends to leak storage."
+  for (auto& [oid, r] : objects_) {
+    (void)oid;
+    if (r.system_owned && r.creator == p.oid() &&
+        r.kind == ObjKind::kMemoryObject) {
+      leaked_bytes_ += std::get<MemObj>(r.u).size;
+      r.creator = kNoObject;  // count once
+    }
+  }
+  dispatch_next(p.node_);
+  // Fall off: the fiber body returns and the fiber finishes.
+}
+
+void Kernel::yield() {
+  Process& p = self();
+  NodeSched& ns = sched_[p.node_];
+  if (ns.ready.empty()) return;  // nothing else to run
+  m_.charge(m_.config().proc_switch_ns);
+  p.state_ = Process::State::kReady;
+  ns.ready.push_back(&p);
+  dispatch_next(p.node_);
+  m_.park();
+}
+
+void Kernel::delay(sim::Time ns) {
+  // A real delay releases the CPU: other ready processes run meanwhile.
+  Process& p = self();
+  NodeSched& sc = sched_[p.node_];
+  if (sc.ready.empty()) {
+    m_.charge(ns);
+    return;
+  }
+  const sim::Time wake_at = m_.now() + ns;
+  p.state_ = Process::State::kBlocked;
+  dispatch_next(p.node_);
+  // Self-wakeup via a timer event; make_ready handles CPU availability.
+  m_.engine().post_at(wake_at, [this, pp = &p] {
+    if (pp->state_ == Process::State::kBlocked) make_ready(*pp);
+  });
+  m_.park();
+}
+
+// --- Events ------------------------------------------------------------------------
+
+Oid Kernel::make_event(Oid owner_process) {
+  if (owner_process == kNoObject && on_process()) owner_process = self().oid();
+  const Oid oid = new_object(ObjKind::kEvent, owner_process);
+  EventObj e;
+  e.owner = owner_process;
+  rec(oid).u = e;
+  charge_if_on_fiber(50 * sim::kMicrosecond);
+  return oid;
+}
+
+void Kernel::event_post(Oid ev, std::uint32_t datum) {
+  charge_if_on_fiber(m_.config().event_post_ns);
+  EventObj& e = std::get<EventObj>(rec(ev).u);
+  if (e.waiting) {
+    e.waiting = false;
+    Process& owner = proc(e.owner);
+    owner.wait_datum_ = datum;
+    owner.waiting_on_ = kNoObject;
+    make_ready(owner);
+  } else {
+    e.pending = true;  // a second post overwrites: binary semantics
+    e.datum = datum;
+  }
+}
+
+std::uint32_t Kernel::event_wait(Oid ev) {
+  Process& p = self();
+  m_.charge(m_.config().event_wait_ns);
+  EventObj& e = std::get<EventObj>(rec(ev).u);
+  if (e.owner != p.oid()) throw ThrowSignal{kThrowNotOwner, ev};
+  if (e.pending) {
+    e.pending = false;
+    return e.datum;
+  }
+  e.waiting = true;
+  p.waiting_on_ = ev;
+  block_self();
+  return p.wait_datum_;
+}
+
+bool Kernel::event_pending(Oid ev) const {
+  return std::get<EventObj>(rec(ev).u).pending;
+}
+
+// --- Dual queues ---------------------------------------------------------------------
+
+Oid Kernel::make_dual_queue(std::size_t capacity) {
+  const Oid owner = on_process() ? self().oid() : kNoObject;
+  const Oid oid = new_object(ObjKind::kDualQueue, owner);
+  DualQueueObj q;
+  q.capacity = capacity;
+  rec(oid).u = std::move(q);
+  charge_if_on_fiber(50 * sim::kMicrosecond);
+  return oid;
+}
+
+void Kernel::dq_enqueue(Oid dq, std::uint32_t datum) {
+  charge_if_on_fiber(m_.config().dq_enqueue_ns);
+  DualQueueObj& q = std::get<DualQueueObj>(rec(dq).u);
+  if (!q.waiters.empty()) {
+    Process& w = proc(q.waiters.front());
+    q.waiters.pop_front();
+    w.wait_datum_ = datum;
+    w.waiting_on_ = kNoObject;
+    make_ready(w);
+    return;
+  }
+  if (q.capacity != 0 && q.data.size() >= q.capacity)
+    throw ThrowSignal{kThrowQueueFull, dq};
+  q.data.push_back(datum);
+}
+
+std::uint32_t Kernel::dq_dequeue(Oid dq) {
+  Process& p = self();
+  m_.charge(m_.config().dq_dequeue_ns);
+  DualQueueObj& q = std::get<DualQueueObj>(rec(dq).u);
+  if (!q.data.empty()) {
+    const std::uint32_t v = q.data.front();
+    q.data.pop_front();
+    return v;
+  }
+  q.waiters.push_back(p.oid());
+  p.waiting_on_ = dq;
+  block_self();
+  return p.wait_datum_;
+}
+
+bool Kernel::dq_try_dequeue(Oid dq, std::uint32_t* out) {
+  charge_if_on_fiber(m_.config().dq_dequeue_ns);
+  DualQueueObj& q = std::get<DualQueueObj>(rec(dq).u);
+  if (q.data.empty()) return false;
+  *out = q.data.front();
+  q.data.pop_front();
+  return true;
+}
+
+std::size_t Kernel::dq_depth(Oid dq) const {
+  return std::get<DualQueueObj>(rec(dq).u).data.size();
+}
+
+// --- Catch / throw ------------------------------------------------------------------
+
+int Kernel::catch_block(const std::function<void()>& body,
+                        std::uint32_t* datum_out) {
+  charge_if_on_fiber(m_.config().catch_enter_ns);
+  int code = kThrowNone;
+  try {
+    body();
+  } catch (const ThrowSignal& t) {
+    code = t.code;
+    if (datum_out) *datum_out = t.datum;
+  }
+  charge_if_on_fiber(m_.config().catch_leave_ns);
+  return code;
+}
+
+void Kernel::throw_err(int code, std::uint32_t datum) {
+  throw ThrowSignal{code, datum};
+}
+
+}  // namespace bfly::chrys

@@ -1,0 +1,292 @@
+// The Chrysalis operating system (Section 2.2 of the paper), rebuilt on the
+// simulated Butterfly.
+//
+// Chrysalis is a protected subroutine library: processes are heavyweight,
+// bound to one node, scheduled non-preemptively per node; memory objects
+// come in 16 standard sizes and are mapped into a process's segmented
+// address space through SARs (a scarce per-node resource handed out in
+// buddy-system blocks); events and dual queues are microcoded
+// synchronization primitives costing tens of microseconds; catch/throw is
+// the exception mechanism (~70 us per protected block).  The object model
+// is a uniform ownership hierarchy with reference-counted reclamation — and
+// the "give it to the system" escape hatch that makes Chrysalis leak
+// storage, which we model observably.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "chrysalis/types.hpp"
+#include "sim/machine.hpp"
+
+namespace bfly::chrys {
+
+class Kernel;
+
+/// Thrown by Kernel::throw_err and caught by Kernel::catch_block — the
+/// MacLISP-style catch/throw of Chrysalis.
+struct ThrowSignal {
+  int code;
+  std::uint32_t datum;
+};
+
+/// A Chrysalis process: a heavyweight entity with its own segmented address
+/// space, bound to one node for its whole life (processes do not migrate).
+class Process {
+ public:
+  enum class State { kReady, kRunning, kBlocked, kExited };
+
+  Oid oid() const { return oid_; }
+  sim::NodeId node() const { return node_; }
+  State state() const { return state_; }
+  bool faulted() const { return faulted_; }
+  const std::string& name() const { return name_; }
+
+  /// Number of segment slots (SARs) this process owns.
+  std::uint32_t sar_block() const { return sar_block_; }
+  /// While blocked: the event or dual queue this process is waiting on
+  /// (kNoObject otherwise).  Moviola uses this for its deadlock view.
+  Oid waiting_on() const { return waiting_on_; }
+  /// Segments currently mapped.
+  std::uint32_t mapped_segments() const;
+
+ private:
+  friend class Kernel;
+  Oid oid_ = kNoObject;
+  sim::NodeId node_ = 0;
+  State state_ = State::kReady;
+  bool faulted_ = false;
+  std::string name_;
+  sim::Fiber* fiber_ = nullptr;
+  bool wakeup_pending_ = false;  // post arrived while deciding to block
+  std::uint32_t partition_ = 0xffffffffu;  // kWholeMachine
+  std::uint32_t sar_block_ = 0;
+  std::vector<Oid> segments_;      // segment index -> memory object (or 0)
+  std::uint32_t wait_datum_ = 0;   // datum delivered by event/dq post
+  Oid waiting_on_ = kNoObject;     // object this process is blocked on
+};
+
+class Kernel {
+ public:
+  explicit Kernel(sim::Machine& m);
+  ~Kernel();
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  sim::Machine& machine() { return m_; }
+  sim::Time now() const { return m_.now(); }
+
+  // --- Processes -------------------------------------------------------------
+
+  /// Create a process on `node` whose body is `main`.  `max_segments` sizes
+  /// the SAR block (rounded up to 8/16/32/64/128/256).  Charged to the
+  /// calling process: milliseconds of local work plus a serialized critical
+  /// section on the global process-template resource — the serialization
+  /// the Crowd Control package exists to mitigate.
+  Oid create_process(sim::NodeId node, std::function<void()> main,
+                     std::string name = {}, std::uint32_t max_segments = 32);
+
+  /// The process running on the calling fiber.
+  Process& self();
+  bool on_process() const;
+
+  /// Voluntarily give up the CPU to another ready process on this node.
+  void yield();
+  /// Block the calling process for `ns` of simulated time (CPU released).
+  void delay(sim::Time ns);
+
+  /// Number of processes that have not exited.
+  std::size_t live_processes() const { return live_processes_; }
+  /// Snapshot of blocked processes: (name, oid, object waited on).
+  struct BlockedInfo {
+    std::string name;
+    Oid process;
+    Oid waiting_on;
+  };
+  std::vector<BlockedInfo> blocked_processes() const;
+
+  // --- Software partitioning (Section 3.3: "a local facility for software
+  // partitioning (to subdivide a Butterfly into smaller virtual machines)
+  // was brought up prior to the release of the BBN version") -----------------
+
+  using PartitionId = std::uint32_t;
+  static constexpr PartitionId kWholeMachine = 0xffffffffu;
+
+  /// Carve a virtual machine out of the given nodes.  A process created
+  /// inside a partition may only create processes on that partition's
+  /// nodes (ThrowSignal{kThrowBadObject} otherwise) — the fences between
+  /// users sharing one Butterfly.
+  PartitionId create_partition(std::vector<sim::NodeId> nodes);
+  const std::vector<sim::NodeId>& partition_nodes(PartitionId p) const;
+  /// Create the root process of a partition on its index-th node.
+  Oid enter_partition(PartitionId p, std::uint32_t index,
+                      std::function<void()> main, std::string name = {});
+  /// Partition of the calling process (kWholeMachine outside any).
+  PartitionId current_partition();
+  /// SARs still unallocated on a node.
+  std::uint32_t free_sars(sim::NodeId node) const { return sars_free_[node]; }
+
+  // --- Memory objects ---------------------------------------------------------
+
+  /// Allocate a memory object of at least `bytes` on `node`.  Rounded up to
+  /// one of the 16 standard sizes; the fragment at the end is inaccessible
+  /// (tracked in wasted_bytes()).  Owned by the calling process (or the
+  /// system when called off-process).
+  Oid make_memory_object(sim::NodeId node, std::size_t bytes);
+
+  /// The physical base/size of a memory object (for layers that bypass the
+  /// segmented address space, as tuned Butterfly code did via the PNC).
+  sim::PhysAddr memobj_base(Oid mo) const;
+  std::size_t memobj_size(Oid mo) const;
+  sim::NodeId memobj_node(Oid mo) const;
+
+  // --- Object model ------------------------------------------------------------
+
+  /// Delete an object; subsidiary objects (children in the ownership
+  /// hierarchy) are reclaimed recursively.
+  void delete_object(Oid oid);
+  /// Transfer ownership to "the system": the object will survive its
+  /// creator's deletion.  This is how Chrysalis programs leak storage.
+  void give_to_system(Oid oid);
+  bool object_alive(Oid oid) const;
+  ObjKind object_kind(Oid oid) const;
+
+  /// Bytes held by live memory objects.
+  std::size_t live_bytes() const { return live_bytes_; }
+  /// Bytes lost to standard-size rounding.
+  std::size_t wasted_bytes() const { return wasted_bytes_; }
+  /// Bytes in system-owned memory objects whose creating process has exited:
+  /// storage nothing will ever reclaim.
+  std::size_t leaked_bytes() const { return leaked_bytes_; }
+
+  // --- Address space (SAR management) ------------------------------------------
+
+  /// Map a memory object into the calling process's address space; returns
+  /// the segment number.  Costs over 1 ms (Section 2.1).
+  std::uint32_t map_object(Oid mo);
+  void unmap_segment(std::uint32_t segment);
+  /// Which memory object a segment of the calling process maps (kNoObject
+  /// when unmapped).
+  Oid segment_object(std::uint32_t segment);
+
+  /// Timed virtual-memory access through the calling process's segments.
+  template <typename T>
+  T vread(VirtAddr va) {
+    return m_.read<T>(translate(va, sizeof(T)));
+  }
+  template <typename T>
+  void vwrite(VirtAddr va, T v) {
+    m_.write<T>(translate(va, sizeof(T)), v);
+  }
+  std::uint32_t v_fetch_add(VirtAddr va, std::uint32_t delta) {
+    return m_.fetch_add_u32(translate(va, 4), delta);
+  }
+  std::uint32_t v_test_and_set(VirtAddr va) {
+    return m_.test_and_set(translate(va, 4));
+  }
+
+  /// Translate a virtual address in the calling process; throws
+  /// ThrowSignal{kThrowSegmentFault} on unmapped segment / bad offset.
+  sim::PhysAddr translate(VirtAddr va, std::size_t bytes);
+
+  // --- Events -------------------------------------------------------------------
+
+  /// An event is a binary semaphore on which only `owner` can wait.
+  Oid make_event(Oid owner_process = kNoObject);
+  /// Post with a 32-bit datum.  A second post before the wait overwrites
+  /// the first (binary semantics).
+  void event_post(Oid ev, std::uint32_t datum = 0);
+  /// Wait (owner only); returns the posted datum.
+  std::uint32_t event_wait(Oid ev);
+  bool event_pending(Oid ev) const;
+
+  // --- Dual queues ----------------------------------------------------------------
+
+  /// A dual queue holds either data from posts or waiting processes, never
+  /// both.  capacity 0 = unbounded.
+  Oid make_dual_queue(std::size_t capacity = 0);
+  void dq_enqueue(Oid dq, std::uint32_t datum);
+  std::uint32_t dq_dequeue(Oid dq);
+  bool dq_try_dequeue(Oid dq, std::uint32_t* out);
+  std::size_t dq_depth(Oid dq) const;
+
+  // --- Catch / throw ---------------------------------------------------------------
+
+  /// Run `body` in a protected block.  Returns 0 on normal completion or
+  /// the thrown code.  Entering and leaving costs ~70 us total, which is
+  /// why tuned programs keep catch blocks off their critical path.
+  int catch_block(const std::function<void()>& body,
+                  std::uint32_t* datum_out = nullptr);
+  [[noreturn]] void throw_err(int code, std::uint32_t datum = 0);
+
+ private:
+  struct EventObj {
+    Oid owner = kNoObject;
+    bool pending = false;
+    bool waiting = false;
+    std::uint32_t datum = 0;
+  };
+  struct DualQueueObj {
+    std::size_t capacity = 0;
+    std::deque<std::uint32_t> data;
+    std::deque<Oid> waiters;
+  };
+  struct MemObj {
+    sim::PhysAddr base;
+    std::size_t size = 0;       // standard (rounded) size
+    std::size_t requested = 0;  // what the caller asked for
+  };
+  struct ObjRec {
+    ObjKind kind;
+    Oid owner = kNoObject;       // owning object
+    Oid creator = kNoObject;     // process that created it (leak accounting)
+    bool system_owned = false;
+    std::vector<Oid> children;
+    std::variant<std::monostate, EventObj, DualQueueObj, MemObj,
+                 std::unique_ptr<Process>>
+        u;
+  };
+  struct NodeSched {
+    Process* current = nullptr;
+    std::deque<Process*> ready;
+  };
+
+  ObjRec& rec(Oid oid);
+  const ObjRec& rec(Oid oid) const;
+  Process& proc(Oid oid);
+  Oid new_object(ObjKind kind, Oid owner);
+  void adopt(Oid parent, Oid child);
+  void orphan(Oid child);
+
+  void make_ready(Process& p);
+  void dispatch_next(sim::NodeId node);
+  /// Block the calling process; returns when made ready and dispatched.
+  void block_self();
+  void exit_self();
+  void charge_if_on_fiber(sim::Time ns);
+
+  static std::size_t standard_size(std::size_t bytes);
+  static std::uint32_t sar_block_for(std::uint32_t max_segments);
+
+  sim::Machine& m_;
+  std::unordered_map<Oid, ObjRec> objects_;
+  Oid next_oid_ = 1;
+  std::unordered_map<sim::Fiber*, Process*> by_fiber_;
+  std::vector<NodeSched> sched_;
+  std::vector<std::uint32_t> sars_free_;
+  sim::Time template_busy_until_ = 0;  // serialized process-template resource
+  std::vector<std::vector<sim::NodeId>> partitions_;
+  std::size_t live_processes_ = 0;
+  std::size_t live_bytes_ = 0;
+  std::size_t wasted_bytes_ = 0;
+  std::size_t leaked_bytes_ = 0;
+};
+
+}  // namespace bfly::chrys

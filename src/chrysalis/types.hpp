@@ -1,0 +1,61 @@
+// Basic identifiers for the Chrysalis object model.
+//
+// All Chrysalis abstractions — processes, memory objects, events, dual
+// queues — are objects named by a machine-global Oid.  As on the real
+// system, names are easy to guess (they are sequential), and any process
+// can operate on any object it can name: the protection loophole the paper
+// calls out in Section 2.2 is faithfully present.
+#pragma once
+
+#include <cstdint>
+
+namespace bfly::chrys {
+
+using Oid = std::uint32_t;
+
+inline constexpr Oid kNoObject = 0;
+
+enum class ObjKind : std::uint8_t {
+  kProcess,
+  kMemoryObject,
+  kEvent,
+  kDualQueue,
+};
+
+/// A process virtual address: 8-bit segment number, 16-bit offset.
+/// A process can address at most 256 segments of at most 64 KB each —
+/// the 16 MB ceiling the paper complains about.
+struct VirtAddr {
+  std::uint32_t raw = 0;
+
+  VirtAddr() = default;
+  VirtAddr(std::uint32_t segment, std::uint32_t offset)
+      : raw((segment << 16) | (offset & 0xffffu)) {}
+
+  std::uint32_t segment() const { return (raw >> 16) & 0xffu; }
+  std::uint32_t offset() const { return raw & 0xffffu; }
+
+  VirtAddr plus(std::uint32_t delta) const {
+    VirtAddr v;
+    v.raw = raw + delta;
+    return v;
+  }
+  bool operator==(const VirtAddr&) const = default;
+};
+
+/// Error codes carried by the Chrysalis catch/throw mechanism.
+enum ThrowCode : int {
+  kThrowNone = 0,
+  kThrowBadObject = 1,
+  kThrowNotOwner = 2,
+  kThrowNoSars = 3,
+  kThrowAddressSpaceFull = 4,
+  kThrowSegmentFault = 5,
+  kThrowQueueFull = 6,
+  kThrowOutOfMemory = 7,
+  kThrowNotConnected = 8,    ///< SMP: destination not in the family topology
+  kThrowReplayDiverged = 9,  ///< Instant Replay: execution left the log
+  kThrowUser = 100,          ///< first code available to applications
+};
+
+}  // namespace bfly::chrys

@@ -1,0 +1,70 @@
+#include "crowd/crowd.hpp"
+
+#include <string>
+
+namespace bfly::crowd {
+
+namespace {
+
+struct Ctx {
+  chrys::Kernel& k;
+  std::uint32_t n;
+  std::function<void(std::uint32_t)> fn;
+  CrowdOptions opt;
+  chrys::Oid done_dq;
+};
+
+void start_worker(Ctx& ctx, std::uint32_t w);
+
+void worker_body(Ctx& ctx, std::uint32_t w) {
+  // Create the subtree first, so creation proceeds in parallel...
+  for (std::uint32_t c = ctx.opt.fanout * w + 1;
+       c <= ctx.opt.fanout * w + ctx.opt.fanout && c < ctx.n; ++c)
+    start_worker(ctx, c);
+  // ...then do this worker's own share.
+  ctx.fn(w);
+  ctx.k.dq_enqueue(ctx.done_dq, w);
+}
+
+void start_worker(Ctx& ctx, std::uint32_t w) {
+  const sim::NodeId node =
+      (ctx.opt.base_node + w) % ctx.k.machine().nodes();
+  ctx.k.create_process(node, [&ctx, w] { worker_body(ctx, w); },
+                       "crowd-" + std::to_string(w));
+}
+
+}  // namespace
+
+sim::Time spread(chrys::Kernel& k, std::uint32_t n,
+                 std::function<void(std::uint32_t)> fn, CrowdOptions opt) {
+  if (n == 0) return 0;
+  const sim::Time t0 = k.now();
+  Ctx ctx{k, n, std::move(fn), opt, k.make_dual_queue()};
+  start_worker(ctx, 0);
+  for (std::uint32_t i = 0; i < n; ++i) (void)k.dq_dequeue(ctx.done_dq);
+  k.delete_object(ctx.done_dq);
+  return k.now() - t0;
+}
+
+sim::Time spread_serial(chrys::Kernel& k, std::uint32_t n,
+                        std::function<void(std::uint32_t)> fn,
+                        CrowdOptions opt) {
+  if (n == 0) return 0;
+  const sim::Time t0 = k.now();
+  const chrys::Oid done = k.make_dual_queue();
+  for (std::uint32_t w = 0; w < n; ++w) {
+    const sim::NodeId node = (opt.base_node + w) % k.machine().nodes();
+    k.create_process(
+        node,
+        [&fn, &k, done, w] {
+          fn(w);
+          k.dq_enqueue(done, w);
+        },
+        "serial-" + std::to_string(w));
+  }
+  for (std::uint32_t i = 0; i < n; ++i) (void)k.dq_dequeue(done);
+  k.delete_object(done);
+  return k.now() - t0;
+}
+
+}  // namespace bfly::crowd

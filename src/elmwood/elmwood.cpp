@@ -1,0 +1,124 @@
+#include "elmwood/elmwood.hpp"
+
+namespace bfly::elmwood {
+
+namespace {
+constexpr std::uint32_t kStop = 0xffffffffu;
+constexpr sim::Time kInvokeOverhead = 150 * sim::kMicrosecond;
+constexpr sim::Time kDispatch = 100 * sim::kMicrosecond;
+}  // namespace
+
+Elmwood::Elmwood(chrys::Kernel& k) : k_(k), m_(k.machine()) {}
+
+Elmwood::~Elmwood() = default;
+
+Capability Elmwood::create_object(sim::NodeId node, std::string name) {
+  auto obj = std::make_unique<Object>();
+  obj->name = std::move(name);
+  obj->node = node;
+  obj->cap = Capability{next_cap_++};
+  obj->queue = k_.make_dual_queue();
+  if (k_.on_process()) k_.give_to_system(obj->queue);
+  const auto index = static_cast<std::uint32_t>(objects_.size());
+  by_cap_[obj->cap.bits] = index;
+  Object* op = obj.get();
+  objects_.push_back(std::move(obj));
+  k_.create_process(node, [this, index] { server_loop(index); },
+                    "elm-" + op->name);
+  return op->cap;
+}
+
+Elmwood::Object& Elmwood::object_of(Capability cap) {
+  auto it = by_cap_.find(cap.bits);
+  if (it == by_cap_.end())
+    throw chrys::ThrowSignal{chrys::kThrowBadObject,
+                             static_cast<std::uint32_t>(cap.bits)};
+  return *objects_[it->second];
+}
+
+void Elmwood::add_entry(Capability obj, std::string entry, Entry fn,
+                        bool reentrant) {
+  object_of(obj).entries[std::move(entry)] = EntryRec{std::move(fn), reentrant};
+}
+
+std::uint64_t Elmwood::invoke(Capability obj, const std::string& entry,
+                              std::uint64_t arg) {
+  return do_invoke(obj, entry, arg);
+}
+
+std::uint64_t Invocation::invoke(Capability target, const std::string& entry,
+                                 std::uint64_t arg) {
+  return os_.do_invoke(target, entry, arg);
+}
+
+std::uint64_t Elmwood::do_invoke(Capability cap, const std::string& entry,
+                                 std::uint64_t arg) {
+  Object& obj = object_of(cap);
+  m_.charge(kInvokeOverhead);
+  Call c;
+  c.obj = by_cap_[cap.bits];
+  c.entry = entry;
+  c.arg = arg;
+  c.waiter = k_.self().oid();
+  c.done = k_.make_event();
+  std::uint32_t id;
+  if (!call_free_.empty()) {
+    id = call_free_.back();
+    call_free_.pop_back();
+    calls_[id] = std::move(c);
+  } else {
+    calls_.push_back(std::move(c));
+    id = static_cast<std::uint32_t>(calls_.size() - 1);
+  }
+  k_.dq_enqueue(obj.queue, id);
+  (void)k_.event_wait(calls_[id].done);
+  const bool failed = calls_[id].failed;
+  const std::uint64_t result = calls_[id].result;
+  k_.delete_object(calls_[id].done);
+  call_free_.push_back(id);
+  ++invocations_;
+  if (failed)
+    throw chrys::ThrowSignal{chrys::kThrowBadObject, id};
+  return result;
+}
+
+void Elmwood::server_loop(std::uint32_t index) {
+  Object& obj = *objects_[index];
+  while (true) {
+    const std::uint32_t id = k_.dq_dequeue(obj.queue);
+    if (id == kStop) break;
+    Call& c = calls_[id];
+    m_.charge(kDispatch);
+    auto it = obj.entries.find(c.entry);
+    if (it == obj.entries.end()) {
+      c.failed = true;
+      k_.event_post(c.done, id);
+      continue;
+    }
+    if (it->second.reentrant) {
+      // A reentrant entry gets its own process: the monitor is not held.
+      EntryRec* er = &it->second;  // stable: entries are never erased
+      k_.create_process(obj.node, [this, &obj, id, er] {
+        Call& cc = calls_[id];
+        Invocation inv(*this, obj.node);
+        cc.result = er->fn(inv, cc.arg);
+        k_.event_post(cc.done, id);
+      });
+    } else {
+      // Monitor semantics: the entry runs in the server itself, so entries
+      // on this object are mutually exclusive (and a nested invocation
+      // holds the monitor — cycles deadlock, as on the real system).
+      Invocation inv(*this, obj.node);
+      c.result = it->second.fn(inv, c.arg);
+      k_.event_post(c.done, id);
+    }
+  }
+}
+
+void Elmwood::shutdown() {
+  if (shut_) return;
+  shut_ = true;
+  for (auto& obj : objects_) k_.dq_enqueue(obj->queue, kStop);
+}
+
+}  // namespace bfly::elmwood

@@ -1,0 +1,119 @@
+// Elmwood — an object-oriented multiprocessor operating system
+// (Mellor-Crummey, LeBlanc, Crowl, Gafter & Dibble, SP&E; Section 3.4).
+//
+// Elmwood was "a fully-functional RPC-based multiprocessor operating
+// system constructed as a class project in only a semester and a half".
+// Its model: everything is an object; an object exports entry procedures;
+// computation happens by invoking an entry on an object, which runs as a
+// new lightweight invocation inside the object's monitor — entries on the
+// same object are mutually exclusive unless declared reentrant, while
+// invocations on different objects run in parallel.  Capabilities name
+// objects; holding one is the right to invoke.
+//
+// This library rebuilds that model on Chrysalis: objects are placed on
+// nodes, each with a server process and an invocation queue; cross-object
+// calls are synchronous RPC with the caller's invocation suspended.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chrysalis/kernel.hpp"
+
+namespace bfly::elmwood {
+
+class Elmwood;
+class Invocation;
+
+/// A capability: the unforgeable right to invoke entries on one object.
+struct Capability {
+  std::uint64_t bits = 0;
+  bool valid() const { return bits != 0; }
+  bool operator==(const Capability&) const = default;
+};
+
+/// Entry procedure: receives the invocation context (for nested calls) and
+/// a 64-bit argument; returns a 64-bit result.
+using Entry = std::function<std::uint64_t(Invocation&, std::uint64_t)>;
+
+/// Context handed to a running entry; lets it invoke other objects.
+class Invocation {
+ public:
+  /// Synchronous nested invocation on another object (by capability).
+  std::uint64_t invoke(Capability target, const std::string& entry,
+                       std::uint64_t arg);
+  sim::NodeId node() const { return node_; }
+
+ private:
+  friend class Elmwood;
+  Invocation(Elmwood& os, sim::NodeId node) : os_(os), node_(node) {}
+  Elmwood& os_;
+  sim::NodeId node_;
+};
+
+class Elmwood {
+ public:
+  explicit Elmwood(chrys::Kernel& k);
+  ~Elmwood();
+
+  /// Create an object on `node`; returns its capability.
+  Capability create_object(sim::NodeId node, std::string name);
+  /// Add an entry procedure.  Entries on one object are mutually exclusive
+  /// (the object is a monitor) unless `reentrant`.
+  void add_entry(Capability obj, std::string entry, Entry fn,
+                 bool reentrant = false);
+
+  /// Invoke from outside any object (e.g. from a plain Chrysalis process).
+  std::uint64_t invoke(Capability obj, const std::string& entry,
+                       std::uint64_t arg);
+
+  /// Stop all object servers (drains queued invocations first).
+  void shutdown();
+
+  std::uint64_t invocations() const { return invocations_; }
+
+ private:
+  friend class Invocation;
+  struct EntryRec {
+    Entry fn;
+    bool reentrant = false;
+  };
+  struct Object {
+    std::string name;
+    sim::NodeId node = 0;
+    Capability cap;
+    std::unordered_map<std::string, EntryRec> entries;
+    chrys::Oid queue = chrys::kNoObject;  // invocation requests
+  };
+  struct Call {
+    std::uint32_t obj = 0;
+    std::string entry;
+    std::uint64_t arg = 0;
+    std::uint64_t result = 0;
+    bool failed = false;
+    chrys::Oid done = chrys::kNoObject;  // event to post on completion
+    chrys::Oid waiter = chrys::kNoObject;
+  };
+
+  std::uint64_t do_invoke(Capability obj, const std::string& entry,
+                          std::uint64_t arg);
+  void server_loop(std::uint32_t index);
+  Object& object_of(Capability cap);
+
+  chrys::Kernel& k_;
+  sim::Machine& m_;
+  std::vector<std::unique_ptr<Object>> objects_;
+  std::unordered_map<std::uint64_t, std::uint32_t> by_cap_;
+  std::deque<Call> calls_;
+  std::vector<std::uint32_t> call_free_;
+  std::uint64_t next_cap_ = 0xe100000000000001ull;
+  std::uint64_t invocations_ = 0;
+  bool shut_ = false;
+};
+
+}  // namespace bfly::elmwood

@@ -1,0 +1,74 @@
+// Modula-2 style coroutines (Olson, BPR 4; Section 3.2).
+//
+// Rochester's second Butterfly language was Modula-2, whose SYSTEM module
+// exposes NEWPROCESS/TRANSFER: explicit coroutine creation and control
+// transfer inside one (Chrysalis) process.  The paper: packages "such as
+// Ant Farm ... in which the fine-grain pseudo-parallelism of coroutines
+// plays a central role", and SMP for Modula-2 "provides a model of true
+// parallelism with heavyweight processes and messages that nicely
+// complements the built-in model of pseudo-parallelism with coroutines and
+// shared memory".
+//
+// Unlike Ant Farm's scheduled threads, control transfer here is fully
+// explicit: transfer(c) suspends the caller and resumes c, exactly like
+// Modula-2's TRANSFER.  Everything stays inside the creating process — a
+// transfer is pure pseudo-parallelism, a few tens of 68000 microseconds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "chrysalis/kernel.hpp"
+
+namespace bfly::m2 {
+
+class CoroutineSystem;
+
+class Coroutine {
+ public:
+  bool finished() const { return finished_; }
+  std::uint32_t id() const { return id_; }
+
+ private:
+  friend class CoroutineSystem;
+  std::uint32_t id_ = 0;
+  sim::Fiber* fiber_ = nullptr;
+  std::function<void()> body;
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+/// One per Chrysalis process; create it on the process's stack.  The
+/// process's own thread of control is coroutine 0 ("main").
+class CoroutineSystem {
+ public:
+  explicit CoroutineSystem(chrys::Kernel& k);
+  ~CoroutineSystem();
+
+  /// NEWPROCESS: create a coroutine (suspended until transferred to).
+  Coroutine* new_coroutine(std::function<void()> body);
+
+  /// TRANSFER: suspend the caller, resume `to`.  Transferring to a
+  /// finished coroutine throws.  When a coroutine's body returns, control
+  /// goes back to main.
+  void transfer(Coroutine* to);
+
+  /// The currently executing coroutine (main() when none).
+  Coroutine* current() { return current_; }
+  Coroutine* main() { return &main_; }
+
+  std::uint64_t transfers() const { return transfers_; }
+
+ private:
+  chrys::Kernel& k_;
+  sim::Machine& m_;
+  sim::NodeId node_;
+  Coroutine main_;
+  std::vector<std::unique_ptr<Coroutine>> coros_;
+  Coroutine* current_ = nullptr;
+  std::uint64_t transfers_ = 0;
+};
+
+}  // namespace bfly::m2

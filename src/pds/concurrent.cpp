@@ -1,0 +1,205 @@
+#include "pds/concurrent.hpp"
+
+namespace bfly::pds {
+
+// --- ExtendibleHash -----------------------------------------------------------
+
+ExtendibleHash::ExtendibleHash(sim::Machine& m, std::uint32_t bucket_capacity,
+                               sim::NodeId dir_home)
+    : m_(m), capacity_(bucket_capacity) {
+  dir_lock_ = m_.alloc(dir_home, 4);
+  m_.poke<std::uint32_t>(dir_lock_, 0);
+  // Two initial buckets on different nodes.
+  for (std::uint32_t b = 0; b < 2; ++b) {
+    Bucket bk;
+    bk.home = (dir_home + 1 + b) % m_.nodes();
+    bk.lock = m_.alloc(bk.home, 4);
+    m_.poke<std::uint32_t>(bk.lock, 0);
+    bk.local_depth = 1;
+    buckets_.push_back(std::move(bk));
+  }
+  directory_ = {0, 1};
+}
+
+void ExtendibleHash::charge_scan(std::size_t items) {
+  // Reading a bucket's entries: two words per item, at its home module.
+  if (items > 0)
+    m_.access_words(buckets_[0].lock,
+                    static_cast<std::uint32_t>(2 * items));
+  m_.compute(2 * items + 4);
+}
+
+ExtendibleHash::Bucket& ExtendibleHash::bucket_for(std::uint64_t key) {
+  // Directory lookup: one read of the (possibly remote) directory word.
+  const std::uint64_t h = hash(key);
+  const std::uint32_t mask = (1u << global_depth_) - 1;
+  m_.access_words(dir_lock_, 1);
+  return buckets_[directory_[h & mask]];
+}
+
+bool ExtendibleHash::find(std::uint64_t key, std::uint64_t* value) {
+  Bucket& b = bucket_for(key);
+  chrys::SpinLock lock(m_, b.lock);
+  lock.acquire();
+  charge_scan(b.items.size());
+  for (const auto& [k, v] : b.items) {
+    if (k == key) {
+      *value = v;
+      lock.release();
+      return true;
+    }
+  }
+  lock.release();
+  return false;
+}
+
+void ExtendibleHash::insert(std::uint64_t key, std::uint64_t value) {
+  while (true) {
+    const std::uint64_t h = hash(key);
+    const std::uint32_t mask = (1u << global_depth_) - 1;
+    m_.access_words(dir_lock_, 1);
+    const std::uint32_t dir_index = static_cast<std::uint32_t>(h & mask);
+    const std::uint32_t bucket_id = directory_[dir_index];
+    Bucket& b = buckets_[bucket_id];
+    chrys::SpinLock lock(m_, b.lock);
+    lock.acquire();
+    // Re-check the directory under the lock (a split may have moved us).
+    const std::uint32_t mask2 = (1u << global_depth_) - 1;
+    if (directory_[h & mask2] != bucket_id) {
+      lock.release();
+      continue;
+    }
+    charge_scan(b.items.size());
+    for (auto& [k, v] : b.items) {
+      if (k == key) {
+        v = value;
+        lock.release();
+        return;
+      }
+    }
+    if (b.items.size() < capacity_) {
+      b.items.emplace_back(key, value);
+      m_.access_words(b.lock, 2);  // write the new entry
+      ++entries_;
+      lock.release();
+      return;
+    }
+    // Split: takes the directory lock only if the directory must double.
+    split(dir_index);
+    lock.release();
+  }
+}
+
+void ExtendibleHash::split(std::uint32_t dir_index) {
+  const std::uint32_t old_id = directory_[dir_index];
+  Bucket& old_b = buckets_[old_id];
+  ++splits_;
+  if (old_b.local_depth == global_depth_) {
+    // Double the directory under the directory lock.
+    chrys::SpinLock dl(m_, dir_lock_);
+    dl.acquire();
+    const std::size_t n = directory_.size();
+    directory_.resize(2 * n);
+    for (std::size_t i = 0; i < n; ++i) directory_[n + i] = directory_[i];
+    ++global_depth_;
+    m_.access_words(dir_lock_, static_cast<std::uint32_t>(n));
+    dl.release();
+  }
+  // New bucket takes the entries whose next hash bit is 1.
+  Bucket nb;
+  nb.home = (old_b.home + 1) % m_.nodes();
+  nb.lock = m_.alloc(nb.home, 4);
+  m_.poke<std::uint32_t>(nb.lock, 0);
+  nb.local_depth = old_b.local_depth + 1;
+  const std::uint32_t new_id = static_cast<std::uint32_t>(buckets_.size());
+  const std::uint32_t bit = 1u << old_b.local_depth;
+  old_b.local_depth++;
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> keep;
+  for (const auto& kv : old_b.items) {
+    if (hash(kv.first) & bit) nb.items.push_back(kv);
+    else keep.push_back(kv);
+  }
+  old_b.items = std::move(keep);
+  // The bucket must exist BEFORE any directory entry names it: the charge
+  // below yields, and another fiber may follow the fresh entry immediately.
+  buckets_.push_back(std::move(nb));
+  for (std::size_t i = 0; i < directory_.size(); ++i)
+    if (directory_[i] == old_id && (i & bit)) directory_[i] = new_id;
+  charge_scan(buckets_[old_id].items.size() + buckets_[new_id].items.size());
+  m_.access_words(dir_lock_, 4);
+}
+
+// --- FetchAndPhiQueue ------------------------------------------------------------
+
+FetchAndPhiQueue::FetchAndPhiQueue(sim::Machine& m, std::uint32_t capacity,
+                                   sim::NodeId home)
+    : m_(m), capacity_(capacity) {
+  head_ = m_.alloc(home, 4);
+  tail_ = m_.alloc((home + 1) % m_.nodes(), 4);
+  // Slots and flags scattered over the nodes so slot traffic spreads.
+  flags_ = m_.alloc((home + 2) % m_.nodes(), capacity * 4);
+  slots_ = m_.alloc((home + 3) % m_.nodes(), capacity * 4);
+  m_.poke<std::uint32_t>(head_, 0);
+  m_.poke<std::uint32_t>(tail_, 0);
+  for (std::uint32_t i = 0; i < capacity; ++i)
+    m_.poke<std::uint32_t>(flags_.plus(4 * i), 0);
+}
+
+void FetchAndPhiQueue::enqueue(std::uint32_t v) {
+  // One fetch-and-add claims a slot; no lock, no critical section.
+  const std::uint32_t ticket = m_.fetch_add_u32(tail_, 1);
+  const std::uint32_t slot = ticket % capacity_;
+  // Wait for the slot to drain if a full lap is in flight.
+  while (m_.read<std::uint32_t>(flags_.plus(4 * slot)) != 0)
+    m_.charge(5 * sim::kMicrosecond);
+  m_.write<std::uint32_t>(slots_.plus(4 * slot), v);
+  m_.write<std::uint32_t>(flags_.plus(4 * slot), 1);
+  ++enqueues_;
+}
+
+std::uint32_t FetchAndPhiQueue::dequeue() {
+  const std::uint32_t ticket = m_.fetch_add_u32(head_, 1);
+  const std::uint32_t slot = ticket % capacity_;
+  while (m_.read<std::uint32_t>(flags_.plus(4 * slot)) == 0)
+    m_.charge(5 * sim::kMicrosecond);
+  const std::uint32_t v = m_.read<std::uint32_t>(slots_.plus(4 * slot));
+  m_.write<std::uint32_t>(flags_.plus(4 * slot), 0);
+  return v;
+}
+
+bool FetchAndPhiQueue::try_dequeue(std::uint32_t* out) {
+  // Optimistic check; only claim a ticket when something is visible.
+  const std::uint32_t h = m_.read<std::uint32_t>(head_);
+  const std::uint32_t t = m_.read<std::uint32_t>(tail_);
+  if (h == t) return false;
+  *out = dequeue();
+  return true;
+}
+
+// --- LockedQueue ----------------------------------------------------------------
+
+LockedQueue::LockedQueue(sim::Machine& m, sim::NodeId home) : m_(m) {
+  lock_ = m_.alloc(home, 4);
+  m_.poke<std::uint32_t>(lock_, 0);
+}
+
+void LockedQueue::enqueue(std::uint32_t v) {
+  chrys::SpinLock lock(m_, lock_);
+  lock.acquire();
+  m_.access_words(lock_, 3);  // head/tail/slot updates under the lock
+  items_.push_back(v);
+  lock.release();
+}
+
+bool LockedQueue::try_dequeue(std::uint32_t* out) {
+  chrys::SpinLock lock(m_, lock_);
+  lock.acquire();
+  m_.access_words(lock_, 3);
+  const bool ok = head_ < items_.size();
+  if (ok) *out = items_[head_++];
+  lock.release();
+  return ok;
+}
+
+}  // namespace bfly::pds

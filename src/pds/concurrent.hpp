@@ -1,0 +1,107 @@
+// Highly-parallel concurrent data structures (Section 3.3): extendible
+// hashing for concurrent operations (Ellis, TR 110) and practical
+// fetch-and-phi queues (Mellor-Crummey, TR 229).
+//
+// Both structures live in the simulated machine's shared memory: every
+// lock word, ticket counter and slot flag is a real timed memory cell, so
+// contention on them is the contention the paper is about.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "chrysalis/kernel.hpp"
+#include "chrysalis/spinlock.hpp"
+
+namespace bfly::pds {
+
+/// Ellis-style extendible hash table with per-bucket locks: lookups and
+/// inserts on different buckets proceed concurrently; a bucket split takes
+/// only that bucket's lock (plus a short directory lock when the directory
+/// must double).
+class ExtendibleHash {
+ public:
+  /// `bucket_capacity` entries per bucket before a split.
+  ExtendibleHash(sim::Machine& m, std::uint32_t bucket_capacity = 8,
+                 sim::NodeId dir_home = 0);
+
+  /// Insert or overwrite.  Safe to call from any number of processes.
+  void insert(std::uint64_t key, std::uint64_t value);
+  /// Returns true and fills *value when present.
+  bool find(std::uint64_t key, std::uint64_t* value);
+
+  std::uint32_t global_depth() const { return global_depth_; }
+  std::uint64_t entries() const { return entries_; }
+  std::uint64_t splits() const { return splits_; }
+
+ private:
+  struct Bucket {
+    sim::PhysAddr lock{};
+    std::uint32_t local_depth = 0;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> items;
+    sim::NodeId home = 0;
+  };
+
+  static std::uint64_t hash(std::uint64_t k) {
+    k ^= k >> 33;
+    k *= 0xff51afd7ed558ccdULL;
+    k ^= k >> 33;
+    return k;
+  }
+  Bucket& bucket_for(std::uint64_t key);
+  void split(std::uint32_t dir_index);
+  void charge_scan(std::size_t items);
+
+  sim::Machine& m_;
+  std::uint32_t capacity_;
+  std::uint32_t global_depth_ = 1;
+  sim::PhysAddr dir_lock_{};
+  std::vector<std::uint32_t> directory_;      // dir index -> bucket id
+  std::deque<Bucket> buckets_;  // stable refs across fiber yields
+  std::uint64_t entries_ = 0;
+  std::uint64_t splits_ = 0;
+};
+
+/// Mellor-Crummey-style array queue built on fetch-and-add tickets: an
+/// enqueuer takes a slot with one atomic, then marks it full; a dequeuer
+/// takes a ticket and spins briefly for its slot.  No global lock; the only
+/// serialization is the ticket counters themselves.
+class FetchAndPhiQueue {
+ public:
+  FetchAndPhiQueue(sim::Machine& m, std::uint32_t capacity,
+                   sim::NodeId home = 0);
+
+  /// Blocking-by-spin enqueue/dequeue of a 32-bit datum.
+  void enqueue(std::uint32_t v);
+  std::uint32_t dequeue();
+  bool try_dequeue(std::uint32_t* out);
+
+  std::uint64_t enqueues() const { return enqueues_; }
+
+ private:
+  sim::Machine& m_;
+  std::uint32_t capacity_;
+  sim::PhysAddr head_{};   // dequeue ticket counter
+  sim::PhysAddr tail_{};   // enqueue ticket counter
+  sim::PhysAddr flags_{};  // per-slot full flags (1 word each)
+  sim::PhysAddr slots_{};  // per-slot data
+  std::uint64_t enqueues_ = 0;
+};
+
+/// The baseline both structures are measured against: a single global
+/// spin lock around a host-side queue — the serial bottleneck shape.
+class LockedQueue {
+ public:
+  LockedQueue(sim::Machine& m, sim::NodeId home = 0);
+  void enqueue(std::uint32_t v);
+  bool try_dequeue(std::uint32_t* out);
+
+ private:
+  sim::Machine& m_;
+  sim::PhysAddr lock_{};
+  std::vector<std::uint32_t> items_;
+  std::size_t head_ = 0;
+};
+
+}  // namespace bfly::pds

@@ -1,0 +1,122 @@
+#include "psyche/psyche.hpp"
+
+#include <algorithm>
+
+namespace bfly::psyche {
+
+namespace {
+// Cost model for the three access modes.  An optimized invocation is "as
+// efficient as a procedure call"; a kernel-mediated call pays trap plus
+// dispatch; a full validation walks the access list.
+constexpr sim::Time kProcedureCall = 3 * sim::kMicrosecond;
+constexpr sim::Time kKernelTrap = 40 * sim::kMicrosecond;
+constexpr sim::Time kValidate = 250 * sim::kMicrosecond;
+constexpr sim::Time kCacheLookup = 5 * sim::kMicrosecond;
+}  // namespace
+
+Psyche::Psyche(chrys::Kernel& k) : k_(k), m_(k.machine()) {}
+
+RealmId Psyche::create_realm(sim::NodeId home, std::size_t bytes,
+                             std::string name) {
+  Realm r;
+  r.name = std::move(name);
+  r.bytes = bytes;
+  if (bytes > 0) r.data = m_.alloc(home, bytes);
+  r.base = next_base_;
+  // Realm ranges are page-aligned in the uniform space.
+  next_base_ += (bytes + 0xfffu) & ~0xfffull;
+  if (sim::Fiber::current() != nullptr) m_.charge(150 * sim::kMicrosecond);
+  realms_.push_back(std::move(r));
+  return static_cast<RealmId>(realms_.size() - 1);
+}
+
+std::uint64_t Psyche::realm_base(RealmId r) const { return realms_[r].base; }
+
+sim::PhysAddr Psyche::resolve(std::uint64_t ua) const {
+  for (const Realm& r : realms_) {
+    if (ua >= r.base && ua < r.base + r.bytes)
+      return r.data.plus(ua - r.base);
+  }
+  throw chrys::ThrowSignal{chrys::kThrowSegmentFault,
+                           static_cast<std::uint32_t>(ua)};
+}
+
+void Psyche::define_operation(RealmId r, std::string op, Operation fn) {
+  realms_[r].ops[std::move(op)] = std::move(fn);
+}
+
+Key Psyche::mint_key(RealmId r, std::uint32_t rights) {
+  const Key key = next_key_++;
+  realms_[r].access_list[key] = rights;
+  return key;
+}
+
+void Psyche::revoke_key(RealmId r, Key key) {
+  realms_[r].access_list.erase(key);
+  // Lazy caches are stamped with the realm generation; bumping it forces
+  // the next protected access to re-validate.
+  realms_[r].generation++;
+}
+
+void Psyche::hold_key(Key key) { held_[k_.self().oid()].push_back(key); }
+
+std::uint32_t Psyche::rights_of_current(RealmId r, Access access) {
+  const chrys::Oid who = k_.self().oid();
+  Realm& realm = realms_[r];
+  const std::uint64_t ck =
+      (static_cast<std::uint64_t>(who) << 32) | r;
+
+  if (access == Access::kProtected) {
+    auto it = priv_cache_.find(ck);
+    if (it != priv_cache_.end() && it->second.valid &&
+        it->second.generation == realm.generation) {
+      m_.charge(kCacheLookup);
+      ++cache_hits_;
+      return it->second.rights;
+    }
+  }
+  // Full validation: walk the caller's keys against the access list.
+  m_.charge(kValidate);
+  ++validations_;
+  std::uint32_t rights = kNoRights;
+  auto hit = held_.find(who);
+  if (hit != held_.end()) {
+    for (Key key : hit->second) {
+      auto al = realm.access_list.find(key);
+      if (al != realm.access_list.end()) rights |= al->second;
+    }
+  }
+  priv_cache_[ck] = CacheEntry{rights, realm.generation, true};
+  return rights;
+}
+
+std::uint64_t Psyche::invoke(RealmId r, const std::string& op,
+                             std::uint64_t arg, Access access) {
+  Realm& realm = realms_[r];
+  auto it = realm.ops.find(op);
+  if (it == realm.ops.end())
+    throw chrys::ThrowSignal{chrys::kThrowBadObject, r};
+
+  switch (access) {
+    case Access::kOptimized:
+      // No protection boundary: the call is a procedure call.  The paper's
+      // explicit tradeoff: you got speed, you gave up the check.
+      m_.charge(kProcedureCall);
+      break;
+    case Access::kProtected: {
+      m_.charge(kKernelTrap);
+      if ((rights_of_current(r, access) & kInvoke) == 0)
+        throw chrys::ThrowSignal{chrys::kThrowNotOwner, r};
+      break;
+    }
+    case Access::kParanoid: {
+      m_.charge(kKernelTrap);
+      if ((rights_of_current(r, access) & kInvoke) == 0)
+        throw chrys::ThrowSignal{chrys::kThrowNotOwner, r};
+      break;
+    }
+  }
+  return it->second(arg);
+}
+
+}  // namespace bfly::psyche

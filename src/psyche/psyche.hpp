@@ -1,0 +1,140 @@
+// Psyche — a general-purpose multiprocessor operating system prototype
+// (Scott, LeBlanc & Marsh, ICPP'88; Sections 3.4 and 4.2 of the paper).
+//
+// The lesson driving Psyche: "no one model of process state or style of
+// communication will prove appropriate for all applications ... Truly
+// general-purpose parallel computing demands an operating system that
+// supports these models as well, and that allows program fragments written
+// under different models to coexist and interact."
+//
+// Psyche's mechanisms, prototyped here on the simulated Butterfly:
+//   * realms — passive data abstractions living in a single UNIFORM
+//     virtual address space (every realm has a machine-wide unique address
+//     range, so pointers can be passed freely between threads of control);
+//   * access protocols — operations a realm exports; invoking them is how
+//     sharing happens;
+//   * keys and access lists — rights are checked LAZILY: the first
+//     protected invocation validates the caller's key against the realm's
+//     access list (expensive) and caches the privilege; subsequent calls
+//     pay almost nothing ("users pay for protection only when necessary");
+//   * the protection/performance dial — in the absence of protection
+//     boundaries an invocation is "as efficient as a procedure call or a
+//     pointer dereference" (optimized access), while fully enforced calls
+//     go through the kernel every time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chrysalis/kernel.hpp"
+
+namespace bfly::psyche {
+
+using RealmId = std::uint32_t;
+using Key = std::uint64_t;
+
+enum Rights : std::uint32_t {
+  kNoRights = 0,
+  kInvoke = 1,
+  kRead = 2,
+  kWrite = 4,
+  kAllRights = kInvoke | kRead | kWrite,
+};
+
+/// How much enforcement an invocation goes through.
+enum class Access {
+  kOptimized,  ///< no protection boundary: a procedure call
+  kProtected,  ///< kernel-mediated; privileges evaluated lazily and cached
+  kParanoid,   ///< kernel-mediated; full re-validation every call
+};
+
+/// A realm operation: takes/returns a 64-bit datum (larger state lives in
+/// the realm's own memory).
+using Operation = std::function<std::uint64_t(std::uint64_t)>;
+
+class Psyche {
+ public:
+  explicit Psyche(chrys::Kernel& k);
+
+  // --- Realms in the uniform address space ------------------------------
+  /// Create a realm of `bytes` data on `home`.  Its data occupies a unique
+  /// range of the uniform address space starting at realm_base().
+  RealmId create_realm(sim::NodeId home, std::size_t bytes, std::string name);
+  /// Uniform virtual address of the realm's data (unique machine-wide).
+  std::uint64_t realm_base(RealmId r) const;
+  /// Translate a uniform address to its physical location.
+  sim::PhysAddr resolve(std::uint64_t uniform_addr) const;
+
+  /// Timed data access through the uniform address space (rights checked
+  /// against the calling process's cached privileges when protection is
+  /// on).
+  template <typename T>
+  T uread(std::uint64_t ua) {
+    return k_.machine().read<T>(resolve(ua));
+  }
+  template <typename T>
+  void uwrite(std::uint64_t ua, T v) {
+    k_.machine().write<T>(resolve(ua), v);
+  }
+
+  // --- Access protocols ---------------------------------------------------
+  void define_operation(RealmId r, std::string op, Operation fn);
+
+  /// Invoke `op` on realm `r`.  kOptimized charges a procedure call;
+  /// kProtected validates the caller lazily (first call expensive, cached
+  /// after); kParanoid validates every time.  Throws
+  /// ThrowSignal{kThrowNotOwner} when the caller lacks kInvoke rights
+  /// (protected/paranoid modes only — optimized access trades that check
+  /// away, exactly the paper's explicit tradeoff).
+  std::uint64_t invoke(RealmId r, const std::string& op, std::uint64_t arg,
+                       Access access = Access::kProtected);
+
+  // --- Keys and access lists ------------------------------------------------
+  /// Mint a key carrying `rights` for realm `r` (added to its access list).
+  Key mint_key(RealmId r, std::uint32_t rights);
+  /// Revoke a key (removes the access-list entry; cached privileges are
+  /// invalidated).
+  void revoke_key(RealmId r, Key key);
+  /// The calling process takes possession of a key.
+  void hold_key(Key key);
+
+  /// Cached privilege lookups performed vs full validations — the lazy
+  /// evaluation observable.
+  std::uint64_t validations() const { return validations_; }
+  std::uint64_t cache_hits() const { return cache_hits_; }
+
+ private:
+  struct Realm {
+    std::string name;
+    sim::PhysAddr data{};
+    std::size_t bytes = 0;
+    std::uint64_t base = 0;
+    std::unordered_map<std::string, Operation> ops;
+    std::unordered_map<Key, std::uint32_t> access_list;
+    std::uint32_t generation = 0;  // bumped on revoke: invalidates caches
+  };
+
+  std::uint32_t rights_of_current(RealmId r, Access access);
+
+  chrys::Kernel& k_;
+  sim::Machine& m_;
+  std::vector<Realm> realms_;
+  std::uint64_t next_base_ = 0x100000000ull;  // uniform space above 4 GB
+  std::uint64_t next_key_ = 0xbf1e0001ull;
+  // Keys held per process (by oid), and the per-(process, realm) privilege
+  // cache with the realm generation it was validated against.
+  std::unordered_map<chrys::Oid, std::vector<Key>> held_;
+  struct CacheEntry {
+    std::uint32_t rights = 0;
+    std::uint32_t generation = 0;
+    bool valid = false;
+  };
+  std::unordered_map<std::uint64_t, CacheEntry> priv_cache_;  // (oid<<32|realm)
+  std::uint64_t validations_ = 0;
+  std::uint64_t cache_hits_ = 0;
+};
+
+}  // namespace bfly::psyche

@@ -1,0 +1,156 @@
+#include "replay/instant_replay.hpp"
+
+#include <cassert>
+
+namespace bfly::replay {
+
+namespace {
+// Retry interval while spinning for a version (replay) or for readers to
+// drain (record-mode writers).
+constexpr sim::Time kSpin = 20 * sim::kMicrosecond;
+}  // namespace
+
+Monitor::Monitor(chrys::Kernel& k, std::uint32_t actors)
+    : k_(k), m_(k.machine()) {
+  record_.per_actor.resize(actors);
+  cursor_.assign(actors, 0);
+}
+
+std::uint32_t Monitor::register_object(sim::NodeId home, std::string name) {
+  ObjState o;
+  o.lock = m_.alloc(home, 4);
+  o.version = m_.alloc(home, 4);
+  o.active_readers = m_.alloc(home, 4);
+  o.version_readers = m_.alloc(home, 4);
+  o.name = std::move(name);
+  m_.poke<std::uint32_t>(o.lock, 0);
+  m_.poke<std::uint32_t>(o.version, 0);
+  m_.poke<std::uint32_t>(o.active_readers, 0);
+  m_.poke<std::uint32_t>(o.version_readers, 0);
+  obj_.push_back(o);
+  record_.object_names.push_back(obj_.back().name);
+  return static_cast<std::uint32_t>(obj_.size() - 1);
+}
+
+void Monitor::lock_obj(const ObjState& o) {
+  while (m_.test_and_set(o.lock) != 0) {
+    ++monitor_refs_;
+    m_.charge(kSpin);
+  }
+  ++monitor_refs_;
+}
+
+void Monitor::unlock_obj(const ObjState& o) {
+  m_.write<std::uint32_t>(o.lock, 0);
+  ++monitor_refs_;
+}
+
+AccessEntry Monitor::next_entry(std::uint32_t actor, std::uint32_t obj,
+                                bool is_write) {
+  auto& cur = cursor_[actor];
+  const auto& script = script_.per_actor[actor];
+  if (cur >= script.size())
+    throw chrys::ThrowSignal{chrys::kThrowReplayDiverged, actor};
+  const AccessEntry e = script[cur++];
+  if (e.object != obj || e.is_write != is_write)
+    throw chrys::ThrowSignal{chrys::kThrowReplayDiverged, actor};
+  return e;
+}
+
+void Monitor::begin_read(std::uint32_t actor, std::uint32_t obj) {
+  if (mode_ == Mode::kOff) return;
+  const ObjState& o = obj_[obj];
+  if (mode_ == Mode::kRecord) {
+    lock_obj(o);
+    const std::uint32_t v = m_.read<std::uint32_t>(o.version);
+    (void)m_.fetch_add_u32(o.active_readers, 1);
+    (void)m_.fetch_add_u32(o.version_readers, 1);
+    monitor_refs_ += 3;
+    unlock_obj(o);
+    record_.per_actor[actor].push_back(
+        AccessEntry{obj, v, 0, false, m_.now()});
+    return;
+  }
+  // Replay: wait for the logged version.
+  const AccessEntry e = next_entry(actor, obj, /*is_write=*/false);
+  while (true) {
+    lock_obj(o);
+    const std::uint32_t v = m_.read<std::uint32_t>(o.version);
+    ++monitor_refs_;
+    if (v == e.version) {
+      (void)m_.fetch_add_u32(o.active_readers, 1);
+      (void)m_.fetch_add_u32(o.version_readers, 1);
+      monitor_refs_ += 2;
+      unlock_obj(o);
+      return;
+    }
+    unlock_obj(o);
+    m_.charge(kSpin);
+  }
+}
+
+void Monitor::end_read(std::uint32_t actor, std::uint32_t obj) {
+  (void)actor;
+  if (mode_ == Mode::kOff) return;
+  const ObjState& o = obj_[obj];
+  (void)m_.fetch_add_u32(o.active_readers, 0xffffffffu);
+  ++monitor_refs_;
+}
+
+void Monitor::begin_write(std::uint32_t actor, std::uint32_t obj) {
+  if (mode_ == Mode::kOff) return;
+  const ObjState& o = obj_[obj];
+  if (mode_ == Mode::kRecord) {
+    while (true) {
+      lock_obj(o);
+      const std::uint32_t active = m_.read<std::uint32_t>(o.active_readers);
+      ++monitor_refs_;
+      if (active == 0) break;  // hold the lock through the write section
+      unlock_obj(o);
+      m_.charge(kSpin);
+    }
+    const std::uint32_t v = m_.read<std::uint32_t>(o.version);
+    const std::uint32_t r = m_.read<std::uint32_t>(o.version_readers);
+    monitor_refs_ += 2;
+    record_.per_actor[actor].push_back(AccessEntry{obj, v, r, true, m_.now()});
+    return;
+  }
+  // Replay: wait until the logged version is current, the logged readers
+  // have all come and gone, and nobody is mid-read.
+  const AccessEntry e = next_entry(actor, obj, /*is_write=*/true);
+  while (true) {
+    lock_obj(o);
+    const std::uint32_t v = m_.read<std::uint32_t>(o.version);
+    const std::uint32_t r = m_.read<std::uint32_t>(o.version_readers);
+    const std::uint32_t active = m_.read<std::uint32_t>(o.active_readers);
+    monitor_refs_ += 3;
+    if (v == e.version && r >= e.readers && active == 0) return;  // lock held
+    unlock_obj(o);
+    m_.charge(kSpin);
+  }
+}
+
+void Monitor::end_write(std::uint32_t actor, std::uint32_t obj) {
+  (void)actor;
+  if (mode_ == Mode::kOff) return;
+  const ObjState& o = obj_[obj];
+  (void)m_.fetch_add_u32(o.version, 1);
+  m_.write<std::uint32_t>(o.version_readers, 0);
+  monitor_refs_ += 2;
+  unlock_obj(o);
+}
+
+Log Monitor::take_log() {
+  Log out = std::move(record_);
+  record_ = Log{};
+  record_.per_actor.resize(out.per_actor.size());
+  record_.object_names = out.object_names;
+  return out;
+}
+
+void Monitor::load_log(Log log) {
+  script_ = std::move(log);
+  cursor_.assign(script_.per_actor.size(), 0);
+}
+
+}  // namespace bfly::replay

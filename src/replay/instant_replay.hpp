@@ -1,0 +1,111 @@
+// Instant Replay — reproducible execution of parallel programs (LeBlanc &
+// Mellor-Crummey, IEEE ToC 1987; Section 3.3 of the paper).
+//
+// Cyclic debugging of nondeterministic programs is impractical, and saving
+// full message logs "would quickly fill all memory".  Instant Replay
+// instead saves only the *relative order* of significant events — the
+// version numbers of accesses to shared objects — and later forces the
+// same relative order while re-running the program.  The content of the
+// communication is never saved: the re-execution regenerates it.  The
+// approach assumes a communication model based on shared objects, "which
+// are used to implement both shared memory and message passing", so it
+// covers every Rochester package.  No central bottleneck, no synchronized
+// clocks.
+//
+// Protocol (concurrent-read exclusive-write):
+//   * every shared object carries a version number and reader counts in
+//     its home node's memory;
+//   * record: a reader logs the version it saw; a writer logs the version
+//     it replaced and how many readers that version had;
+//   * replay: a reader spins until the object reaches its logged version;
+//     a writer spins until the version matches, the logged number of
+//     readers have come and gone, and no reader is active.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chrysalis/kernel.hpp"
+
+namespace bfly::replay {
+
+enum class Mode { kOff, kRecord, kReplay };
+
+struct AccessEntry {
+  std::uint32_t object = 0;
+  std::uint32_t version = 0;  ///< version observed
+  std::uint32_t readers = 0;  ///< writes: readers of the replaced version
+  bool is_write = false;
+  sim::Time at = 0;           ///< record-time timestamp (display only)
+};
+
+/// Per-actor access logs.  This is the entire state Instant Replay saves —
+/// note there is no message *content* anywhere in it.
+struct Log {
+  std::vector<std::vector<AccessEntry>> per_actor;
+  std::vector<std::string> object_names;
+
+  std::size_t total_entries() const {
+    std::size_t n = 0;
+    for (const auto& v : per_actor) n += v.size();
+    return n;
+  }
+};
+
+class Monitor {
+ public:
+  /// `actors` is the number of logical processes being monitored.
+  Monitor(chrys::Kernel& k, std::uint32_t actors);
+
+  void set_mode(Mode m) { mode_ = m; }
+  Mode mode() const { return mode_; }
+
+  /// Register a shared object whose accesses are monitored; its version
+  /// cells live on `home`.
+  std::uint32_t register_object(sim::NodeId home, std::string name);
+  std::uint32_t objects() const {
+    return static_cast<std::uint32_t>(obj_.size());
+  }
+
+  // --- CREW access protocol (bracket every access section) ----------------
+  void begin_read(std::uint32_t actor, std::uint32_t obj);
+  void end_read(std::uint32_t actor, std::uint32_t obj);
+  void begin_write(std::uint32_t actor, std::uint32_t obj);
+  void end_write(std::uint32_t actor, std::uint32_t obj);
+
+  /// Harvest the recorded log (typically after a record-mode run).
+  Log take_log();
+  /// Install a log to drive a replay-mode run.
+  void load_log(Log log);
+
+  /// Number of monitoring memory references issued (to quantify the
+  /// "within a few percent" overhead claim).
+  std::uint64_t monitor_refs() const { return monitor_refs_; }
+
+ private:
+  struct ObjState {
+    // Simulated cells on the object's home node.
+    sim::PhysAddr lock;            // spin lock word
+    sim::PhysAddr version;         // current version
+    sim::PhysAddr active_readers;  // readers inside a section now
+    sim::PhysAddr version_readers; // readers that saw the current version
+    std::string name;
+  };
+
+  void lock_obj(const ObjState& o);
+  void unlock_obj(const ObjState& o);
+  AccessEntry next_entry(std::uint32_t actor, std::uint32_t obj,
+                         bool is_write);
+
+  chrys::Kernel& k_;
+  sim::Machine& m_;
+  Mode mode_ = Mode::kOff;
+  std::vector<ObjState> obj_;
+  Log record_;                      // being recorded
+  Log script_;                      // driving a replay
+  std::vector<std::size_t> cursor_; // per-actor position in script_
+  std::uint64_t monitor_refs_ = 0;
+};
+
+}  // namespace bfly::replay

@@ -1,0 +1,73 @@
+// Discrete-event engine.
+//
+// A single min-heap of (time, sequence, closure) events.  Sequence numbers
+// make ordering total and deterministic.  Fibers interleave with the engine:
+// an event typically resumes a fiber, which runs until it charges time (and
+// schedules its own continuation) or blocks on a synchronization object.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace bfly::sim {
+
+class Engine {
+ public:
+  using Action = std::function<void()>;
+
+  Time now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (>= now).
+  void post_at(Time t, Action fn) {
+    if (t < now_) t = now_;
+    heap_.push(Event{t, seq_++, std::move(fn)});
+  }
+
+  /// Schedule `fn` after a delay.
+  void post_in(Time delay, Action fn) { post_at(now_ + delay, std::move(fn)); }
+
+  /// Run until the event queue drains or `stop()` is called.
+  /// Returns the final simulated time.
+  Time run() {
+    stopped_ = false;
+    while (!heap_.empty() && !stopped_) {
+      Event ev = std::move(const_cast<Event&>(heap_.top()));
+      heap_.pop();
+      now_ = ev.t;
+      ev.fn();
+    }
+    return now_;
+  }
+
+  /// Stop the run loop after the current event completes.
+  void stop() { stopped_ = true; }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+  /// Advance the clock manually (only sensible before run()).
+  void warp_to(Time t) {
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    Action fn;
+    bool operator>(const Event& o) const {
+      return t != o.t ? t > o.t : seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  Time now_ = 0;
+  std::uint64_t seq_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace bfly::sim

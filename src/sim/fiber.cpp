@@ -1,0 +1,69 @@
+#include "sim/fiber.hpp"
+
+#include <cassert>
+#include <cstdlib>
+#include <exception>
+
+namespace bfly::sim {
+
+namespace {
+// Single host thread: plain statics are safe and cheap.
+Fiber* g_current = nullptr;
+ucontext_t g_engine_ctx;
+}  // namespace
+
+Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes,
+             std::string name)
+    : body_(std::move(body)),
+      stack_(new char[stack_bytes]),
+      name_(std::move(name)) {
+  getcontext(&ctx_);
+  ctx_.uc_stack.ss_sp = stack_.get();
+  ctx_.uc_stack.ss_size = stack_bytes;
+  ctx_.uc_link = nullptr;  // fibers exit through run_body(), never fall off
+  const auto ptr = reinterpret_cast<std::uintptr_t>(this);
+  makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
+              static_cast<unsigned>(ptr >> 32),
+              static_cast<unsigned>(ptr & 0xffffffffu));
+  state_ = State::kRunnable;
+}
+
+Fiber::~Fiber() {
+  // Destroying a live fiber abandons its stack; that is fine for simulation
+  // teardown (Machine deletes all fibers when a run is abandoned).
+}
+
+void Fiber::trampoline(unsigned hi, unsigned lo) {
+  auto* self = reinterpret_cast<Fiber*>(
+      (static_cast<std::uintptr_t>(hi) << 32) | lo);
+  self->run_body();
+}
+
+void Fiber::run_body() {
+  body_();
+  state_ = State::kFinished;
+  g_current = nullptr;
+  swapcontext(&ctx_, &g_engine_ctx);
+  // Never reached.
+  std::abort();
+}
+
+void Fiber::resume() {
+  assert(g_current == nullptr && "resume() must be called from the engine");
+  assert(state_ == State::kRunnable || state_ == State::kBlocked);
+  state_ = State::kRunning;
+  g_current = this;
+  swapcontext(&g_engine_ctx, &ctx_);
+}
+
+void Fiber::yield_to_engine() {
+  Fiber* self = g_current;
+  assert(self != nullptr && "yield_to_engine() must be called from a fiber");
+  self->state_ = State::kBlocked;
+  g_current = nullptr;
+  swapcontext(&self->ctx_, &g_engine_ctx);
+}
+
+Fiber* Fiber::current() { return g_current; }
+
+}  // namespace bfly::sim

@@ -1,0 +1,355 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bfly::sim {
+
+Machine::Machine(MachineConfig cfg)
+    : cfg_(cfg),
+      fabric_(cfg),
+      rng_(cfg.seed),
+      stats_(cfg.nodes),
+      node_(cfg.nodes) {}
+
+Machine::~Machine() = default;
+
+// --- Fibers -------------------------------------------------------------
+
+Fiber* Machine::spawn(NodeId node, std::function<void()> body,
+                      std::string name, Time start_delay) {
+  Fiber* f = spawn_parked(node, std::move(body), std::move(name));
+  schedule_resume(ctl(f), engine_.now() + start_delay);
+  return f;
+}
+
+Fiber* Machine::spawn_parked(NodeId node, std::function<void()> body,
+                             std::string name) {
+  if (node >= cfg_.nodes) throw SimError("spawn: bad node id");
+  auto fiber = std::make_unique<Fiber>(std::move(body),
+                                       cfg_.fiber_stack_bytes,
+                                       std::move(name));
+  Fiber* f = fiber.get();
+  FiberCtl c;
+  c.fiber = std::move(fiber);
+  c.node = node;
+  auto [it, ok] = fibers_.emplace(f, std::move(c));
+  assert(ok);
+  (void)ok;
+  live_.push_back(f);
+  return f;
+}
+
+Machine::FiberCtl* Machine::ctl(Fiber* f) {
+  auto it = fibers_.find(f);
+  return it == fibers_.end() ? nullptr : &it->second;
+}
+
+NodeId Machine::current_node() const {
+  Fiber* f = Fiber::current();
+  if (f == nullptr) throw SimError("current_node: not on a fiber");
+  return node_of(f);
+}
+
+NodeId Machine::node_of(Fiber* f) const {
+  auto it = fibers_.find(f);
+  if (it == fibers_.end()) throw SimError("node_of: unknown fiber");
+  return it->second.node;
+}
+
+void Machine::schedule_resume(FiberCtl* c, Time at) {
+  assert(!c->resume_pending);
+  c->resume_pending = true;
+  Fiber* f = c->fiber.get();
+  engine_.post_at(at, [this, f] {
+    auto it = fibers_.find(f);
+    if (it == fibers_.end()) return;  // fiber was reaped
+    it->second.resume_pending = false;
+    f->resume();
+    if (f->finished()) {
+      live_.erase(std::find(live_.begin(), live_.end(), f));
+      fibers_.erase(f);  // frees the stack
+    }
+  });
+}
+
+Time Machine::run() { return engine_.run(); }
+
+std::vector<Fiber*> Machine::blocked_fibers() const {
+  std::vector<Fiber*> out;
+  for (Fiber* f : live_)
+    if (f->state() == Fiber::State::kBlocked) out.push_back(f);
+  return out;
+}
+
+// --- Time ----------------------------------------------------------------
+
+void Machine::charge(Time ns) {
+  Fiber* f = Fiber::current();
+  if (f == nullptr) throw SimError("charge: not on a fiber");
+  FiberCtl* c = ctl(f);
+  schedule_resume(c, engine_.now() + ns);
+  Fiber::yield_to_engine();
+}
+
+void Machine::charged_compute(Time ns) {
+  stats_.node[current_node()].compute_ns += ns;
+  charge(ns);
+}
+
+void Machine::sleep_until(Time t) {
+  const Time now = engine_.now();
+  charge(t > now ? t - now : 0);
+}
+
+void Machine::park() {
+  Fiber* f = Fiber::current();
+  if (f == nullptr) throw SimError("park: not on a fiber");
+  Fiber::yield_to_engine();
+}
+
+void Machine::wakeup(Fiber* f, Time delay) {
+  FiberCtl* c = ctl(f);
+  if (c == nullptr) return;  // already finished
+  if (c->resume_pending || f->state() == Fiber::State::kRunning) {
+    // The target is not parked.  Single-threaded cooperative scheduling
+    // means a correct synchronization layer re-checks its state before
+    // parking, so dropping this wakeup is safe and expected.
+    return;
+  }
+  schedule_resume(c, engine_.now() + delay);
+}
+
+void Machine::abandon(Fiber* f) {
+  FiberCtl* c = ctl(f);
+  if (c == nullptr) return;  // already finished
+  assert(!c->resume_pending && f->state() != Fiber::State::kRunning);
+  live_.erase(std::find(live_.begin(), live_.end(), f));
+  fibers_.erase(f);
+}
+
+// --- Memory --------------------------------------------------------------
+
+void Machine::ensure_backing(Node& nd, std::size_t end) const {
+  if (end > cfg_.memory_per_node) throw SimError("physical address out of range");
+  if (nd.mem.size() < end) {
+    std::size_t grown = std::max(end, nd.mem.size() * 2);
+    nd.mem.resize(std::min(grown, cfg_.memory_per_node), 0);
+  }
+}
+
+std::uint8_t* Machine::raw(PhysAddr a, std::size_t n) { return raw_mut(a, n); }
+
+std::uint8_t* Machine::raw_mut(PhysAddr a, std::size_t n) {
+  if (a.node >= cfg_.nodes) throw SimError("bad node in address");
+  Node& nd = node_[a.node];
+  ensure_backing(nd, static_cast<std::size_t>(a.offset) + n);
+  return nd.mem.data() + a.offset;
+}
+
+const std::uint8_t* Machine::raw_const(PhysAddr a, std::size_t n) const {
+  if (a.node >= cfg_.nodes) throw SimError("bad node in address");
+  Node& nd = node_[a.node];
+  ensure_backing(nd, static_cast<std::size_t>(a.offset) + n);
+  return nd.mem.data() + a.offset;
+}
+
+PhysAddr Machine::alloc(NodeId node, std::size_t bytes, std::size_t align) {
+  if (node >= cfg_.nodes) throw SimError("alloc: bad node");
+  if (bytes == 0) bytes = 1;
+  (void)align;  // everything is 8-aligned
+  const auto size = static_cast<std::uint32_t>((bytes + 7) & ~std::size_t{7});
+  Node& nd = node_[node];
+  // First fit over freed blocks.
+  for (std::size_t i = 0; i < nd.free_list.size(); ++i) {
+    FreeBlock& fb = nd.free_list[i];
+    if (fb.size >= size) {
+      PhysAddr a{node, fb.offset};
+      fb.offset += size;
+      fb.size -= size;
+      if (fb.size == 0) nd.free_list.erase(nd.free_list.begin() + i);
+      nd.allocated += size;
+      return a;
+    }
+  }
+  if (nd.high_water + size > cfg_.memory_per_node)
+    throw SimError("alloc: node memory exhausted");
+  PhysAddr a{node, nd.high_water};
+  nd.high_water += size;
+  nd.allocated += size;
+  return a;
+}
+
+void Machine::free(PhysAddr addr, std::size_t bytes) {
+  if (addr.node >= cfg_.nodes) return;
+  const auto size = static_cast<std::uint32_t>((bytes + 7) & ~std::size_t{7});
+  Node& nd = node_[addr.node];
+  nd.free_list.push_back(FreeBlock{addr.offset, size});
+  nd.allocated -= std::min<std::size_t>(nd.allocated, size);
+}
+
+std::size_t Machine::allocated_on(NodeId node) const {
+  return node_[node].allocated;
+}
+
+Time Machine::reference_finish(NodeId req, NodeId home, std::uint32_t words,
+                               Time* queue_ns) {
+  const Time t = engine_.now() + cfg_.issue_overhead_ns;
+  const Time arrive = fabric_.route(req, home, t, words);
+  Node& h = node_[home];
+  const Time start = std::max(arrive, h.module_busy_until);
+  if (queue_ns) *queue_ns = start - arrive;
+  const Time service = static_cast<Time>(words) * cfg_.module_service_ns;
+  h.module_busy_until = start + service;
+  Time finish = start + service;
+  if (req != home) finish += fabric_.traversal_ns();  // reply path
+  return finish;
+}
+
+void Machine::reference(PhysAddr a, std::uint32_t words, bool write) {
+  (void)write;
+  const NodeId req = current_node();
+  Time q = 0;
+  const Time finish = reference_finish(req, a.node, words, &q);
+  NodeStats& s = stats_.node[req];
+  if (req == a.node) {
+    ++s.local_refs;
+  } else {
+    ++s.remote_refs;
+    ++stats_.node[a.node].serviced_remote;
+  }
+  s.queue_ns += q;
+  const Time d = finish - engine_.now();
+  s.stall_ns += d;
+  charge(d);
+}
+
+std::uint32_t Machine::fetch_add_u32(PhysAddr a, std::uint32_t delta) {
+  reference(a, 1, true);
+  auto* p = raw(a, 4);
+  std::uint32_t old;
+  std::memcpy(&old, p, 4);
+  const std::uint32_t nv = old + delta;
+  std::memcpy(p, &nv, 4);
+  return old;
+}
+
+std::uint32_t Machine::fetch_or_u32(PhysAddr a, std::uint32_t bits) {
+  reference(a, 1, true);
+  auto* p = raw(a, 4);
+  std::uint32_t old;
+  std::memcpy(&old, p, 4);
+  const std::uint32_t nv = old | bits;
+  std::memcpy(p, &nv, 4);
+  return old;
+}
+
+std::uint32_t Machine::test_and_set(PhysAddr a) {
+  reference(a, 1, true);
+  auto* p = raw(a, 4);
+  std::uint32_t old;
+  std::memcpy(&old, p, 4);
+  const std::uint32_t one = 1;
+  std::memcpy(p, &one, 4);
+  return old;
+}
+
+void Machine::block_copy(PhysAddr dst, PhysAddr src, std::size_t bytes) {
+  if (bytes == 0) return;
+  const NodeId req = current_node();
+  const std::uint32_t words = word_count(bytes);
+  Time q = 0;
+  // Head of the transfer pays full reference latency to the source...
+  const Time head = reference_finish(req, src.node, 1, &q);
+  // ...then words stream at the block rate, occupying both modules.
+  const Time stream = static_cast<Time>(words) * cfg_.block_word_ns;
+  const Time occupancy =
+      static_cast<Time>(words) * cfg_.module_service_ns;
+  node_[src.node].module_busy_until =
+      std::max(node_[src.node].module_busy_until, head) + occupancy;
+  node_[dst.node].module_busy_until =
+      std::max(node_[dst.node].module_busy_until, head) + occupancy;
+
+  NodeStats& s = stats_.node[req];
+  s.block_words += words;
+  s.queue_ns += q;
+  if (src.node != req || dst.node != req) ++s.remote_refs;
+  else ++s.local_refs;
+
+  const Time total = (head - engine_.now()) + stream;
+  s.stall_ns += total;
+  // Move the bytes at completion time.
+  std::vector<std::uint8_t> tmp(bytes);
+  charge(total);
+  peek_bytes(tmp.data(), src, bytes);
+  poke_bytes(dst, tmp.data(), bytes);
+}
+
+void Machine::block_read(void* host_dst, PhysAddr src, std::size_t bytes) {
+  if (bytes == 0) return;
+  const NodeId req = current_node();
+  const std::uint32_t words = word_count(bytes);
+  Time q = 0;
+  const Time head = reference_finish(req, src.node, 1, &q);
+  const Time stream = static_cast<Time>(words) * cfg_.block_word_ns;
+  node_[src.node].module_busy_until =
+      std::max(node_[src.node].module_busy_until, head) +
+      static_cast<Time>(words) * cfg_.module_service_ns;
+  NodeStats& s = stats_.node[req];
+  s.block_words += words;
+  s.queue_ns += q;
+  if (src.node != req) ++s.remote_refs;
+  else ++s.local_refs;
+  const Time total = (head - engine_.now()) + stream;
+  s.stall_ns += total;
+  charge(total);
+  peek_bytes(host_dst, src, bytes);
+}
+
+void Machine::block_write(PhysAddr dst, const void* host_src,
+                          std::size_t bytes) {
+  if (bytes == 0) return;
+  const NodeId req = current_node();
+  const std::uint32_t words = word_count(bytes);
+  Time q = 0;
+  const Time head = reference_finish(req, dst.node, 1, &q);
+  const Time stream = static_cast<Time>(words) * cfg_.block_word_ns;
+  node_[dst.node].module_busy_until =
+      std::max(node_[dst.node].module_busy_until, head) +
+      static_cast<Time>(words) * cfg_.module_service_ns;
+  NodeStats& s = stats_.node[req];
+  s.block_words += words;
+  s.queue_ns += q;
+  if (dst.node != req) ++s.remote_refs;
+  else ++s.local_refs;
+  const Time total = (head - engine_.now()) + stream;
+  s.stall_ns += total;
+  charge(total);
+  poke_bytes(dst, host_src, bytes);
+}
+
+void Machine::access_words(PhysAddr a, std::uint32_t n, bool write) {
+  (void)write;
+  if (n == 0) return;
+  const NodeId req = current_node();
+  // n back-to-back single-word references; the requester is latency-bound,
+  // so each starts when the previous completes.  Only the first can queue
+  // behind foreign traffic (an approximation that keeps this O(1)).
+  Time q = 0;
+  const Time first = reference_finish(req, a.node, 1, &q);
+  const Time per = first - engine_.now() - q;  // uncontended latency
+  node_[a.node].module_busy_until +=
+      static_cast<Time>(n - 1) * cfg_.module_service_ns;
+  NodeStats& s = stats_.node[req];
+  if (req == a.node) s.local_refs += n;
+  else {
+    s.remote_refs += n;
+    stats_.node[a.node].serviced_remote += n;
+  }
+  s.queue_ns += q;
+  const Time total = q + static_cast<Time>(n) * per;
+  s.stall_ns += total;
+  charge(total);
+}
+
+}  // namespace bfly::sim

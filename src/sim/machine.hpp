@@ -1,0 +1,228 @@
+// The simulated Butterfly machine.
+//
+// A Machine owns the event engine, the switch fabric, one memory module per
+// node, and every fiber spawned onto a node.  All simulated code interacts
+// with the hardware through this class:
+//
+//   * charge()/compute()/flops() advance the calling fiber's CPU time;
+//   * read()/write()/atomic ops are timed memory transactions against the
+//     owning node's module (queueing behind a busy module models the
+//     "remote references steal memory cycles" effect from the paper);
+//   * block_copy() models the PNC's microcoded block transfer;
+//   * park()/wakeup() are the primitives the Chrysalis scheduler builds
+//     blocking synchronization from.
+//
+// The engine is single-threaded and ties are sequence-numbered, so a run is
+// a pure function of (config, program) — the property Instant Replay's
+// verification tests depend on.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/engine.hpp"
+#include "sim/fiber.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+#include "sim/switch_fabric.hpp"
+#include "sim/time.hpp"
+
+namespace bfly::sim {
+
+/// A physical address: (node, byte offset within that node's memory).
+struct PhysAddr {
+  NodeId node = 0;
+  std::uint32_t offset = 0;
+
+  PhysAddr plus(std::uint64_t delta) const {
+    return PhysAddr{node, static_cast<std::uint32_t>(offset + delta)};
+  }
+  bool operator==(const PhysAddr&) const = default;
+};
+
+/// Raised on simulated machine faults (bad address, out of memory, ...).
+class SimError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Machine {
+ public:
+  explicit Machine(MachineConfig cfg);
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  const MachineConfig& config() const { return cfg_; }
+  Engine& engine() { return engine_; }
+  Time now() const { return engine_.now(); }
+  std::uint32_t nodes() const { return cfg_.nodes; }
+  Rng& rng() { return rng_; }
+  MachineStats& stats() { return stats_; }
+  SwitchFabric& fabric() { return fabric_; }
+
+  // --- Fibers ---------------------------------------------------------------
+
+  /// Create a fiber bound to `node`, runnable immediately (resumed by the
+  /// engine at the current time unless `start_delay` is given).
+  Fiber* spawn(NodeId node, std::function<void()> body,
+               std::string name = {}, Time start_delay = 0);
+
+  /// Create a fiber that stays parked until the first wakeup() — used by
+  /// schedulers that control dispatch themselves.
+  Fiber* spawn_parked(NodeId node, std::function<void()> body,
+                      std::string name = {});
+
+  /// Node of the currently executing fiber.
+  NodeId current_node() const;
+  /// Node of an arbitrary live fiber.
+  NodeId node_of(Fiber* f) const;
+
+  /// Run the machine until no events remain.  Returns final time.
+  Time run();
+
+  /// True when the last run() ended with live-but-blocked fibers: the
+  /// simulated program deadlocked.  Moviola uses this plus the wait-for
+  /// edges recorded by the synchronization layers.
+  bool deadlocked() const { return !live_.empty(); }
+  std::vector<Fiber*> blocked_fibers() const;
+
+  // --- Time ------------------------------------------------------------------
+
+  /// Consume `ns` of CPU time on the calling fiber.
+  void charge(Time ns);
+  /// Consume integer-op time (`n` register-level operations).
+  void compute(std::uint64_t n) { charged_compute(n * cfg_.int_op_ns); }
+  /// Consume floating-point time.
+  void flops(std::uint64_t n) { charged_compute(n * cfg_.flop_ns); }
+  /// Consume an explicit amount of compute time (tracked in NodeStats).
+  void charged_compute(Time ns);
+  /// Block the calling fiber until absolute time `t`.
+  void sleep_until(Time t);
+
+  /// Block the calling fiber until another fiber calls wakeup() on it.
+  void park();
+  /// Make a parked fiber runnable after `delay`.  Safe to call from the
+  /// engine or any fiber; no-op if the fiber already finished.
+  void wakeup(Fiber* f, Time delay = 0);
+
+  /// Discard a parked fiber that will never run again (e.g. a suspended
+  /// coroutine at teardown).  The fiber must not have a pending resume.
+  void abandon(Fiber* f);
+
+  // --- Physical memory --------------------------------------------------------
+
+  /// First-fit allocation in `node`'s memory.  Throws SimError when the
+  /// node is exhausted.  Untimed (the OS layer charges its own costs).
+  PhysAddr alloc(NodeId node, std::size_t bytes, std::size_t align = 8);
+  void free(PhysAddr addr, std::size_t bytes);
+  /// Bytes currently allocated on a node.
+  std::size_t allocated_on(NodeId node) const;
+
+  /// Timed single reference.  sizeof(T) must be <= 8.
+  template <typename T>
+  T read(PhysAddr a) {
+    reference(a, word_count(sizeof(T)), /*write=*/false);
+    T v;
+    std::memcpy(&v, raw(a, sizeof(T)), sizeof(T));
+    return v;
+  }
+
+  template <typename T>
+  void write(PhysAddr a, T v) {
+    reference(a, word_count(sizeof(T)), /*write=*/true);
+    std::memcpy(raw(a, sizeof(T)), &v, sizeof(T));
+  }
+
+  /// PNC atomic operations (linearized at completion time).
+  std::uint32_t fetch_add_u32(PhysAddr a, std::uint32_t delta);
+  std::uint32_t fetch_or_u32(PhysAddr a, std::uint32_t bits);
+  /// Atomically set the word to 1; returns the previous value.
+  std::uint32_t test_and_set(PhysAddr a);
+
+  /// Microcoded block transfer between physical locations.  Charged as one
+  /// round trip plus a per-word streaming cost; occupies the source and
+  /// destination modules while streaming.
+  void block_copy(PhysAddr dst, PhysAddr src, std::size_t bytes);
+  /// Block transfer into the calling fiber's private (register/stack) space.
+  void block_read(void* host_dst, PhysAddr src, std::size_t bytes);
+  void block_write(PhysAddr dst, const void* host_src, std::size_t bytes);
+
+  /// Charge `n` back-to-back word references to `target` in a single event
+  /// (used by tight inner loops; contention is accounted in aggregate).
+  void access_words(PhysAddr a, std::uint32_t n, bool write = false);
+
+  // --- Untimed backdoor (tests, tooling, result extraction) -------------------
+  template <typename T>
+  T peek(PhysAddr a) const {
+    T v;
+    std::memcpy(&v, raw_const(a, sizeof(T)), sizeof(T));
+    return v;
+  }
+  template <typename T>
+  void poke(PhysAddr a, T v) {
+    std::memcpy(raw_mut(a, sizeof(T)), &v, sizeof(T));
+  }
+  void peek_bytes(void* dst, PhysAddr a, std::size_t n) const {
+    std::memcpy(dst, raw_const(a, n), n);
+  }
+  void poke_bytes(PhysAddr a, const void* src, std::size_t n) {
+    std::memcpy(raw_mut(a, n), src, n);
+  }
+
+ private:
+  struct FiberCtl {
+    std::unique_ptr<Fiber> fiber;
+    NodeId node = 0;
+    bool resume_pending = false;
+  };
+  struct FreeBlock {
+    std::uint32_t offset;
+    std::uint32_t size;
+  };
+  struct Node {
+    std::vector<std::uint8_t> mem;   // grown lazily up to memory_per_node
+    std::vector<FreeBlock> free_list;
+    std::uint32_t high_water = 0;    // bytes ever touched
+    std::size_t allocated = 0;
+    Time module_busy_until = 0;
+  };
+
+  static std::uint32_t word_count(std::size_t bytes) {
+    return static_cast<std::uint32_t>((bytes + 3) / 4);
+  }
+
+  /// Perform + charge one reference of `words` words to a.node.
+  void reference(PhysAddr a, std::uint32_t words, bool write);
+  /// Compute completion time of a reference departing now; updates module
+  /// occupancy and stats but does not charge.
+  Time reference_finish(NodeId requester, NodeId home, std::uint32_t words,
+                        Time* queue_ns);
+
+  std::uint8_t* raw(PhysAddr a, std::size_t n);
+  std::uint8_t* raw_mut(PhysAddr a, std::size_t n);
+  const std::uint8_t* raw_const(PhysAddr a, std::size_t n) const;
+  void ensure_backing(Node& nd, std::size_t end) const;
+
+  FiberCtl* ctl(Fiber* f);
+  void schedule_resume(FiberCtl* c, Time at);
+
+  MachineConfig cfg_;
+  Engine engine_;
+  SwitchFabric fabric_;
+  Rng rng_;
+  MachineStats stats_;
+  mutable std::vector<Node> node_;
+  std::unordered_map<Fiber*, FiberCtl> fibers_;
+  std::vector<Fiber*> live_;  // spawned and not yet finished
+};
+
+}  // namespace bfly::sim

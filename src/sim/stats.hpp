@@ -1,0 +1,51 @@
+// Machine-wide and per-node statistics gathered by the simulator.
+//
+// Everything here is observational: no simulated behaviour depends on these
+// counters, so they can be reset mid-run to bracket a measurement region
+// (the benches do exactly that).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace bfly::sim {
+
+struct NodeStats {
+  std::uint64_t local_refs = 0;    ///< references issued by this node to itself
+  std::uint64_t remote_refs = 0;   ///< references issued by this node to others
+  std::uint64_t serviced_remote = 0;  ///< remote refs serviced by this module
+  Time stall_ns = 0;               ///< time this node's CPU spent in references
+  Time queue_ns = 0;               ///< portion of stall spent waiting on busy modules
+  Time compute_ns = 0;             ///< explicit compute charges
+  std::uint64_t block_words = 0;   ///< words moved by block transfers
+};
+
+struct MachineStats {
+  std::vector<NodeStats> node;
+
+  explicit MachineStats(std::size_t n = 0) : node(n) {}
+
+  void reset() {
+    for (auto& s : node) s = NodeStats{};
+  }
+
+  std::uint64_t total_local_refs() const {
+    std::uint64_t t = 0;
+    for (const auto& s : node) t += s.local_refs;
+    return t;
+  }
+  std::uint64_t total_remote_refs() const {
+    std::uint64_t t = 0;
+    for (const auto& s : node) t += s.remote_refs;
+    return t;
+  }
+  Time total_queue_ns() const {
+    Time t = 0;
+    for (const auto& s : node) t += s.queue_ns;
+    return t;
+  }
+};
+
+}  // namespace bfly::sim

@@ -1,0 +1,62 @@
+#include "sim/switch_fabric.hpp"
+
+#include <algorithm>
+
+namespace bfly::sim {
+
+namespace {
+std::uint32_t ceil_log4(std::uint32_t n) {
+  std::uint32_t stages = 0;
+  std::uint32_t reach = 1;
+  while (reach < n) {
+    reach *= 4;
+    ++stages;
+  }
+  return std::max<std::uint32_t>(stages, 1);
+}
+}  // namespace
+
+SwitchFabric::SwitchFabric(const MachineConfig& cfg)
+    : nodes_(cfg.nodes),
+      stages_(ceil_log4(cfg.nodes)),
+      hop_ns_(cfg.switch_hop_ns),
+      model_contention_(cfg.model_switch_contention),
+      port_service_ns_(cfg.switch_port_service_ns) {
+  if (model_contention_) {
+    port_busy_.assign(static_cast<std::size_t>(stages_) * nodes_, 0);
+  }
+}
+
+std::uint32_t SwitchFabric::port_index(std::uint32_t stage, NodeId src,
+                                       NodeId dst) const {
+  // Destination-tag routing in a 4-ary butterfly: after stage s the packet
+  // sits on the wire whose high s+1 base-4 digits come from the destination
+  // and whose remaining low digits still come from the source.  Two packets
+  // contend at stage s only if they land on the same wire.
+  std::uint32_t pos = 0;
+  for (std::uint32_t i = 0; i < stages_; ++i) {
+    const std::uint32_t shift = 2 * (stages_ - 1 - i);
+    const std::uint32_t digit = ((i <= stage ? dst : src) >> shift) & 3u;
+    pos |= digit << shift;
+  }
+  return stage * nodes_ + (pos % nodes_);
+}
+
+Time SwitchFabric::route(NodeId src, NodeId dst, Time depart,
+                         std::uint32_t words) {
+  if (src == dst) return depart;
+  if (!model_contention_) return depart + traversal_ns();
+
+  Time t = depart;
+  const Time occupancy = port_service_ns_ * std::max<std::uint32_t>(words, 1);
+  for (std::uint32_t s = 0; s < stages_; ++s) {
+    Time& busy = port_busy_[port_index(s, src, dst)];
+    const Time start = std::max(t, busy);
+    contention_ns_ += start - t;
+    busy = start + occupancy;
+    t = start + hop_ns_;
+  }
+  return t;
+}
+
+}  // namespace bfly::sim

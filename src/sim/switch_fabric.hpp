@@ -1,0 +1,55 @@
+// The Butterfly switching network.
+//
+// A 4-ary multistage (banyan) network: N nodes need ceil(log4 N) stages of
+// 4x4 switches.  Routing is destination-digit addressed: at stage s the
+// packet exits on the port given by base-4 digit s of the destination.
+//
+// The paper reports (citing Rettberg & Thomas, CACM 1986) that switch
+// contention is "almost negligible" on the real machine, so by default we
+// model only per-hop latency.  Optional port-occupancy modelling is provided
+// for the ablation bench that verifies the claim inside our own model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/time.hpp"
+
+namespace bfly::sim {
+
+class SwitchFabric {
+ public:
+  explicit SwitchFabric(const MachineConfig& cfg);
+
+  /// Number of switch stages a packet traverses.
+  std::uint32_t stages() const { return stages_; }
+
+  /// Pure pipeline latency of one traversal (no contention).
+  Time traversal_ns() const { return stages_ * hop_ns_; }
+
+  /// Charge one packet of `words` 32-bit words through the network at time
+  /// `depart`, from `src` to `dst`.  Returns the time the head of the packet
+  /// arrives at the destination module.  With contention modelling enabled,
+  /// the packet queues at each stage's output port.
+  Time route(NodeId src, NodeId dst, Time depart, std::uint32_t words);
+
+  /// Total time packets spent queueing in the switch (0 unless contention
+  /// modelling is on).
+  Time contention_ns() const { return contention_ns_; }
+
+ private:
+  std::uint32_t port_index(std::uint32_t stage, NodeId src, NodeId dst) const;
+
+  std::uint32_t nodes_;
+  std::uint32_t stages_;
+  Time hop_ns_;
+  bool model_contention_;
+  Time port_service_ns_;
+  // busy-until per (stage, output port); port space is stages x nodes since
+  // a 4-ary banyan has N output ports per stage (N/4 switches x 4 ports).
+  std::vector<Time> port_busy_;
+  Time contention_ns_ = 0;
+};
+
+}  // namespace bfly::sim

@@ -1,0 +1,21 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace bfly::sim {
+
+std::string format_duration(Time ns) {
+  char buf[48];
+  if (ns < kMicrosecond) {
+    std::snprintf(buf, sizeof buf, "%lluns", static_cast<unsigned long long>(ns));
+  } else if (ns < kMillisecond) {
+    std::snprintf(buf, sizeof buf, "%.2fus", static_cast<double>(ns) / kMicrosecond);
+  } else if (ns < kSecond) {
+    std::snprintf(buf, sizeof buf, "%.2fms", static_cast<double>(ns) / kMillisecond);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3fs", static_cast<double>(ns) / kSecond);
+  }
+  return buf;
+}
+
+}  // namespace bfly::sim

@@ -1,0 +1,29 @@
+// Simulated time for the Butterfly machine model.
+//
+// All simulated durations and timestamps are integer nanoseconds.  The
+// discrete-event engine is fully deterministic: ties in the event queue are
+// broken by insertion sequence number, never by host behaviour.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bfly::sim {
+
+/// Simulated time in nanoseconds since machine power-on.
+using Time = std::uint64_t;
+
+inline constexpr Time kNanosecond = 1;
+inline constexpr Time kMicrosecond = 1000;
+inline constexpr Time kMillisecond = 1000 * kMicrosecond;
+inline constexpr Time kSecond = 1000 * kMillisecond;
+
+/// Render a duration with an adaptive unit ("3.2us", "1.5ms", "2.04s").
+std::string format_duration(Time ns);
+
+/// Fraction a/b as a double, 0 when b == 0.
+inline double ratio(Time a, Time b) {
+  return b == 0 ? 0.0 : static_cast<double>(a) / static_cast<double>(b);
+}
+
+}  // namespace bfly::sim

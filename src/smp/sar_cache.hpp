@@ -1,0 +1,74 @@
+// The SMP SAR cache (Section 3.2).
+//
+// An SMP process with many communication channels cannot keep every
+// channel's buffer mapped: SARs are scarce.  Mapping or unmapping costs
+// over a millisecond, so SMP "incorporates an optional SAR cache that
+// delays unmap operations as long as possible, in hopes of avoiding a
+// subsequent map".  This is that cache: an LRU over channel buffer
+// mappings with a fixed SAR budget.  A hit is free; a miss charges one map
+// (plus one unmap when a victim must be evicted).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "sim/machine.hpp"
+
+namespace bfly::smp {
+
+class SarCache {
+ public:
+  /// `capacity` is the number of channel buffers that may stay mapped.
+  /// capacity 0 disables caching: every access pays map + unmap.
+  SarCache(sim::Machine& m, std::uint32_t capacity)
+      : m_(m), capacity_(capacity) {}
+
+  /// Touch `channel` before using its buffer; charges the calling fiber
+  /// for whatever SAR traffic is needed.
+  void access(std::uint64_t channel) {
+    const sim::Time map_cost = m_.config().sar_map_ns;
+    if (capacity_ == 0) {
+      m_.charge(2 * map_cost);  // map now, unmap immediately after use
+      misses_++;
+      return;
+    }
+    auto it = index_.find(channel);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // refresh
+      hits_++;
+      return;
+    }
+    misses_++;
+    sim::Time cost = map_cost;
+    if (lru_.size() >= capacity_) {
+      index_.erase(lru_.back());
+      lru_.pop_back();
+      cost += map_cost;  // evicting unmaps the victim
+      evictions_++;
+    }
+    lru_.push_front(channel);
+    index_[channel] = lru_.begin();
+    m_.charge(cost);
+  }
+
+  /// Drop every mapping (e.g. before the process exits), charging unmaps.
+  void flush() {
+    if (!lru_.empty()) m_.charge(lru_.size() * m_.config().sar_map_ns);
+    lru_.clear();
+    index_.clear();
+  }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  sim::Machine& m_;
+  std::uint32_t capacity_;
+  std::list<std::uint64_t> lru_;
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> index_;
+  std::uint64_t hits_ = 0, misses_ = 0, evictions_ = 0;
+};
+
+}  // namespace bfly::smp

@@ -1,0 +1,220 @@
+#include "us/uniform_system.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bfly::us {
+
+namespace {
+constexpr std::uint32_t kStopTid = 0xffffffffu;
+// CPU cost of a manager picking up and launching one task beyond the dual
+// queue cost itself.
+constexpr sim::Time kDispatchOverhead = 15 * sim::kMicrosecond;
+// CPU held while searching a free list inside the allocator lock.
+constexpr sim::Time kAllocWork = 100 * sim::kMicrosecond;
+}  // namespace
+
+UniformSystem::UniformSystem(chrys::Kernel& k, UsConfig cfg)
+    : k_(k), m_(k.machine()), cfg_(cfg) {
+  procs_ = cfg_.processors == 0 ? m_.nodes()
+                                : std::min(cfg_.processors, m_.nodes());
+  mem_nodes_ = cfg_.memory_nodes == 0
+                   ? m_.nodes()
+                   : std::min(cfg_.memory_nodes, m_.nodes());
+}
+
+UniformSystem::~UniformSystem() = default;
+
+sim::Time UniformSystem::run_main(std::function<void()> main) {
+  k_.create_process(
+      0,
+      [this, body = std::move(main)] {
+        initialize();
+        body();
+        terminate();
+      },
+      "us-main");
+  return m_.run();
+}
+
+void UniformSystem::initialize() {
+  assert(!initialized_);
+  initialized_ = true;
+  work_queue_ = k_.make_dual_queue();
+  k_.give_to_system(work_queue_);  // shared by all managers
+
+  // Shared-heap metadata lives on node 0 (a mild hot spot, as on the real
+  // system).
+  outstanding_ = m_.alloc(0, 8);
+  m_.poke<std::uint32_t>(outstanding_, 0);
+  rr_counter_ = m_.alloc(0, 8);
+  m_.poke<std::uint32_t>(rr_counter_, 0);
+  serial_lock_cell_ = m_.alloc(0, 8);
+  m_.poke<std::uint32_t>(serial_lock_cell_, 0);
+  node_lock_cell_.resize(mem_nodes_);
+  for (std::uint32_t n = 0; n < mem_nodes_; ++n) {
+    node_lock_cell_[n] = m_.alloc(n, 8);
+    m_.poke<std::uint32_t>(node_lock_cell_[n], 0);
+  }
+
+  managers_.assign(procs_, chrys::kNoObject);
+  if (!cfg_.tree_init) {
+    // Historical behaviour: the initializing process creates every manager
+    // serially — startup is linear in P (the paper's Amdahl lesson; the
+    // Rochester "faster initialization" fix is tree_init below).
+    for (std::uint32_t w = 0; w < procs_; ++w) {
+      managers_[w] = k_.create_process(
+          w, [this, w] { manager_loop(w); }, "us-mgr" + std::to_string(w));
+    }
+  } else {
+    // Fan-out tree: manager w creates managers 2w+1 and 2w+2 before
+    // entering its loop.  The local part of creation parallelizes; the
+    // serialized template section remains (and still limits speedup).
+    start_manager_tree(0);
+  }
+}
+
+void UniformSystem::start_manager_tree(std::uint32_t w) {
+  managers_[w] = k_.create_process(
+      w,
+      [this, w] {
+        for (std::uint32_t c = 2 * w + 1; c <= 2 * w + 2; ++c)
+          if (c < procs_) start_manager_tree(c);
+        manager_loop(w);
+      },
+      "us-mgr" + std::to_string(w));
+}
+
+void UniformSystem::terminate() {
+  for (std::uint32_t w = 0; w < procs_; ++w) k_.dq_enqueue(work_queue_, kStopTid);
+}
+
+void UniformSystem::manager_loop(std::uint32_t worker) {
+  const sim::NodeId node = k_.self().node();
+  while (true) {
+    const std::uint32_t tid = k_.dq_dequeue(work_queue_);
+    if (tid == kStopTid) break;
+    m_.charge(kDispatchOverhead);
+    TaskCtx ctx{*this, k_, m_, worker, node, table_[tid].arg};
+    // A task that throws must not take its manager down with it — the
+    // processor would silently drop out of the crowd.  Trap, count, move on.
+    try {
+      table_[tid].fn(ctx);
+    } catch (const chrys::ThrowSignal&) {
+      ++tasks_faulted_;
+    }
+    ++tasks_run_;
+    // Completion: last task out signals the waiter, if any.
+    if (m_.fetch_add_u32(outstanding_, 0xffffffffu) == 1 &&
+        waiter_proc_ != chrys::kNoObject) {
+      waiter_proc_ = chrys::kNoObject;
+      k_.event_post(idle_event_, 0);
+    }
+  }
+}
+
+void UniformSystem::enqueue_descriptor(std::uint32_t tid) {
+  k_.dq_enqueue(work_queue_, tid);
+}
+
+void UniformSystem::gen_task(TaskFn fn, std::uint32_t arg) {
+  table_.push_back(TaskRec{std::move(fn), arg});
+  const auto tid = static_cast<std::uint32_t>(table_.size() - 1);
+  (void)m_.fetch_add_u32(outstanding_, 1);
+  enqueue_descriptor(tid);
+}
+
+void UniformSystem::gen_on_index(std::uint32_t lo, std::uint32_t hi,
+                                 TaskFn fn) {
+  if (lo >= hi) return;
+  // One shared TaskRec; the per-index argument rides in the descriptor's
+  // low bits via distinct records (kept simple: one record per index, the
+  // closure is shared).
+  (void)m_.fetch_add_u32(outstanding_, hi - lo);
+  for (std::uint32_t i = lo; i < hi; ++i) {
+    table_.push_back(TaskRec{fn, i});
+    enqueue_descriptor(static_cast<std::uint32_t>(table_.size() - 1));
+  }
+}
+
+void UniformSystem::wait_idle() {
+  chrys::Process& p = k_.self();
+  if (m_.read<std::uint32_t>(outstanding_) == 0) return;
+  idle_event_ = k_.make_event(p.oid());
+  waiter_proc_ = p.oid();
+  // Re-check: the last task may have completed while we created the event.
+  if (m_.read<std::uint32_t>(outstanding_) == 0) {
+    if (waiter_proc_ != chrys::kNoObject) {
+      // No manager claimed the post: nothing outstanding, just clean up.
+      waiter_proc_ = chrys::kNoObject;
+      k_.delete_object(idle_event_);
+      idle_event_ = chrys::kNoObject;
+      return;
+    }
+    // A manager posted already; fall through and consume it.
+  }
+  (void)k_.event_wait(idle_event_);
+  k_.delete_object(idle_event_);
+  idle_event_ = chrys::kNoObject;
+}
+
+void UniformSystem::for_all(std::uint32_t lo, std::uint32_t hi, TaskFn fn) {
+  gen_on_index(lo, hi, std::move(fn));
+  wait_idle();
+}
+
+// --- Shared memory ---------------------------------------------------------------
+
+sim::PhysAddr UniformSystem::allocate_with_lock(sim::NodeId node,
+                                                std::size_t bytes) {
+  const sim::PhysAddr cell = cfg_.parallel_allocator
+                                 ? node_lock_cell_[node % mem_nodes_]
+                                 : serial_lock_cell_;
+  chrys::SpinLock lock(m_, cell);
+  lock.acquire();
+  m_.charge(kAllocWork);
+  // Ceiling check and bookkeeping must be adjacent (no yields between),
+  // so concurrent allocators on different nodes cannot both squeeze under
+  // the 16 MB limit.
+  if (heap_in_use_ + bytes > cfg_.heap_limit) {
+    lock.release();
+    throw chrys::ThrowSignal{chrys::kThrowOutOfMemory,
+                             static_cast<std::uint32_t>(bytes)};
+  }
+  sim::PhysAddr a;
+  try {
+    a = m_.alloc(node, bytes);
+  } catch (const sim::SimError&) {
+    lock.release();
+    throw chrys::ThrowSignal{chrys::kThrowOutOfMemory, node};
+  }
+  heap_in_use_ += bytes;
+  lock.release();
+  return a;
+}
+
+sim::PhysAddr UniformSystem::alloc_global(std::size_t bytes) {
+  const std::uint32_t idx = m_.fetch_add_u32(rr_counter_, 1);
+  return allocate_with_lock(idx % mem_nodes_, bytes);
+}
+
+sim::PhysAddr UniformSystem::alloc_on(sim::NodeId node, std::size_t bytes) {
+  return allocate_with_lock(node, bytes);
+}
+
+void UniformSystem::free_global(sim::PhysAddr p, std::size_t bytes) {
+  m_.free(p, bytes);
+  heap_in_use_ -= std::min(heap_in_use_, bytes);
+}
+
+std::vector<sim::PhysAddr> UniformSystem::scatter_rows(std::size_t count,
+                                                       std::size_t row_bytes) {
+  std::vector<sim::PhysAddr> rows;
+  rows.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    rows.push_back(alloc_on(static_cast<sim::NodeId>(i % mem_nodes_),
+                            row_bytes));
+  return rows;
+}
+
+}  // namespace bfly::us

@@ -1,0 +1,60 @@
+#include "apps/alphabeta.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bfly::apps {
+namespace {
+
+using sim::butterfly1;
+using sim::Machine;
+
+TEST(AlphaBeta, ReferencePrunes) {
+  GameConfig cfg;
+  cfg.depth = 5;
+  cfg.branching = 6;
+  const SearchResult r = alphabeta_reference(cfg);
+  // Far fewer nodes than the full 6^5 tree.
+  EXPECT_LT(r.nodes, 4000u);
+  EXPECT_GE(r.value, -100);
+  EXPECT_LE(r.value, 100);
+}
+
+TEST(AlphaBeta, ParallelFindsTheSameValue) {
+  for (std::uint64_t seed : {1u, 22u, 333u}) {
+    GameConfig cfg;
+    cfg.depth = 5;
+    cfg.branching = 6;
+    cfg.seed = seed;
+    const SearchResult ref = alphabeta_reference(cfg);
+    Machine m(butterfly1(8));
+    const SearchResult par = alphabeta_parallel(m, cfg, 6);
+    EXPECT_EQ(par.value, ref.value) << "seed " << seed;
+  }
+}
+
+TEST(AlphaBeta, SearchOverheadIsVisibleButBounded) {
+  GameConfig cfg;
+  cfg.depth = 5;
+  cfg.branching = 8;
+  const SearchResult ref = alphabeta_reference(cfg);
+  Machine m(butterfly1(16));
+  const SearchResult par = alphabeta_parallel(m, cfg, 8);
+  EXPECT_GE(par.nodes, ref.nodes)
+      << "speculative subtrees cannot visit fewer nodes than serial";
+  EXPECT_LT(par.nodes, ref.nodes * 8)
+      << "the shared alpha bound must recover most cutoffs";
+}
+
+TEST(AlphaBeta, ParallelSearchIsFaster) {
+  GameConfig cfg;
+  cfg.depth = 6;
+  cfg.branching = 8;
+  Machine m1(butterfly1(16));
+  const auto t1 = alphabeta_parallel(m1, cfg, 1).elapsed;
+  Machine m8(butterfly1(16));
+  const auto t8 = alphabeta_parallel(m8, cfg, 8).elapsed;
+  EXPECT_LT(t8 * 2, t1) << "root splitting should give real speedup";
+}
+
+}  // namespace
+}  // namespace bfly::apps

@@ -1,0 +1,229 @@
+// Tests for the remaining Rochester applications: connectionist simulator,
+// graph algorithms, convex hull, N-queens, knight's tour, BIFF filters.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "apps/connectionist.hpp"
+#include "apps/geometry.hpp"
+#include "apps/graph.hpp"
+#include "apps/image.hpp"
+#include "apps/pedagogical.hpp"
+
+namespace bfly::apps {
+namespace {
+
+using sim::butterfly1;
+using sim::Machine;
+
+// --- Connectionist -----------------------------------------------------------
+
+TEST(Connectionist, MatchesHostReference) {
+  Machine m(butterfly1(16));
+  ConnectionistConfig cfg;
+  cfg.units = 128;
+  cfg.fanin = 8;
+  cfg.rounds = 4;
+  cfg.processors = 8;
+  ConnectionistResult r = connectionist(m, cfg);
+  const std::vector<float> ref = connectionist_reference(cfg);
+  ASSERT_EQ(r.activations.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    EXPECT_NEAR(r.activations[i], ref[i], 1e-5) << "unit " << i;
+  EXPECT_FALSE(m.deadlocked());
+}
+
+TEST(Connectionist, ScalesWithProcessors) {
+  ConnectionistConfig cfg;
+  cfg.units = 256;
+  cfg.fanin = 16;
+  cfg.rounds = 3;
+  cfg.processors = 2;
+  Machine m2(butterfly1(32));
+  const auto t2 = connectionist(m2, cfg).elapsed;
+  cfg.processors = 16;
+  Machine m16(butterfly1(32));
+  const auto t16 = connectionist(m16, cfg).elapsed;
+  EXPECT_LT(t16 * 3, t2);
+}
+
+// --- Graphs --------------------------------------------------------------------
+
+TEST(ConnectedComponents, LabelsCliques) {
+  Machine m(butterfly1(8));
+  const Graph g = Graph::cliques(5, 6);
+  GraphRunResult r = connected_components(m, g, 8);
+  ASSERT_EQ(r.labels.size(), 30u);
+  for (std::uint32_t c = 0; c < 5; ++c)
+    for (std::uint32_t i = 0; i < 6; ++i)
+      EXPECT_EQ(r.labels[c * 6 + i], c * 6) << "vertex " << c * 6 + i;
+}
+
+TEST(ConnectedComponents, MatchesReferenceOnRandomGraph) {
+  Machine m(butterfly1(8));
+  const Graph g = Graph::random(120, 3, 77);
+  GraphRunResult r = connected_components(m, g, 8);
+  EXPECT_EQ(r.labels, cc_reference(g));
+}
+
+TEST(TransitiveClosure, CountsReachablePairs) {
+  Machine m(butterfly1(8));
+  const Graph g = Graph::cliques(3, 4);  // 3 components of 4: 3*16 pairs
+  GraphRunResult r = transitive_closure(m, g, 8);
+  EXPECT_EQ(r.value, 48u);
+}
+
+TEST(TransitiveClosure, MatchesReferenceOnRandomGraph) {
+  Machine m(butterfly1(8));
+  const Graph g = Graph::random(60, 2, 5);
+  GraphRunResult r = transitive_closure(m, g, 8);
+  EXPECT_EQ(r.value, closure_reference(g));
+}
+
+TEST(SubgraphIso, CountsTriangles) {
+  Machine m(butterfly1(8));
+  const Graph tri = Graph::cliques(1, 3);
+  Graph host = Graph::cliques(1, 4);  // K4 contains 24 ordered K3 embeddings
+  GraphRunResult r = subgraph_isomorphism(m, tri, host, 8);
+  EXPECT_EQ(r.value, iso_reference(tri, host));
+  EXPECT_EQ(r.value, 24u);
+}
+
+TEST(SubgraphIso, MatchesReferenceOnRandomHost) {
+  Machine m(butterfly1(8));
+  Graph path;
+  path.n = 3;
+  path.adj.resize(3);
+  path.add_edge(0, 1);
+  path.add_edge(1, 2);
+  const Graph host = Graph::random(12, 3, 9);
+  GraphRunResult r = subgraph_isomorphism(m, path, host, 8);
+  EXPECT_EQ(r.value, iso_reference(path, host));
+}
+
+// --- Convex hull ------------------------------------------------------------------
+
+TEST(ConvexHull, MatchesReference) {
+  Machine m(butterfly1(8));
+  const std::vector<Point> pts = random_points(400, 21);
+  HullResult r = convex_hull(m, pts, 8);
+  std::vector<Point> ref = hull_reference(pts);
+  auto norm = [](std::vector<Point> v) {
+    std::sort(v.begin(), v.end(), [](const Point& a, const Point& b) {
+      return a.x != b.x ? a.x < b.x : a.y < b.y;
+    });
+    return v;
+  };
+  EXPECT_EQ(norm(r.hull), norm(ref));
+}
+
+TEST(ConvexHull, HandlesSmallInputs) {
+  Machine m(butterfly1(4));
+  std::vector<Point> pts = {{0, 0}, {1, 0}, {0, 1}, {0.1, 0.1}};
+  HullResult r = convex_hull(m, pts, 4);
+  EXPECT_EQ(r.hull.size(), 3u);
+}
+
+// --- Queens & knight ------------------------------------------------------------------
+
+TEST(Queens, CountsMatchKnownValues) {
+  Machine m(butterfly1(8));
+  EXPECT_EQ(queens(m, 6, 8).solutions, 4u);
+  Machine m2(butterfly1(8));
+  EXPECT_EQ(queens(m2, 8, 8).solutions, 92u);
+}
+
+TEST(Queens, ReferenceAgrees) {
+  EXPECT_EQ(queens_reference(7), 40u);
+}
+
+TEST(KnightsTour, FindsAValidTour) {
+  Machine m(butterfly1(8));
+  KnightResult r = knights_tour(m, 5, 4, 123);
+  ASSERT_TRUE(r.found);
+  // Valid tour: every square visited exactly once, consecutive steps are
+  // knight moves.
+  std::vector<std::uint32_t> pos(26, 999);
+  for (std::uint32_t i = 0; i < 25; ++i) {
+    ASSERT_GE(r.tour[i], 1);
+    ASSERT_LE(r.tour[i], 25);
+    pos[r.tour[i]] = i;
+  }
+  for (std::uint32_t s = 1; s < 25; ++s) {
+    const int x0 = pos[s] % 5, y0 = pos[s] / 5;
+    const int x1 = pos[s + 1] % 5, y1 = pos[s + 1] / 5;
+    const int dx = std::abs(x1 - x0), dy = std::abs(y1 - y0);
+    EXPECT_TRUE((dx == 1 && dy == 2) || (dx == 2 && dy == 1))
+        << "step " << s;
+  }
+}
+
+TEST(KnightsTour, WinnerDependsOnTiming) {
+  // The nondeterminism Instant Replay was built for: different timing
+  // perturbations crown different winners (or tours).
+  std::vector<std::uint32_t> winners;
+  std::vector<std::vector<std::uint8_t>> tours;
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u, 6u}) {
+    Machine m(butterfly1(8));
+    KnightResult r = knights_tour(m, 5, 4, seed);
+    ASSERT_TRUE(r.found);
+    winners.push_back(r.winner);
+    tours.push_back(r.tour);
+  }
+  const bool winners_vary =
+      std::adjacent_find(winners.begin(), winners.end(),
+                         std::not_equal_to<>()) != winners.end();
+  const bool tours_vary =
+      std::adjacent_find(tours.begin(), tours.end(),
+                         std::not_equal_to<>()) != tours.end();
+  EXPECT_TRUE(winners_vary || tours_vary);
+}
+
+// --- BIFF ------------------------------------------------------------------------------
+
+TEST(Biff, ThresholdProducesBinaryImage) {
+  Machine m(butterfly1(8));
+  const Image img = Image::synthetic(64, 64, 4);
+  BiffResult r = biff_apply(m, img, filter_threshold(128), 8);
+  for (std::uint8_t p : r.image.pixels) EXPECT_TRUE(p == 0 || p == 255);
+}
+
+TEST(Biff, HistogramCountsEveryPixel) {
+  Machine m(butterfly1(8));
+  const Image img = Image::synthetic(64, 48, 4);
+  BiffResult r = biff_histogram(m, img, 8);
+  const std::uint64_t total =
+      std::accumulate(r.histogram.begin(), r.histogram.end(), 0ull);
+  EXPECT_EQ(total, 64u * 48u);
+  // Cross-check one bin against the host image.
+  std::uint32_t host_bin100 = 0;
+  for (std::uint8_t p : img.pixels) host_bin100 += p == 100;
+  EXPECT_EQ(r.histogram[100], host_bin100);
+}
+
+TEST(Biff, PipelineComposesFilters) {
+  Machine m(butterfly1(8));
+  const Image img = Image::synthetic(48, 48, 7);
+  BiffResult r = biff_pipeline(
+      m, img, {filter_box3(), filter_sobel(), filter_threshold(64)}, 8);
+  // Compose on the host for comparison.
+  Image a = img, b = img;
+  filter_box3()(img, a);
+  filter_sobel()(a, b);
+  filter_threshold(64)(b, a);
+  EXPECT_EQ(r.image.pixels, a.pixels);
+  EXPECT_GT(r.elapsed, 0u);
+}
+
+TEST(Biff, SobelFindsBlobEdges) {
+  Machine m(butterfly1(8));
+  const Image img = Image::synthetic(64, 64, 4);
+  BiffResult r = biff_apply(m, img, filter_sobel(), 8);
+  std::uint64_t strong = 0;
+  for (std::uint8_t p : r.image.pixels) strong += p > 128;
+  EXPECT_GT(strong, 50u) << "blob boundaries must produce strong edges";
+}
+
+}  // namespace
+}  // namespace bfly::apps

@@ -1,0 +1,125 @@
+#include "apps/gauss.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bfly::apps {
+namespace {
+
+using sim::butterfly1;
+using sim::Machine;
+
+TEST(GaussReference, SolvesTheSystem) {
+  const std::uint32_t n = 24;
+  std::vector<double> a, b;
+  generate_system(n, 7, a, b);
+  const std::vector<double> x = gauss_reference(n, 7);
+  // Verify A x = b directly.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    double s = 0;
+    for (std::uint32_t j = 0; j < n; ++j)
+      s += a[static_cast<std::size_t>(i) * n + j] * x[j];
+    EXPECT_NEAR(s, b[i], 1e-8);
+  }
+}
+
+TEST(GaussUs, MatchesReference) {
+  Machine m(butterfly1(16));
+  GaussConfig cfg;
+  cfg.n = 32;
+  GaussResult r = gauss_us(m, cfg);
+  ASSERT_EQ(r.solution.size(), cfg.n);
+  EXPECT_LT(gauss_error(r, cfg.n, cfg.seed), 1e-9);
+  EXPECT_GT(r.elapsed, 0u);
+  EXPECT_FALSE(m.deadlocked());
+}
+
+TEST(GaussSmp, MatchesReference) {
+  Machine m(butterfly1(16));
+  GaussConfig cfg;
+  cfg.n = 32;
+  GaussResult r = gauss_smp(m, cfg);
+  ASSERT_EQ(r.solution.size(), cfg.n);
+  EXPECT_LT(gauss_error(r, cfg.n, cfg.seed), 1e-9);
+  EXPECT_GT(r.messages, 0u);
+  EXPECT_FALSE(m.deadlocked());
+}
+
+TEST(GaussSmp, SingleProcessorWorks) {
+  Machine m(butterfly1(4));
+  GaussConfig cfg;
+  cfg.n = 16;
+  cfg.processors = 1;
+  GaussResult r = gauss_smp(m, cfg);
+  EXPECT_LT(gauss_error(r, cfg.n, cfg.seed), 1e-9);
+  EXPECT_EQ(r.messages, 0u);
+}
+
+TEST(GaussUs, SingleProcessorWorks) {
+  Machine m(butterfly1(4));
+  GaussConfig cfg;
+  cfg.n = 16;
+  cfg.processors = 1;
+  GaussResult r = gauss_us(m, cfg);
+  EXPECT_LT(gauss_error(r, cfg.n, cfg.seed), 1e-9);
+}
+
+TEST(GaussSmp, MessageVolumeIsPTimesN) {
+  Machine m(butterfly1(8));
+  GaussConfig cfg;
+  cfg.n = 40;
+  cfg.processors = 8;
+  GaussResult r = gauss_smp(m, cfg);
+  // Broadcast: (P-1) per pivot over N-1 pivots, plus (N - ceil(N/P)) gather
+  // messages.  The paper rounds this to P*N.
+  const std::uint64_t broadcast = static_cast<std::uint64_t>(cfg.n - 1) * 7;
+  EXPECT_GE(r.messages, broadcast);
+  EXPECT_LE(r.messages, broadcast + cfg.n);
+}
+
+TEST(GaussUs, MoreProcessorsIsFasterAtThisScale) {
+  GaussConfig cfg;
+  cfg.n = 48;
+  cfg.processors = 2;
+  Machine m2(butterfly1(32));
+  const auto t2 = gauss_us(m2, cfg).elapsed;
+  cfg.processors = 16;
+  Machine m16(butterfly1(32));
+  const auto t16 = gauss_us(m16, cfg).elapsed;
+  EXPECT_LT(t16, t2);
+}
+
+struct GaussParam {
+  std::uint32_t n;
+  std::uint32_t procs;
+};
+
+class GaussBothModels : public ::testing::TestWithParam<GaussParam> {};
+
+TEST_P(GaussBothModels, AgreeWithReference) {
+  const GaussParam p = GaussParam(GetParam());
+  {
+    Machine m(butterfly1(16));
+    GaussConfig cfg;
+    cfg.n = p.n;
+    cfg.processors = p.procs;
+    EXPECT_LT(gauss_error(gauss_us(m, cfg), cfg.n, cfg.seed), 1e-8)
+        << "US n=" << p.n << " P=" << p.procs;
+  }
+  {
+    Machine m(butterfly1(16));
+    GaussConfig cfg;
+    cfg.n = p.n;
+    cfg.processors = p.procs;
+    EXPECT_LT(gauss_error(gauss_smp(m, cfg), cfg.n, cfg.seed), 1e-8)
+        << "SMP n=" << p.n << " P=" << p.procs;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GaussBothModels,
+    ::testing::Values(GaussParam{8, 2}, GaussParam{16, 3}, GaussParam{17, 4},
+                      GaussParam{32, 8}, GaussParam{33, 16},
+                      GaussParam{64, 16}));
+
+}  // namespace
+}  // namespace bfly::apps

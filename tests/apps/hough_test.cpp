@@ -1,0 +1,82 @@
+#include "apps/hough.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bfly::apps {
+namespace {
+
+using sim::butterfly1;
+using sim::Machine;
+
+HoughConfig small_cfg(HoughVariant v) {
+  HoughConfig cfg;
+  cfg.width = 64;
+  cfg.height = 64;
+  cfg.angles = 45;
+  cfg.processors = 8;
+  cfg.lines = 2;
+  cfg.noise = 40;
+  cfg.variant = v;
+  return cfg;
+}
+
+TEST(HoughImage, HasPlantedEdges) {
+  HoughConfig cfg = small_cfg(HoughVariant::kNaive);
+  const auto img = make_edge_image(cfg);
+  std::size_t edges = 0;
+  for (auto p : img) edges += p;
+  EXPECT_GT(edges, 60u);   // two lines plus noise
+  EXPECT_LT(edges, 400u);  // sparse image
+}
+
+TEST(Hough, NaiveFindsPlantedLines) {
+  Machine m(butterfly1(16));
+  HoughConfig cfg = small_cfg(HoughVariant::kNaive);
+  HoughResult r = hough(m, cfg);
+  EXPECT_TRUE(peaks_match_planted_lines(cfg, r));
+  EXPECT_GT(r.elapsed, 0u);
+}
+
+TEST(Hough, AllVariantsProduceIdenticalAccumulators) {
+  HoughResult base;
+  for (HoughVariant v : {HoughVariant::kNaive, HoughVariant::kLocalCopy,
+                         HoughVariant::kLocalTables}) {
+    Machine m(butterfly1(16));
+    HoughConfig cfg = small_cfg(v);
+    HoughResult r = hough(m, cfg);
+    EXPECT_TRUE(peaks_match_planted_lines(cfg, r));
+    if (v == HoughVariant::kNaive) {
+      base = r;
+    } else {
+      EXPECT_EQ(r.accumulator, base.accumulator)
+          << "variants differ only in locality, not in results";
+    }
+  }
+}
+
+TEST(Hough, CopyLocalBeatsNaive) {
+  Machine m1(butterfly1(16));
+  HoughResult naive = hough(m1, small_cfg(HoughVariant::kNaive));
+  Machine m2(butterfly1(16));
+  HoughResult local = hough(m2, small_cfg(HoughVariant::kLocalCopy));
+  EXPECT_LT(local.elapsed, naive.elapsed);
+}
+
+TEST(Hough, LocalTablesBeatCopyLocal) {
+  Machine m1(butterfly1(16));
+  HoughResult copy = hough(m1, small_cfg(HoughVariant::kLocalCopy));
+  Machine m2(butterfly1(16));
+  HoughResult tables = hough(m2, small_cfg(HoughVariant::kLocalTables));
+  EXPECT_LT(tables.elapsed, copy.elapsed);
+}
+
+TEST(Hough, RemoteTrafficDropsWithLocality) {
+  Machine m1(butterfly1(16));
+  HoughResult naive = hough(m1, small_cfg(HoughVariant::kNaive));
+  Machine m2(butterfly1(16));
+  HoughResult tables = hough(m2, small_cfg(HoughVariant::kLocalTables));
+  EXPECT_LT(tables.remote_refs, naive.remote_refs / 2);
+}
+
+}  // namespace
+}  // namespace bfly::apps

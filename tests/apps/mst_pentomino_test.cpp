@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "apps/image.hpp"
+#include "apps/mst.hpp"
+#include "apps/pentominoes.hpp"
+
+namespace bfly::apps {
+namespace {
+
+using sim::butterfly1;
+using sim::Machine;
+
+// --- Minimal spanning tree -----------------------------------------------------
+
+TEST(Mst, BoruvkaMatchesKruskalReference) {
+  for (std::uint64_t seed : {1u, 7u, 42u}) {
+    const WeightedGraph g = WeightedGraph::random(60, 120, seed);
+    Machine m(butterfly1(8));
+    const MstResult r = boruvka_mst(m, g, 8);
+    EXPECT_EQ(r.total_weight, mst_reference(g)) << "seed " << seed;
+    EXPECT_EQ(r.edges_used, g.n - 1) << "a spanning tree has n-1 edges";
+  }
+}
+
+TEST(Mst, TrivialGraphs) {
+  WeightedGraph g;
+  g.n = 2;
+  g.edges.push_back(WeightedGraph::Edge{0, 1, 5});
+  Machine m(butterfly1(4));
+  const MstResult r = boruvka_mst(m, g, 4);
+  EXPECT_EQ(r.total_weight, 5u);
+  EXPECT_EQ(r.edges_used, 1u);
+}
+
+TEST(Mst, ScalesWithProcessors) {
+  const WeightedGraph g = WeightedGraph::random(200, 2000, 3);
+  Machine m2(butterfly1(32));
+  const auto t2 = boruvka_mst(m2, g, 2).elapsed;
+  Machine m16(butterfly1(32));
+  const auto t16 = boruvka_mst(m16, g, 16).elapsed;
+  EXPECT_LT(t16 * 2, t2);
+}
+
+// --- Pentominoes ------------------------------------------------------------------
+
+TEST(Pentominoes, ParallelCountMatchesSerial) {
+  PentominoConfig cfg;
+  cfg.width = 5;
+  cfg.height = 5;
+  cfg.pieces = "FILTY";
+  const std::uint64_t ref = pentomino_reference(cfg);
+  Machine m(butterfly1(8));
+  const PentominoResult r = pentominoes(m, cfg, 8);
+  EXPECT_EQ(r.solutions, ref);
+  EXPECT_GT(r.nodes, 0u);
+}
+
+TEST(Pentominoes, KnownTinyCase) {
+  // Two P pentominoes tile a 2x5 box (each piece's complement in the box
+  // is its own shape).  Distinct letters are separate piece slots, so "PP"
+  // means two copies.
+  PentominoConfig cfg;
+  cfg.width = 5;
+  cfg.height = 2;
+  cfg.pieces = "PP";
+  const std::uint64_t ref = pentomino_reference(cfg);
+  Machine m(butterfly1(4));
+  EXPECT_EQ(pentominoes(m, cfg, 4).solutions, ref);
+  EXPECT_GT(ref, 0u);
+}
+
+TEST(Pentominoes, ImpossibleTilingYieldsZero) {
+  PentominoConfig cfg;
+  cfg.width = 5;
+  cfg.height = 2;
+  cfg.pieces = "XI";  // the X pentomino cannot fit in a 2-row strip
+  EXPECT_EQ(pentomino_reference(cfg), 0u);
+  Machine m(butterfly1(4));
+  EXPECT_EQ(pentominoes(m, cfg, 4).solutions, 0u);
+}
+
+// --- Zero crossings -------------------------------------------------------------
+
+TEST(Biff, ZeroCrossingsFindBlobBoundaries) {
+  Machine m(butterfly1(8));
+  const Image img = Image::synthetic(64, 64, 4);
+  BiffResult r = biff_apply(m, img, filter_zero_crossings(), 8, 12);
+  std::uint64_t marked = 0;
+  for (std::uint8_t p : r.image.pixels) marked += p == 255;
+  EXPECT_GT(marked, 100u) << "blob edges must produce zero crossings";
+  EXPECT_LT(marked, 64u * 64u / 2) << "but not half the image";
+}
+
+}  // namespace
+}  // namespace bfly::apps

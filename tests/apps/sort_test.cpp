@@ -1,0 +1,87 @@
+#include "apps/sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace bfly::apps {
+namespace {
+
+using sim::butterfly1;
+using sim::Machine;
+
+TEST(OddEvenSort, SortsAcrossProcesses) {
+  Machine m(butterfly1(8));
+  SortConfig cfg;
+  cfg.n = 512;
+  cfg.processors = 8;
+  SortResult r = odd_even_sort(m, cfg);
+  ASSERT_FALSE(r.deadlocked);
+  std::vector<std::uint32_t> expect = random_keys(cfg.n, cfg.seed);
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(r.keys, expect);
+}
+
+TEST(OddEvenSort, OddProcessorCountWorks) {
+  Machine m(butterfly1(8));
+  SortConfig cfg;
+  cfg.n = 350;
+  cfg.processors = 7;
+  SortResult r = odd_even_sort(m, cfg);
+  ASSERT_FALSE(r.deadlocked);
+  EXPECT_TRUE(std::is_sorted(r.keys.begin(), r.keys.end()));
+  EXPECT_EQ(r.keys.size(), cfg.n);
+}
+
+TEST(OddEvenSort, InjectedBugDeadlocks) {
+  // The Figure 6 scenario: receive-before-send in every pair.
+  Machine m(butterfly1(8));
+  SortConfig cfg;
+  cfg.n = 128;
+  cfg.processors = 8;
+  cfg.inject_deadlock = true;
+  SortResult r = odd_even_sort(m, cfg);
+  EXPECT_TRUE(r.deadlocked);
+}
+
+TEST(BitonicSort, SortsSharedArray) {
+  Machine m(butterfly1(16));
+  SortConfig cfg;
+  cfg.n = 1024;
+  cfg.processors = 16;
+  SortResult r = bitonic_sort(m, cfg);
+  ASSERT_FALSE(r.deadlocked);
+  std::vector<std::uint32_t> expect = random_keys(cfg.n, cfg.seed);
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(r.keys, expect);
+}
+
+TEST(BitonicSort, ScalesWithProcessors) {
+  SortConfig cfg;
+  cfg.n = 2048;
+  cfg.processors = 2;
+  Machine m2(butterfly1(32));
+  const auto t2 = bitonic_sort(m2, cfg).elapsed;
+  cfg.processors = 16;
+  Machine m16(butterfly1(32));
+  const auto t16 = bitonic_sort(m16, cfg).elapsed;
+  EXPECT_LT(t16 * 2, t2);
+}
+
+class BitonicSizes : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BitonicSizes, SortsEverySize) {
+  Machine m(butterfly1(8));
+  SortConfig cfg;
+  cfg.n = GetParam();
+  cfg.processors = 8;
+  SortResult r = bitonic_sort(m, cfg);
+  EXPECT_TRUE(std::is_sorted(r.keys.begin(), r.keys.end()));
+  EXPECT_EQ(r.keys.size(), cfg.n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pow2Sweep, BitonicSizes,
+                         ::testing::Values(64u, 128u, 256u, 512u, 2048u));
+
+}  // namespace
+}  // namespace bfly::apps

@@ -1,0 +1,186 @@
+#include "bridge/bridge.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace bfly::bridge {
+namespace {
+
+using sim::butterfly1;
+using sim::Machine;
+using sim::Time;
+
+void fill_block(std::vector<std::uint8_t>& blk, std::uint32_t index) {
+  blk.assign(kBlockSize, 0);
+  for (std::size_t i = 0; i < kBlockSize; ++i)
+    blk[i] = static_cast<std::uint8_t>((index * 31 + i) % 251);
+}
+
+void with_fs(std::uint32_t machine_nodes, std::uint32_t servers,
+             std::function<void(chrys::Kernel&, BridgeFs&)> body) {
+  Machine m(butterfly1(machine_nodes));
+  chrys::Kernel k(m);
+  k.create_process(machine_nodes - 1, [&] {
+    BridgeFs fs(k, servers);
+    body(k, fs);
+    fs.shutdown();
+  });
+  m.run();
+  ASSERT_FALSE(m.deadlocked());
+}
+
+TEST(Bridge, BlockReadWriteRoundTrip) {
+  with_fs(8, 4, [](chrys::Kernel&, BridgeFs& fs) {
+    const FileId f = fs.create("data");
+    std::vector<std::uint8_t> blk, back(kBlockSize);
+    for (std::uint32_t b = 0; b < 10; ++b) {
+      fill_block(blk, b);
+      fs.write_block(f, b, blk.data());
+    }
+    EXPECT_EQ(fs.blocks(f), 10u);
+    for (std::uint32_t b = 0; b < 10; ++b) {
+      fs.read_block(f, b, back.data());
+      fill_block(blk, b);
+      EXPECT_EQ(back, blk) << "block " << b;
+    }
+  });
+}
+
+TEST(Bridge, ToolCopyReplicatesInterleavedFile) {
+  with_fs(8, 4, [](chrys::Kernel&, BridgeFs& fs) {
+    const FileId src = fs.create("src");
+    const FileId dst = fs.create("dst");
+    std::vector<std::uint8_t> blk, back(kBlockSize);
+    for (std::uint32_t b = 0; b < 13; ++b) {
+      fill_block(blk, b);
+      fs.write_block(src, b, blk.data());
+    }
+    fs.tool_copy(src, dst);
+    EXPECT_EQ(fs.blocks(dst), 13u);
+    EXPECT_EQ(fs.tool_compare(src, dst), 0u);
+    for (std::uint32_t b = 0; b < 13; ++b) {
+      fs.read_block(dst, b, back.data());
+      fill_block(blk, b);
+      EXPECT_EQ(back, blk);
+    }
+  });
+}
+
+TEST(Bridge, ToolSearchCountsBytes) {
+  with_fs(8, 3, [](chrys::Kernel&, BridgeFs& fs) {
+    const FileId f = fs.create("hay");
+    std::vector<std::uint8_t> blk(kBlockSize, 0);
+    blk[5] = 0xaa;
+    blk[100] = 0xaa;
+    fs.write_block(f, 0, blk.data());
+    blk.assign(kBlockSize, 0);
+    blk[9] = 0xaa;
+    fs.write_block(f, 1, blk.data());
+    blk.assign(kBlockSize, 0);
+    fs.write_block(f, 2, blk.data());
+    EXPECT_EQ(fs.tool_search(f, 0xaa), 3u);
+    EXPECT_EQ(fs.tool_search(f, 0xbb), 0u);
+  });
+}
+
+TEST(Bridge, ToolCompareSpotsDifferences) {
+  with_fs(8, 4, [](chrys::Kernel&, BridgeFs& fs) {
+    const FileId a = fs.create("a");
+    const FileId b = fs.create("b");
+    std::vector<std::uint8_t> blk;
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      fill_block(blk, i);
+      fs.write_block(a, i, blk.data());
+      if (i == 5) blk[17] ^= 1;  // corrupt one block of b
+      fs.write_block(b, i, blk.data());
+    }
+    EXPECT_EQ(fs.tool_compare(a, b), 1u);
+  });
+}
+
+TEST(Bridge, ToolSortProducesSortedRecords) {
+  with_fs(8, 4, [](chrys::Kernel&, BridgeFs& fs) {
+    const FileId src = fs.create("unsorted");
+    const FileId dst = fs.create("sorted");
+    sim::Rng rng(99);
+    constexpr std::uint32_t kBlocks = 8;
+    constexpr std::uint32_t kRec = kBlockSize / 4;
+    std::vector<std::uint32_t> all;
+    for (std::uint32_t b = 0; b < kBlocks; ++b) {
+      std::vector<std::uint32_t> recs(kRec);
+      for (auto& r : recs) r = static_cast<std::uint32_t>(rng.next());
+      all.insert(all.end(), recs.begin(), recs.end());
+      fs.write_block(src, b, recs.data());
+    }
+    fs.tool_sort(src, dst);
+    std::sort(all.begin(), all.end());
+    std::vector<std::uint32_t> got;
+    std::vector<std::uint8_t> buf(kBlockSize);
+    for (std::uint32_t b = 0; b < kBlocks; ++b) {
+      fs.read_block(dst, b, buf.data());
+      const auto* p = reinterpret_cast<const std::uint32_t*>(buf.data());
+      got.insert(got.end(), p, p + kRec);
+    }
+    EXPECT_EQ(got, all);
+  });
+}
+
+TEST(Bridge, MoreDisksScaleToolThroughput) {
+  // The headline claim: near-linear speedup in the number of disks for
+  // tool-interface operations.
+  auto search_time = [](std::uint32_t servers) {
+    Machine m(butterfly1(64));
+    chrys::Kernel k(m);
+    Time t = 0;
+    k.create_process(63, [&] {
+      BridgeFs fs(k, servers);
+      const FileId f = fs.create("big");
+      std::vector<std::uint8_t> blk(kBlockSize, 7);
+      for (std::uint32_t b = 0; b < 240; ++b) fs.write_block(f, b, blk.data());
+      const Time t0 = m.now();
+      (void)fs.tool_search(f, 9);
+      t = m.now() - t0;
+      fs.shutdown();
+    });
+    m.run();
+    return t;
+  };
+  const Time d1 = search_time(1);
+  const Time d8 = search_time(8);
+  const double speedup = static_cast<double>(d1) / static_cast<double>(d8);
+  EXPECT_GT(speedup, 6.0) << "8 disks should search ~8x faster than 1";
+  EXPECT_LE(speedup, 8.5);
+}
+
+TEST(Bridge, NaiveInterfaceDoesNotScale) {
+  // A synchronous client reading one block at a time gains nothing from
+  // striping: "faster storage devices cannot solve the I/O bottleneck
+  // problem ... if data passes through a file system on a single
+  // processor" — exactly the motivation for the tool interface.
+  auto scan_time = [](std::uint32_t servers) {
+    Machine m(butterfly1(32));
+    chrys::Kernel k(m);
+    Time t = 0;
+    k.create_process(31, [&] {
+      BridgeFs fs(k, servers);
+      const FileId f = fs.create("file");
+      std::vector<std::uint8_t> blk(kBlockSize, 1);
+      for (std::uint32_t b = 0; b < 24; ++b) fs.write_block(f, b, blk.data());
+      std::vector<std::uint8_t> buf(kBlockSize);
+      const Time t0 = m.now();
+      for (std::uint32_t b = 0; b < 24; ++b) fs.read_block(f, b, buf.data());
+      t = m.now() - t0;
+      fs.shutdown();
+    });
+    m.run();
+    return t;
+  };
+  const Time one = scan_time(1);
+  const Time four = scan_time(4);
+  EXPECT_LT(four, 2 * one);
+  EXPECT_GT(four * 2, one) << "no parallel win through the serial client";
+}
+
+}  // namespace
+}  // namespace bfly::bridge

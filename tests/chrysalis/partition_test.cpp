@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "chrysalis/kernel.hpp"
+
+namespace bfly::chrys {
+namespace {
+
+using sim::butterfly1;
+using sim::Machine;
+
+TEST(Partition, ProcessesLandInsideTheirPartition) {
+  Machine m(butterfly1(16));
+  Kernel k(m);
+  std::vector<sim::NodeId> where;
+  const auto p = k.create_partition({4, 5, 6, 7});
+  for (std::uint32_t i = 0; i < 4; ++i)
+    k.enter_partition(p, i, [&k, &where] { where.push_back(k.self().node()); });
+  m.run();
+  std::sort(where.begin(), where.end());
+  EXPECT_EQ(where, (std::vector<sim::NodeId>{4, 5, 6, 7}));
+}
+
+TEST(Partition, CreationOutsideTheFenceThrows) {
+  Machine m(butterfly1(16));
+  Kernel k(m);
+  int code = 0;
+  const auto p = k.create_partition({2, 3});
+  k.enter_partition(p, 0, [&] {
+    // Inside the partition: creating on node 9 must be rejected.
+    code = k.catch_block([&] { k.create_process(9, [] {}); });
+  });
+  m.run();
+  EXPECT_EQ(code, kThrowBadObject);
+}
+
+TEST(Partition, ChildrenInheritThePartition) {
+  Machine m(butterfly1(16));
+  Kernel k(m);
+  Kernel::PartitionId seen = 0;
+  const auto p = k.create_partition({1, 2, 3});
+  k.enter_partition(p, 0, [&] {
+    k.create_process(2, [&] { seen = k.current_partition(); });
+  });
+  m.run();
+  EXPECT_EQ(seen, p);
+}
+
+TEST(Partition, TwoVirtualMachinesCoexist) {
+  // The multi-user story: two partitions each run their own workload and
+  // never place work on each other's nodes.
+  Machine m(butterfly1(16));
+  Kernel k(m);
+  std::vector<sim::NodeId> a_nodes, b_nodes;
+  const auto pa = k.create_partition({0, 1, 2, 3});
+  const auto pb = k.create_partition({8, 9, 10, 11});
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    k.enter_partition(pa, i, [&] {
+      a_nodes.push_back(k.self().node());
+      k.machine().charge(5 * sim::kMillisecond);
+    });
+    k.enter_partition(pb, i, [&] {
+      b_nodes.push_back(k.self().node());
+      k.machine().charge(5 * sim::kMillisecond);
+    });
+  }
+  m.run();
+  for (sim::NodeId n : a_nodes) EXPECT_LE(n, 3u);
+  for (sim::NodeId n : b_nodes) EXPECT_GE(n, 8u);
+}
+
+TEST(Partition, OutsideProcessesAreUnrestricted) {
+  Machine m(butterfly1(8));
+  Kernel k(m);
+  bool ok = false;
+  (void)k.create_partition({0, 1});
+  k.create_process(5, [&] {
+    EXPECT_EQ(k.current_partition(), Kernel::kWholeMachine);
+    k.create_process(6, [&ok] { ok = true; });  // anywhere is fine
+  });
+  m.run();
+  EXPECT_TRUE(ok);
+}
+
+TEST(Partition, BadNodeListRejected) {
+  Machine m(butterfly1(4));
+  Kernel k(m);
+  EXPECT_THROW((void)k.create_partition({2, 99}), ThrowSignal);
+}
+
+}  // namespace
+}  // namespace bfly::chrys

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "chrysalis/kernel.hpp"
+
+namespace bfly::chrys {
+namespace {
+
+using sim::butterfly1;
+using sim::Machine;
+using sim::Time;
+
+TEST(Process, RunsAndExits) {
+  Machine m(butterfly1(4));
+  Kernel k(m);
+  bool ran = false;
+  k.create_process(0, [&] { ran = true; });
+  m.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(k.live_processes(), 0u);
+  EXPECT_FALSE(m.deadlocked());
+}
+
+TEST(Process, NonPreemptivePerNodeScheduling) {
+  Machine m(butterfly1(2));
+  Kernel k(m);
+  std::vector<int> order;
+  k.create_process(0, [&] {
+    order.push_back(1);
+    m.charge(sim::kMillisecond);  // holds the CPU: no preemption
+    order.push_back(2);
+  });
+  k.create_process(0, [&] { order.push_back(3); });
+  m.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Process, ProcessesOnDifferentNodesOverlapInTime) {
+  Machine m(butterfly1(4));
+  Kernel k(m);
+  Time done_a = 0, done_b = 0;
+  k.create_process(0, [&] {
+    m.charge(10 * sim::kMillisecond);
+    done_a = m.now();
+  });
+  k.create_process(1, [&] {
+    m.charge(10 * sim::kMillisecond);
+    done_b = m.now();
+  });
+  m.run();
+  // True parallelism: both finish ~10 ms after their (near-simultaneous)
+  // creation rather than 20 ms serial.
+  EXPECT_LT(done_a, 15 * sim::kMillisecond);
+  EXPECT_LT(done_b, 15 * sim::kMillisecond);
+}
+
+TEST(Process, YieldRotatesReadyQueue) {
+  Machine m(butterfly1(1));
+  Kernel k(m);
+  std::vector<int> order;
+  k.create_process(0, [&] {
+    order.push_back(1);
+    k.yield();
+    order.push_back(3);
+  });
+  k.create_process(0, [&] {
+    order.push_back(2);
+    k.yield();
+    order.push_back(4);
+  });
+  m.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(Process, CreationCostIncludesSerializedTemplateSection) {
+  // Two processes creating children concurrently must queue on the global
+  // process-template resource (the Crowd Control bottleneck).
+  Machine m(butterfly1(8));
+  Kernel k(m);
+  Time t_single = 0;
+  {
+    Machine m1(butterfly1(8));
+    Kernel k1(m1);
+    k1.create_process(0, [&] {
+      const Time t0 = m1.now();
+      k1.create_process(1, [] {});
+      t_single = m1.now() - t0;
+    });
+    m1.run();
+  }
+  std::vector<Time> costs;
+  for (int i = 0; i < 4; ++i) {
+    k.create_process(i, [&, i] {
+      const Time t0 = m.now();
+      k.create_process(4 + i, [] {});
+      costs.push_back(m.now() - t0);
+    });
+  }
+  m.run();
+  ASSERT_EQ(costs.size(), 4u);
+  Time max_cost = *std::max_element(costs.begin(), costs.end());
+  EXPECT_GT(max_cost, t_single + 2 * m.config().proc_create_serial_ns)
+      << "concurrent creators must serialize on the template resource";
+}
+
+TEST(Process, SarBlocksAreBuddySized) {
+  Machine m(butterfly1(2));
+  Kernel k(m);
+  Oid p = k.create_process(0, [] {}, "p", 20);
+  m.run();
+  // 20 segments requested -> 32-SAR block.
+  EXPECT_EQ(k.free_sars(0), 512u - 0u);  // refunded at exit
+  (void)p;
+}
+
+TEST(Process, SarExhaustionLimitsProcessesPerNode) {
+  Machine m(butterfly1(2));
+  Kernel k(m);
+  int created = 0, failed = 0;
+  k.create_process(0, [&] {
+    // Each child wants a 256-SAR block; only 1 more fits beside this
+    // process's own 8 (512 total).
+    for (int i = 0; i < 3; ++i) {
+      const int code = k.catch_block([&] {
+        k.create_process(0, [&k] { k.delay(50 * sim::kMillisecond); }, "fat",
+                         256);
+        ++created;
+      });
+      if (code == kThrowNoSars) ++failed;
+    }
+  });
+  m.run();
+  EXPECT_EQ(created, 1);
+  EXPECT_EQ(failed, 2);
+}
+
+TEST(Process, FaultedProcessTerminatesQuietly) {
+  Machine m(butterfly1(2));
+  Kernel k(m);
+  bool after = false;
+  k.create_process(0, [&] { k.throw_err(kThrowUser + 1); });
+  k.create_process(0, [&] { after = true; });
+  m.run();
+  EXPECT_TRUE(after);
+  EXPECT_EQ(k.live_processes(), 0u);
+}
+
+TEST(Process, DelayReleasesCpuToOtherProcesses) {
+  Machine m(butterfly1(1));
+  Kernel k(m);
+  std::vector<int> order;
+  k.create_process(0, [&] {
+    k.delay(10 * sim::kMillisecond);
+    order.push_back(2);
+  });
+  k.create_process(0, [&] { order.push_back(1); });
+  m.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+}  // namespace
+}  // namespace bfly::chrys

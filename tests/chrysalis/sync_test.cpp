@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include "chrysalis/kernel.hpp"
+#include "chrysalis/spinlock.hpp"
+
+namespace bfly::chrys {
+namespace {
+
+using sim::butterfly1;
+using sim::Machine;
+using sim::Time;
+
+TEST(Event, PostThenWaitDeliversDatum) {
+  Machine m(butterfly1(2));
+  Kernel k(m);
+  std::uint32_t got = 0;
+  k.create_process(0, [&] {
+    Oid ev = k.make_event();
+    k.event_post(ev, 42);
+    got = k.event_wait(ev);
+  });
+  m.run();
+  EXPECT_EQ(got, 42u);
+}
+
+TEST(Event, WaitBlocksUntilPostFromAnotherNode) {
+  Machine m(butterfly1(2));
+  Kernel k(m);
+  std::uint32_t got = 0;
+  Time woke = 0;
+  Oid ev = kNoObject;
+  k.create_process(0, [&] {
+    ev = k.make_event();
+    got = k.event_wait(ev);
+    woke = m.now();
+  });
+  k.create_process(1, [&] {
+    k.delay(5 * sim::kMillisecond);
+    k.event_post(ev, 7);
+  });
+  m.run();
+  EXPECT_EQ(got, 7u);
+  EXPECT_GE(woke, 5 * sim::kMillisecond);
+  EXPECT_FALSE(m.deadlocked());
+}
+
+TEST(Event, OnlyOwnerCanWait) {
+  Machine m(butterfly1(2));
+  Kernel k(m);
+  Oid ev = kNoObject;
+  int code = 0;
+  k.create_process(0, [&] {
+    ev = k.make_event();
+    k.delay(20 * sim::kMillisecond);
+  });
+  k.create_process(1, [&] {
+    k.delay(5 * sim::kMillisecond);
+    code = k.catch_block([&] { (void)k.event_wait(ev); });
+  });
+  m.run();
+  EXPECT_EQ(code, kThrowNotOwner);
+}
+
+TEST(Event, SecondPostOverwrites) {
+  Machine m(butterfly1(1));
+  Kernel k(m);
+  std::uint32_t got = 0;
+  k.create_process(0, [&] {
+    Oid ev = k.make_event();
+    k.event_post(ev, 1);
+    k.event_post(ev, 2);  // binary semantics: overwrites
+    got = k.event_wait(ev);
+  });
+  m.run();
+  EXPECT_EQ(got, 2u);
+}
+
+TEST(Event, PrimitivesCompleteInTensOfMicroseconds) {
+  Machine m(butterfly1(2));
+  Kernel k(m);
+  Time post_cost = 0, wait_cost = 0;
+  k.create_process(0, [&] {
+    Oid ev = k.make_event();
+    Time t0 = m.now();
+    k.event_post(ev, 0);
+    post_cost = m.now() - t0;
+    t0 = m.now();
+    (void)k.event_wait(ev);
+    wait_cost = m.now() - t0;
+  });
+  m.run();
+  EXPECT_GE(post_cost, 10 * sim::kMicrosecond);
+  EXPECT_LE(post_cost, 90 * sim::kMicrosecond);
+  EXPECT_GE(wait_cost, 10 * sim::kMicrosecond);
+  EXPECT_LE(wait_cost, 90 * sim::kMicrosecond);
+}
+
+TEST(DualQueue, DataToMultipleWaiters) {
+  Machine m(butterfly1(4));
+  Kernel k(m);
+  std::vector<std::uint32_t> got(3, 0);
+  Oid dq = k.make_dual_queue();
+  for (int i = 0; i < 3; ++i)
+    k.create_process(i, [&, i] { got[i] = k.dq_dequeue(dq); });
+  k.create_process(3, [&] {
+    k.delay(sim::kMillisecond);
+    k.dq_enqueue(dq, 10);
+    k.dq_enqueue(dq, 20);
+    k.dq_enqueue(dq, 30);
+  });
+  m.run();
+  EXPECT_FALSE(m.deadlocked());
+  // FIFO handoff to waiters in blocking order.
+  EXPECT_EQ(got, (std::vector<std::uint32_t>{10, 20, 30}));
+}
+
+TEST(DualQueue, HoldsDataFromMultiplePosts) {
+  Machine m(butterfly1(1));
+  Kernel k(m);
+  std::vector<std::uint32_t> got;
+  k.create_process(0, [&] {
+    Oid dq = k.make_dual_queue();
+    for (std::uint32_t i = 1; i <= 5; ++i) k.dq_enqueue(dq, i);
+    EXPECT_EQ(k.dq_depth(dq), 5u);
+    for (int i = 0; i < 5; ++i) got.push_back(k.dq_dequeue(dq));
+  });
+  m.run();
+  EXPECT_EQ(got, (std::vector<std::uint32_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(DualQueue, TryDequeueDoesNotBlock) {
+  Machine m(butterfly1(1));
+  Kernel k(m);
+  bool empty_ok = false;
+  k.create_process(0, [&] {
+    Oid dq = k.make_dual_queue();
+    std::uint32_t v = 0;
+    empty_ok = !k.dq_try_dequeue(dq, &v);
+    k.dq_enqueue(dq, 9);
+    empty_ok = empty_ok && k.dq_try_dequeue(dq, &v) && v == 9;
+  });
+  m.run();
+  EXPECT_TRUE(empty_ok);
+}
+
+TEST(DualQueue, BoundedQueueThrowsWhenFull) {
+  Machine m(butterfly1(1));
+  Kernel k(m);
+  int code = 0;
+  k.create_process(0, [&] {
+    Oid dq = k.make_dual_queue(2);
+    k.dq_enqueue(dq, 1);
+    k.dq_enqueue(dq, 2);
+    code = k.catch_block([&] { k.dq_enqueue(dq, 3); });
+  });
+  m.run();
+  EXPECT_EQ(code, kThrowQueueFull);
+}
+
+TEST(DualQueue, AnyoneCanEnqueueProtectionLoophole) {
+  // Section 2.2: "a process can enqueue and dequeue information on any dual
+  // queue it can name" — names are sequential and guessable.
+  Machine m(butterfly1(2));
+  Kernel k(m);
+  Oid dq = kNoObject;
+  std::uint32_t stolen = 0;
+  k.create_process(0, [&] {
+    dq = k.make_dual_queue();
+    k.dq_enqueue(dq, 777);
+    k.delay(10 * sim::kMillisecond);
+  });
+  k.create_process(1, [&] {
+    k.delay(sim::kMillisecond);
+    const Oid guessed = dq;  // in reality: brute-force the small name space
+    stolen = k.dq_dequeue(guessed);
+  });
+  m.run();
+  EXPECT_EQ(stolen, 777u);
+}
+
+TEST(CatchThrow, CostsAbout70Microseconds) {
+  Machine m(butterfly1(1));
+  Kernel k(m);
+  Time cost = 0;
+  k.create_process(0, [&] {
+    const Time t0 = m.now();
+    (void)k.catch_block([] {});
+    cost = m.now() - t0;
+  });
+  m.run();
+  EXPECT_EQ(cost, 70 * sim::kMicrosecond);
+}
+
+TEST(CatchThrow, NestedCatchUnwindsToNearest) {
+  Machine m(butterfly1(1));
+  Kernel k(m);
+  int outer = -1, inner = -1;
+  k.create_process(0, [&] {
+    outer = k.catch_block([&] {
+      inner = k.catch_block([&] { k.throw_err(kThrowUser + 5); });
+      // Execution continues after the inner catch.
+    });
+  });
+  m.run();
+  EXPECT_EQ(inner, kThrowUser + 5);
+  EXPECT_EQ(outer, kThrowNone);
+}
+
+TEST(CatchThrow, DatumIsDelivered) {
+  Machine m(butterfly1(1));
+  Kernel k(m);
+  std::uint32_t datum = 0;
+  int code = 0;
+  k.create_process(0, [&] {
+    code = k.catch_block([&] { k.throw_err(kThrowUser, 0xabcd); }, &datum);
+  });
+  m.run();
+  EXPECT_EQ(code, kThrowUser);
+  EXPECT_EQ(datum, 0xabcdu);
+}
+
+TEST(SpinLock, MutualExclusionAcrossNodes) {
+  Machine m(butterfly1(8));
+  Kernel k(m);
+  sim::PhysAddr cell = m.alloc(0, 8);
+  sim::PhysAddr counter = m.alloc(0, 8);
+  m.poke<std::uint32_t>(cell, 0);
+  m.poke<std::uint32_t>(counter, 0);
+  for (int n = 0; n < 8; ++n) {
+    k.create_process(n, [&m, cell, counter] {
+      SpinLock lock(m, cell);
+      for (int i = 0; i < 20; ++i) {
+        lock.acquire();
+        // Non-atomic read-modify-write protected by the lock.
+        const auto v = m.read<std::uint32_t>(counter);
+        m.charge(10 * sim::kMicrosecond);
+        m.write<std::uint32_t>(counter, v + 1);
+        lock.release();
+      }
+    });
+  }
+  m.run();
+  EXPECT_EQ(m.peek<std::uint32_t>(counter), 160u);
+}
+
+TEST(SpinLock, SpinningStealsCyclesFromLockHomeNode) {
+  // Busy-waiting remote processors hammer the lock word's home module; the
+  // home node's own local references slow down (Section 2.1).
+  auto victim_time = [](int spinners) {
+    Machine m(butterfly1(32));
+    Kernel k(m);
+    sim::PhysAddr cell = m.alloc(0, 8);
+    m.poke<std::uint32_t>(cell, 1);  // held: everyone spins
+    sim::PhysAddr local = m.alloc(0, 64);
+    Time t = 0;
+    k.create_process(0, [&m, local, &t] {
+      const Time t0 = m.now();
+      for (int i = 0; i < 500; ++i) (void)m.read<std::uint32_t>(local);
+      t = m.now() - t0;
+    });
+    for (int s = 1; s <= spinners; ++s) {
+      k.create_process(s, [&m, cell] {
+        SpinLock lock(m, cell, sim::kMicrosecond);
+        for (int i = 0; i < 400; ++i) {
+          if (lock.try_acquire()) lock.release();
+          m.charge(sim::kMicrosecond);
+        }
+      });
+    }
+    m.run();
+    return t;
+  };
+  EXPECT_GT(victim_time(20), 2 * victim_time(0));
+}
+
+}  // namespace
+}  // namespace bfly::chrys

@@ -1,0 +1,109 @@
+#include "crowd/crowd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace bfly::crowd {
+namespace {
+
+using sim::butterfly1;
+using sim::Machine;
+using sim::Time;
+
+TEST(Crowd, EveryWorkerRunsExactlyOnce) {
+  Machine m(butterfly1(16));
+  chrys::Kernel k(m);
+  std::vector<int> hits(37, 0);
+  k.create_process(0, [&] {
+    spread(k, 37, [&](std::uint32_t w) { ++hits[w]; });
+  });
+  m.run();
+  ASSERT_FALSE(m.deadlocked());
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Crowd, WorkersLandOnDistinctNodes) {
+  Machine m(butterfly1(8));
+  chrys::Kernel k(m);
+  std::vector<sim::NodeId> node_of(8, 999);
+  k.create_process(0, [&] {
+    spread(k, 8, [&](std::uint32_t w) {
+      node_of[w] = k.self().node();
+    });
+  });
+  m.run();
+  for (std::uint32_t w = 0; w < 8; ++w) EXPECT_EQ(node_of[w], w % 8);
+}
+
+TEST(Crowd, TreeCreationBeatsSerialCreation) {
+  auto run = [](bool tree) {
+    Machine m(butterfly1(64));
+    chrys::Kernel k(m);
+    Time t = 0;
+    k.create_process(0, [&] {
+      auto work = [&k](std::uint32_t) { k.machine().charge(sim::kMillisecond); };
+      t = tree ? spread(k, 64, work) : spread_serial(k, 64, work);
+    });
+    m.run();
+    return t;
+  };
+  const Time serial = run(false);
+  const Time tree = run(true);
+  EXPECT_LT(tree, serial / 2)
+      << "fan-out creation must be well ahead of one-by-one creation at 64";
+}
+
+TEST(Crowd, TemplateSerializationCapsTheSpeedup) {
+  // The Amdahl lesson: even the tree cannot beat the serialized
+  // process-template section — total creation time is bounded below by
+  // n * serial_section.
+  Machine m(butterfly1(64));
+  chrys::Kernel k(m);
+  Time t = 0;
+  k.create_process(0, [&] { t = spread(k, 64, [](std::uint32_t) {}); });
+  m.run();
+  const Time floor = 63 * m.config().proc_create_serial_ns;
+  EXPECT_GE(t, floor)
+      << "the serialized template resource bounds creation from below";
+  EXPECT_LT(t, 4 * floor) << "but the tree should stay near that bound";
+}
+
+TEST(Crowd, LargerFanoutShortensTheTree) {
+  auto run = [](std::uint32_t fanout) {
+    Machine m(butterfly1(64));
+    chrys::Kernel k(m);
+    Time t = 0;
+    CrowdOptions opt;
+    opt.fanout = fanout;
+    k.create_process(0, [&] {
+      t = spread(
+          k, 64,
+          [&k](std::uint32_t) { k.machine().charge(20 * sim::kMillisecond); },
+          opt);
+    });
+    m.run();
+    return t;
+  };
+  // With deep work per worker, tree depth (startup latency) matters less,
+  // but fanout-4 should still not lose to fanout-2.
+  EXPECT_LE(run(4), run(2) + 10 * sim::kMillisecond);
+}
+
+TEST(Crowd, NestedUseInsideWorkers) {
+  // Crowd Control composes: each top worker spreads a sub-crowd.
+  Machine m(butterfly1(16));
+  chrys::Kernel k(m);
+  std::atomic<int> total{0};
+  k.create_process(0, [&] {
+    spread(k, 4, [&](std::uint32_t) {
+      spread(k, 4, [&](std::uint32_t) { ++total; });
+    });
+  });
+  m.run();
+  EXPECT_EQ(total.load(), 16);
+  ASSERT_FALSE(m.deadlocked());
+}
+
+}  // namespace
+}  // namespace bfly::crowd

@@ -1,0 +1,162 @@
+#include "elmwood/elmwood.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bfly::elmwood {
+namespace {
+
+using sim::butterfly1;
+using sim::Machine;
+using sim::Time;
+
+void with_os(std::function<void(chrys::Kernel&, Elmwood&)> body) {
+  Machine m(butterfly1(8));
+  chrys::Kernel k(m);
+  Elmwood os(k);
+  k.create_process(0, [&] {
+    body(k, os);
+    os.shutdown();
+  });
+  m.run();
+  ASSERT_FALSE(m.deadlocked());
+}
+
+TEST(Elmwood, InvokeEntryOnRemoteObject) {
+  with_os([](chrys::Kernel&, Elmwood& os) {
+    const Capability doubler = os.create_object(3, "doubler");
+    os.add_entry(doubler, "twice",
+                 [](Invocation&, std::uint64_t v) { return 2 * v; });
+    EXPECT_EQ(os.invoke(doubler, "twice", 21), 42u);
+    EXPECT_EQ(os.invoke(doubler, "twice", 100), 200u);
+  });
+}
+
+TEST(Elmwood, UnknownEntryOrCapabilityThrows) {
+  with_os([](chrys::Kernel& k, Elmwood& os) {
+    const Capability obj = os.create_object(1, "o");
+    os.add_entry(obj, "ok", [](Invocation&, std::uint64_t) { return 0ull; });
+    int code = k.catch_block([&] { (void)os.invoke(obj, "nope", 0); });
+    EXPECT_EQ(code, chrys::kThrowBadObject);
+    code = k.catch_block(
+        [&] { (void)os.invoke(Capability{0xdeadbeef}, "ok", 0); });
+    EXPECT_EQ(code, chrys::kThrowBadObject);
+  });
+}
+
+TEST(Elmwood, EntriesAreAMonitor) {
+  // Two concurrent invocations of a read-modify-write entry must not race:
+  // the object serializes them.
+  Machine m(butterfly1(8));
+  chrys::Kernel k(m);
+  Elmwood os(k);
+  std::uint64_t counter = 0;
+  Capability obj{};
+  k.create_process(0, [&] {
+    obj = os.create_object(2, "counter");
+    os.add_entry(obj, "bump", [&](Invocation&, std::uint64_t) {
+      const std::uint64_t v = counter;
+      os.invocations();  // no-op; keep the body non-trivial
+      k.machine().charge(2 * sim::kMillisecond);  // wide race window
+      counter = v + 1;
+      return counter;
+    });
+    for (std::uint32_t p = 1; p <= 5; ++p)
+      k.create_process(p, [&os, &obj] {
+        for (int i = 0; i < 4; ++i) (void)os.invoke(obj, "bump", 0);
+      });
+    k.delay(400 * sim::kMillisecond);
+    os.shutdown();
+  });
+  m.run();
+  ASSERT_FALSE(m.deadlocked());
+  EXPECT_EQ(counter, 20u) << "monitor must serialize the RMW entries";
+}
+
+TEST(Elmwood, ReentrantEntriesOverlap) {
+  // Two invocations of a reentrant entry overlap in time; the same entry
+  // without the flag would take twice as long.
+  auto run = [](bool reentrant) {
+    Machine m(butterfly1(8));
+    chrys::Kernel k(m);
+    Elmwood os(k);
+    Time t = 0;
+    k.create_process(0, [&] {
+      const Capability obj = os.create_object(2, "slow");
+      // The entry BLOCKS (an I/O-shaped wait): reentrancy lets a second
+      // invocation proceed during the wait; a monitor entry holds everyone
+      // out until it finishes.
+      os.add_entry(
+          obj, "work",
+          [&k](Invocation&, std::uint64_t) {
+            k.delay(50 * sim::kMillisecond);
+            return 0ull;
+          },
+          reentrant);
+      const Time t0 = k.now();
+      chrys::Oid done = k.make_dual_queue();
+      for (std::uint32_t p = 1; p <= 2; ++p)
+        k.create_process(p, [&os, obj, &k, done] {
+          (void)os.invoke(obj, "work", 0);
+          k.dq_enqueue(done, 1);
+        });
+      (void)k.dq_dequeue(done);
+      (void)k.dq_dequeue(done);
+      t = k.now() - t0;
+      os.shutdown();
+    });
+    m.run();
+    return t;
+  };
+  const Time serial = run(false);
+  const Time overlapped = run(true);
+  EXPECT_GT(serial, 95 * sim::kMillisecond);
+  EXPECT_LT(overlapped, serial - 30 * sim::kMillisecond);
+}
+
+TEST(Elmwood, NestedInvocationAcrossObjects) {
+  with_os([](chrys::Kernel&, Elmwood& os) {
+    const Capability inner = os.create_object(1, "inner");
+    os.add_entry(inner, "add3",
+                 [](Invocation&, std::uint64_t v) { return v + 3; });
+    const Capability outer = os.create_object(2, "outer");
+    os.add_entry(outer, "pipe", [inner](Invocation& inv, std::uint64_t v) {
+      return inv.invoke(inner, "add3", v) * 10;
+    });
+    EXPECT_EQ(os.invoke(outer, "pipe", 4), 70u);
+  });
+}
+
+TEST(Elmwood, ObjectsOnDifferentNodesRunInParallel) {
+  Machine m(butterfly1(8));
+  chrys::Kernel k(m);
+  Elmwood os(k);
+  Time t = 0;
+  k.create_process(0, [&] {
+    std::vector<Capability> objs;
+    for (sim::NodeId n = 1; n <= 4; ++n) {
+      const Capability o = os.create_object(n, "w" + std::to_string(n));
+      os.add_entry(o, "work", [&k](Invocation&, std::uint64_t) {
+        k.machine().charge(40 * sim::kMillisecond);
+        return 0ull;
+      });
+      objs.push_back(o);
+    }
+    chrys::Oid done = k.make_dual_queue();
+    const Time t0 = k.now();
+    for (std::uint32_t i = 0; i < 4; ++i)
+      k.create_process(5 + i % 3, [&os, &k, o = objs[i], done] {
+        (void)os.invoke(o, "work", 0);
+        k.dq_enqueue(done, 1);
+      });
+    for (int i = 0; i < 4; ++i) (void)k.dq_dequeue(done);
+    t = k.now() - t0;
+    os.shutdown();
+  });
+  m.run();
+  ASSERT_FALSE(m.deadlocked());
+  EXPECT_LT(t, 100 * sim::kMillisecond)
+      << "four 40ms invocations on four objects must overlap";
+}
+
+}  // namespace
+}  // namespace bfly::elmwood

@@ -1,0 +1,177 @@
+#include "lynx/lynx.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bfly::lynx {
+namespace {
+
+using sim::butterfly1;
+using sim::Machine;
+
+void with_runtime(std::uint32_t nodes,
+                  std::function<void(chrys::Kernel&, Runtime&)> setup) {
+  Machine m(butterfly1(nodes));
+  chrys::Kernel k(m);
+  k.create_process(0, [&] {
+    Runtime rt(k);
+    setup(k, rt);
+    rt.join();
+  });
+  m.run();
+  ASSERT_FALSE(m.deadlocked());
+}
+
+TEST(Lynx, SimpleRpcRoundTrip) {
+  std::uint32_t got = 0;
+  End client_end;
+  with_runtime(4, [&](chrys::Kernel&, Runtime& rt) {
+    const std::uint32_t server = rt.spawn(1, [](Proc& p) {
+      Request req = p.accept();
+      const auto v = req.as<std::uint32_t>();
+      p.reply_value<std::uint32_t>(req, v * 2);
+    });
+    const std::uint32_t client = rt.spawn(2, [&got, &client_end](Proc& p) {
+      got = p.call_value<std::uint32_t, std::uint32_t>(client_end, 21);
+    });
+    client_end = rt.connect(client, server);
+  });
+  EXPECT_EQ(got, 42u);
+}
+
+TEST(Lynx, ServerHandlesManyClients) {
+  std::vector<std::uint32_t> results(6, 0);
+  std::vector<End> ends(6);
+  with_runtime(8, [&](chrys::Kernel&, Runtime& rt) {
+    const std::uint32_t server = rt.spawn(0, [](Proc& p) {
+      for (int i = 0; i < 6; ++i) {
+        Request req = p.accept();
+        p.reply_value<std::uint32_t>(req, req.as<std::uint32_t>() + 100);
+      }
+    });
+    for (std::uint32_t c = 0; c < 6; ++c) {
+      const std::uint32_t client = rt.spawn(1 + c % 7, [&, c](Proc& p) {
+        results[c] = p.call_value<std::uint32_t, std::uint32_t>(ends[c], c);
+      });
+      ends[c] = rt.connect(client, server);
+    }
+  });
+  for (std::uint32_t c = 0; c < 6; ++c) EXPECT_EQ(results[c], c + 100);
+}
+
+TEST(Lynx, ThreadsInOneProcessInterleaveCalls) {
+  // The dispatcher must let other threads run while one awaits a reply.
+  std::vector<int> events;
+  End e;
+  with_runtime(4, [&](chrys::Kernel&, Runtime& rt) {
+    const std::uint32_t server = rt.spawn(1, [](Proc& p) {
+      // Two requests arrive before either is answered.
+      Request a = p.accept();
+      Request b = p.accept();
+      p.reply_value<int>(b, 2);
+      p.reply_value<int>(a, 1);
+    });
+    const std::uint32_t client = rt.spawn(2, [&](Proc& p) {
+      p.fork([&] {
+        events.push_back(10);
+        const int r = p.call_value<int, int>(e, 0);
+        events.push_back(r);
+      });
+      events.push_back(20);
+      const int r = p.call_value<int, int>(e, 0);
+      events.push_back(r);
+    });
+    e = rt.connect(client, server);
+  });
+  // Both calls completed; replies came back in reversed order.
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0], 20);  // body thread runs first
+  EXPECT_EQ(events[1], 10);  // forked thread runs while body awaits reply
+}
+
+TEST(Lynx, LinksCanMove) {
+  // A link end is handed from one process to another mid-run: complete
+  // run-time control over the communication topology.
+  std::uint32_t first = 0, second = 0;
+  End client_end;
+  std::uint32_t s2 = 0;
+  with_runtime(8, [&](chrys::Kernel& k, Runtime& rt) {
+    const std::uint32_t s1 = rt.spawn(1, [&](Proc& p) {
+      Request req = p.accept();
+      p.reply_value<std::uint32_t>(req, 111);
+      // Hand our end of the link over to the other server.
+    });
+    s2 = rt.spawn(2, [&](Proc& p) {
+      Request req = p.accept();
+      p.reply_value<std::uint32_t>(req, 222);
+    });
+    const std::uint32_t client = rt.spawn(3, [&](Proc& p) {
+      first = p.call_value<std::uint32_t, std::uint32_t>(client_end, 0);
+      rt.move_end(client_end.opposite(), s2);
+      second = p.call_value<std::uint32_t, std::uint32_t>(client_end, 0);
+    });
+    client_end = rt.connect(client, s1);
+    (void)k;
+  });
+  EXPECT_EQ(first, 111u);
+  EXPECT_EQ(second, 222u);
+}
+
+TEST(Lynx, CallOnDeadLinkThrows) {
+  int code = 0;
+  End e;
+  with_runtime(4, [&](chrys::Kernel& k, Runtime& rt) {
+    const std::uint32_t a = rt.spawn(1, [&](Proc& p) {
+      rt.destroy_link(e);
+      code = k.catch_block([&] { (void)p.call(e, "x", 1); });
+    });
+    const std::uint32_t b = rt.spawn(2, [](Proc&) {});
+    e = rt.connect(a, b);
+  });
+  EXPECT_EQ(code, chrys::kThrowBadObject);
+}
+
+TEST(Lynx, CallOnSomeoneElsesEndThrows) {
+  int code = 0;
+  End e;
+  with_runtime(4, [&](chrys::Kernel& k, Runtime& rt) {
+    const std::uint32_t a = rt.spawn(1, [&](Proc& p) {
+      // Try to call through the end held by the OTHER process.
+      code = k.catch_block([&] { (void)p.call(e.opposite(), "x", 1); });
+    });
+    const std::uint32_t b = rt.spawn(2, [](Proc&) {});
+    e = rt.connect(a, b);
+  });
+  EXPECT_EQ(code, chrys::kThrowNotOwner);
+}
+
+TEST(Lynx, RpcCostsMillisecondsNotMicroseconds) {
+  // Scott & Cox: Lynx RPC on the Butterfly costs a couple of milliseconds —
+  // far above the microcoded primitives, but "for the semantics provided,
+  // the costs are very reasonable".
+  Machine m(butterfly1(4));
+  chrys::Kernel k(m);
+  sim::Time rpc_time = 0;
+  k.create_process(0, [&] {
+    Runtime rt(k);
+    End e;
+    const std::uint32_t server = rt.spawn(1, [](Proc& p) {
+      for (int i = 0; i < 10; ++i) {
+        Request r = p.accept();
+        p.reply_value<int>(r, 0);
+      }
+    });
+    const std::uint32_t client = rt.spawn(2, [&](Proc& p) {
+      const sim::Time s = p.runtime().kernel_now();
+      for (int i = 0; i < 10; ++i) (void)p.call_value<int, int>(e, i);
+      rpc_time = (p.runtime().kernel_now() - s) / 10;
+    });
+    e = rt.connect(client, server);
+    rt.join();
+  });
+  m.run();
+  EXPECT_GT(rpc_time, 1 * sim::kMillisecond);
+  EXPECT_LT(rpc_time, 10 * sim::kMillisecond);
+}
+
+}  // namespace
+}  // namespace bfly::lynx

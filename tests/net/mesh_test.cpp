@@ -1,0 +1,149 @@
+#include "net/mesh.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bfly::net {
+namespace {
+
+using sim::butterfly1;
+using sim::Machine;
+
+void with_creator(std::uint32_t nodes, std::function<void(chrys::Kernel&)> body) {
+  Machine m(butterfly1(nodes));
+  chrys::Kernel k(m);
+  k.create_process(0, [&] { body(k); }, "creator");
+  m.run();
+  ASSERT_FALSE(m.deadlocked());
+}
+
+TEST(Mesh, LinePassesBytesEastward) {
+  with_creator(8, [](chrys::Kernel& k) {
+    std::uint32_t final_value = 0;
+    Mesh mesh(k, 1, 5, [&](Element& e) {
+      if (e.col() == 0) {
+        e.out(Direction::kEast)->write_value<std::uint32_t>(100);
+      } else {
+        const auto v = e.in(Direction::kWest)->read_value<std::uint32_t>();
+        if (e.out(Direction::kEast) != nullptr)
+          e.out(Direction::kEast)->write_value<std::uint32_t>(v + 1);
+        else
+          final_value = v;
+      }
+    });
+    mesh.join();
+    EXPECT_EQ(final_value, 103u);
+  });
+}
+
+TEST(Mesh, BoundariesAreNullWithoutWrap) {
+  with_creator(8, [](chrys::Kernel& k) {
+    bool corner_ok = false, middle_ok = false;
+    Mesh mesh(k, 3, 3, [&](Element& e) {
+      if (e.row() == 0 && e.col() == 0) {
+        corner_ok = e.in(Direction::kNorth) == nullptr &&
+                    e.out(Direction::kWest) == nullptr &&
+                    e.out(Direction::kEast) != nullptr &&
+                    e.out(Direction::kSouth) != nullptr;
+      }
+      if (e.row() == 1 && e.col() == 1) {
+        middle_ok = e.out(Direction::kNorth) != nullptr &&
+                    e.out(Direction::kSouth) != nullptr &&
+                    e.out(Direction::kWest) != nullptr &&
+                    e.out(Direction::kEast) != nullptr;
+      }
+    });
+    mesh.join();
+    EXPECT_TRUE(corner_ok);
+    EXPECT_TRUE(middle_ok);
+  });
+}
+
+TEST(Mesh, TorusWrapsBothWays) {
+  with_creator(8, [](chrys::Kernel& k) {
+    std::uint32_t hops = 0;
+    MeshOptions opt;
+    opt.wrap_rows = opt.wrap_cols = true;
+    Mesh mesh(
+        k, 2, 4,
+        [&](Element& e) {
+          // Token circulates the ring in row 0 and returns to origin.
+          if (e.row() != 0) return;
+          if (e.col() == 0) {
+            e.out(Direction::kEast)->write_value<std::uint32_t>(1);
+            hops = e.in(Direction::kWest)->read_value<std::uint32_t>();
+          } else {
+            const auto v = e.in(Direction::kWest)->read_value<std::uint32_t>();
+            e.out(Direction::kEast)->write_value<std::uint32_t>(v + 1);
+          }
+        },
+        opt);
+    mesh.join();
+    EXPECT_EQ(hops, 4u);
+  });
+}
+
+TEST(Mesh, StreamsHaveNoMessageBoundaries) {
+  with_creator(4, [](chrys::Kernel& k) {
+    std::vector<std::uint8_t> got(6, 0);
+    Mesh mesh(k, 1, 2, [&](Element& e) {
+      if (e.col() == 0) {
+        // Two writes...
+        const std::uint8_t a[] = {1, 2, 3, 4};
+        const std::uint8_t b[] = {5, 6};
+        e.out(Direction::kEast)->write(a, 4);
+        e.out(Direction::kEast)->write(b, 2);
+      } else {
+        // ...consumed by three reads of different sizes.
+        e.in(Direction::kWest)->read(got.data(), 1);
+        e.in(Direction::kWest)->read(got.data() + 1, 3);
+        e.in(Direction::kWest)->read(got.data() + 4, 2);
+      }
+    });
+    mesh.join();
+    EXPECT_EQ(got, (std::vector<std::uint8_t>{1, 2, 3, 4, 5, 6}));
+  });
+}
+
+TEST(Mesh, CylinderPipelineComputesRowSums) {
+  // A 4x3 cylinder: each element adds its (row+col) to a westward-arriving
+  // sum; column 0 elements start the wave.
+  with_creator(16, [](chrys::Kernel& k) {
+    std::vector<std::uint32_t> sums(4, 0);
+    Mesh mesh(k, 4, 3, [&](Element& e) {
+      std::uint32_t acc = e.row() * 10 + e.col();
+      if (e.col() > 0) acc += e.in(Direction::kWest)->read_value<std::uint32_t>();
+      if (e.out(Direction::kEast) != nullptr)
+        e.out(Direction::kEast)->write_value<std::uint32_t>(acc);
+      else
+        sums[e.row()] = acc;
+    });
+    mesh.join();
+    for (std::uint32_t r = 0; r < 4; ++r) EXPECT_EQ(sums[r], r * 30 + 3);
+  });
+}
+
+TEST(Mesh, LargeTransfersArriveIntact) {
+  with_creator(4, [](chrys::Kernel& k) {
+    bool ok = false;
+    Mesh mesh(k, 1, 2, [&](Element& e) {
+      constexpr std::size_t kN = 10000;
+      if (e.col() == 0) {
+        std::vector<std::uint8_t> data(kN);
+        for (std::size_t i = 0; i < kN; ++i)
+          data[i] = static_cast<std::uint8_t>(i % 241);
+        e.out(Direction::kEast)->write(data.data(), kN);
+      } else {
+        std::vector<std::uint8_t> data(kN, 0);
+        e.in(Direction::kWest)->read(data.data(), kN);
+        ok = true;
+        for (std::size_t i = 0; i < kN; ++i)
+          ok = ok && data[i] == static_cast<std::uint8_t>(i % 241);
+      }
+    });
+    mesh.join();
+    EXPECT_TRUE(ok);
+  });
+}
+
+}  // namespace
+}  // namespace bfly::net

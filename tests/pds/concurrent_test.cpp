@@ -1,0 +1,152 @@
+#include "pds/concurrent.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace bfly::pds {
+namespace {
+
+using sim::butterfly1;
+using sim::Machine;
+using sim::Time;
+
+TEST(ExtendibleHash, InsertFindSingleProcess) {
+  Machine m(butterfly1(8));
+  chrys::Kernel k(m);
+  ExtendibleHash h(m, 4);
+  k.create_process(0, [&] {
+    for (std::uint64_t i = 0; i < 100; ++i) h.insert(i, i * i);
+    std::uint64_t v = 0;
+    for (std::uint64_t i = 0; i < 100; ++i) {
+      ASSERT_TRUE(h.find(i, &v)) << i;
+      EXPECT_EQ(v, i * i);
+    }
+    EXPECT_FALSE(h.find(1000, &v));
+  });
+  m.run();
+  EXPECT_GT(h.global_depth(), 3u) << "splits must have deepened the table";
+  EXPECT_GT(h.splits(), 10u);
+}
+
+TEST(ExtendibleHash, OverwriteUpdatesValue) {
+  Machine m(butterfly1(4));
+  chrys::Kernel k(m);
+  ExtendibleHash h(m);
+  k.create_process(0, [&] {
+    h.insert(7, 1);
+    h.insert(7, 2);
+    std::uint64_t v = 0;
+    ASSERT_TRUE(h.find(7, &v));
+    EXPECT_EQ(v, 2u);
+  });
+  m.run();
+  EXPECT_EQ(h.entries(), 1u);
+}
+
+TEST(ExtendibleHash, ConcurrentInsertersDoNotLoseEntries) {
+  Machine m(butterfly1(16));
+  chrys::Kernel k(m);
+  ExtendibleHash h(m, 4);
+  constexpr std::uint32_t kWriters = 12, kEach = 40;
+  for (std::uint32_t w = 0; w < kWriters; ++w) {
+    k.create_process(w, [&h, w] {
+      for (std::uint32_t i = 0; i < kEach; ++i)
+        h.insert(static_cast<std::uint64_t>(w) * 1000 + i, w + i);
+    });
+  }
+  m.run();
+  ASSERT_FALSE(m.deadlocked());
+  EXPECT_EQ(h.entries(), kWriters * kEach);
+  // Verify every entry afterwards.
+  chrys::Kernel k2(m);
+  k2.create_process(0, [&] {
+    std::uint64_t v = 0;
+    for (std::uint32_t w = 0; w < kWriters; ++w)
+      for (std::uint32_t i = 0; i < kEach; ++i) {
+        ASSERT_TRUE(h.find(static_cast<std::uint64_t>(w) * 1000 + i, &v));
+        EXPECT_EQ(v, w + i);
+      }
+  });
+  m.run();
+}
+
+TEST(FetchAndPhi, FifoSingleProcess) {
+  Machine m(butterfly1(8));
+  chrys::Kernel k(m);
+  FetchAndPhiQueue q(m, 16);
+  k.create_process(0, [&] {
+    for (std::uint32_t i = 0; i < 10; ++i) q.enqueue(i);
+    for (std::uint32_t i = 0; i < 10; ++i) EXPECT_EQ(q.dequeue(), i);
+    std::uint32_t v;
+    EXPECT_FALSE(q.try_dequeue(&v));
+  });
+  m.run();
+}
+
+TEST(FetchAndPhi, WrapsAroundTheRing) {
+  Machine m(butterfly1(4));
+  chrys::Kernel k(m);
+  FetchAndPhiQueue q(m, 4);  // tiny ring: several laps
+  k.create_process(0, [&] {
+    for (std::uint32_t lap = 0; lap < 5; ++lap)
+      for (std::uint32_t i = 0; i < 4; ++i) {
+        q.enqueue(lap * 4 + i);
+        EXPECT_EQ(q.dequeue(), lap * 4 + i);
+      }
+  });
+  m.run();
+}
+
+TEST(FetchAndPhi, ManyProducersManyConsumers) {
+  Machine m(butterfly1(16));
+  chrys::Kernel k(m);
+  FetchAndPhiQueue q(m, 64);
+  constexpr std::uint32_t kProd = 6, kCons = 6, kEach = 30;
+  std::map<std::uint32_t, int> seen;
+  for (std::uint32_t p = 0; p < kProd; ++p) {
+    k.create_process(p, [&q, p] {
+      for (std::uint32_t i = 0; i < kEach; ++i) q.enqueue(p * 100 + i);
+    });
+  }
+  for (std::uint32_t c = 0; c < kCons; ++c) {
+    k.create_process(kProd + c, [&] {
+      for (std::uint32_t i = 0; i < kEach; ++i) ++seen[q.dequeue()];
+    });
+  }
+  m.run();
+  ASSERT_FALSE(m.deadlocked());
+  EXPECT_EQ(seen.size(), kProd * kEach);
+  for (const auto& [v, count] : seen) {
+    (void)v;
+    EXPECT_EQ(count, 1) << "every element delivered exactly once";
+  }
+}
+
+TEST(FetchAndPhi, OutScalesTheGlobalLockUnderContention) {
+  // The point of fetch-and-phi: the single-lock queue serializes on one
+  // cell; the ticket queue's only serialization is a single atomic each.
+  auto run = [](bool ticket_queue) {
+    Machine m(butterfly1(32));
+    chrys::Kernel k(m);
+    FetchAndPhiQueue fq(m, 1024);  // >= total items: no consumer drains it
+    LockedQueue lq(m);
+    constexpr std::uint32_t kProcs = 24, kOps = 25;
+    for (std::uint32_t p = 0; p < kProcs; ++p) {
+      k.create_process(p, [&, p] {
+        for (std::uint32_t i = 0; i < kOps; ++i) {
+          if (ticket_queue) fq.enqueue(p * 100 + i);
+          else lq.enqueue(p * 100 + i);
+        }
+      });
+    }
+    return m.run();
+  };
+  const Time locked = run(false);
+  const Time ticketed = run(true);
+  EXPECT_LT(ticketed * 2, locked)
+      << "fetch-and-phi should leave the global lock well behind";
+}
+
+}  // namespace
+}  // namespace bfly::pds

@@ -1,0 +1,173 @@
+#include "psyche/psyche.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bfly::psyche {
+namespace {
+
+using sim::butterfly1;
+using sim::Machine;
+using sim::Time;
+
+void with_os(std::function<void(chrys::Kernel&, Psyche&)> body) {
+  Machine m(butterfly1(8));
+  chrys::Kernel k(m);
+  Psyche os(k);
+  k.create_process(0, [&] { body(k, os); });
+  m.run();
+  ASSERT_FALSE(m.deadlocked());
+}
+
+TEST(Psyche, RealmsLiveInAUniformAddressSpace) {
+  with_os([](chrys::Kernel&, Psyche& os) {
+    const RealmId a = os.create_realm(1, 4096, "a");
+    const RealmId b = os.create_realm(2, 4096, "b");
+    // Unique, non-overlapping uniform ranges.
+    EXPECT_NE(os.realm_base(a), os.realm_base(b));
+    // A pointer into realm b can be passed around and dereferenced by
+    // anyone — no per-process address spaces to translate between.
+    const std::uint64_t p = os.realm_base(b) + 128;
+    os.uwrite<std::uint64_t>(p, 0xfeedface);
+    EXPECT_EQ(os.uread<std::uint64_t>(p), 0xfeedfaceu);
+  });
+}
+
+TEST(Psyche, BadUniformAddressFaults) {
+  with_os([](chrys::Kernel& k, Psyche& os) {
+    (void)os.create_realm(1, 256, "small");
+    const int code = k.catch_block(
+        [&] { (void)os.uread<std::uint32_t>(0xdead0000ull); });
+    EXPECT_EQ(code, chrys::kThrowSegmentFault);
+  });
+}
+
+TEST(Psyche, OperationsRunThroughAccessProtocols) {
+  with_os([](chrys::Kernel&, Psyche& os) {
+    const RealmId counter = os.create_realm(1, 64, "counter");
+    const std::uint64_t cell = os.realm_base(counter);
+    os.uwrite<std::uint64_t>(cell, 0);
+    os.define_operation(counter, "add", [&](std::uint64_t d) {
+      const auto v = os.uread<std::uint64_t>(cell) + d;
+      os.uwrite<std::uint64_t>(cell, v);
+      return v;
+    });
+    EXPECT_EQ(os.invoke(counter, "add", 5, Access::kOptimized), 5u);
+    EXPECT_EQ(os.invoke(counter, "add", 7, Access::kOptimized), 12u);
+  });
+}
+
+TEST(Psyche, ProtectedInvokeRequiresAKey) {
+  with_os([](chrys::Kernel& k, Psyche& os) {
+    const RealmId r = os.create_realm(1, 64, "guarded");
+    os.define_operation(r, "op", [](std::uint64_t) { return 1ull; });
+    // Without a key: denied.
+    int code = k.catch_block([&] { (void)os.invoke(r, "op", 0); });
+    EXPECT_EQ(code, chrys::kThrowNotOwner);
+    // With a key on the access list: allowed.
+    const Key key = os.mint_key(r, kInvoke);
+    os.hold_key(key);
+    EXPECT_EQ(os.invoke(r, "op", 0), 1u);
+  });
+}
+
+TEST(Psyche, OptimizedAccessSkipsTheCheckEntirely) {
+  // The explicit protection/performance tradeoff: optimized access works
+  // even without rights — you chose speed over checking.
+  with_os([](chrys::Kernel&, Psyche& os) {
+    const RealmId r = os.create_realm(1, 64, "open");
+    os.define_operation(r, "op", [](std::uint64_t) { return 9ull; });
+    EXPECT_EQ(os.invoke(r, "op", 0, Access::kOptimized), 9u);
+  });
+}
+
+TEST(Psyche, PrivilegesAreEvaluatedLazily) {
+  with_os([](chrys::Kernel&, Psyche& os) {
+    const RealmId r = os.create_realm(1, 64, "lazy");
+    os.define_operation(r, "op", [](std::uint64_t) { return 0ull; });
+    os.hold_key(os.mint_key(r, kInvoke));
+    for (int i = 0; i < 10; ++i) (void)os.invoke(r, "op", 0);
+    EXPECT_EQ(os.validations(), 1u) << "only the first call validates";
+    EXPECT_EQ(os.cache_hits(), 9u);
+  });
+}
+
+TEST(Psyche, RevocationInvalidatesCachedPrivileges) {
+  with_os([](chrys::Kernel& k, Psyche& os) {
+    const RealmId r = os.create_realm(1, 64, "revocable");
+    os.define_operation(r, "op", [](std::uint64_t) { return 0ull; });
+    const Key key = os.mint_key(r, kInvoke);
+    os.hold_key(key);
+    (void)os.invoke(r, "op", 0);  // validates and caches
+    os.revoke_key(r, key);
+    const int code = k.catch_block([&] { (void)os.invoke(r, "op", 0); });
+    EXPECT_EQ(code, chrys::kThrowNotOwner)
+        << "revocation must pierce the privilege cache";
+  });
+}
+
+TEST(Psyche, AccessModeCostLadder) {
+  // kOptimized ~ procedure call << kProtected (cached) << kParanoid.
+  Machine m(butterfly1(4));
+  chrys::Kernel k(m);
+  Psyche os(k);
+  Time opt = 0, prot = 0, paranoid = 0;
+  k.create_process(0, [&] {
+    const RealmId r = os.create_realm(1, 64, "ladder");
+    os.define_operation(r, "op", [](std::uint64_t) { return 0ull; });
+    os.hold_key(os.mint_key(r, kInvoke));
+    constexpr int kReps = 20;
+    (void)os.invoke(r, "op", 0);  // warm the cache
+    Time t0 = m.now();
+    for (int i = 0; i < kReps; ++i) (void)os.invoke(r, "op", 0, Access::kOptimized);
+    opt = (m.now() - t0) / kReps;
+    t0 = m.now();
+    for (int i = 0; i < kReps; ++i) (void)os.invoke(r, "op", 0, Access::kProtected);
+    prot = (m.now() - t0) / kReps;
+    t0 = m.now();
+    for (int i = 0; i < kReps; ++i) (void)os.invoke(r, "op", 0, Access::kParanoid);
+    paranoid = (m.now() - t0) / kReps;
+  });
+  m.run();
+  EXPECT_LT(opt * 5, prot);
+  EXPECT_LT(prot * 3, paranoid);
+}
+
+TEST(Psyche, DifferentModelsShareARealm) {
+  // The Psyche thesis in miniature: two processes written against
+  // different conventions interact through one realm in the uniform
+  // address space.
+  Machine m(butterfly1(8));
+  chrys::Kernel k(m);
+  Psyche os(k);
+  std::uint64_t consumer_sum = 0;
+  RealmId mailbox = 0;
+  std::uint64_t base = 0;  // must outlive every process that captures it
+  k.create_process(0, [&] {
+    mailbox = os.create_realm(4, 1024, "mailbox");
+    base = os.realm_base(mailbox);
+    os.uwrite<std::uint32_t>(base, 0);  // count
+    os.define_operation(mailbox, "deposit", [&os, base](std::uint64_t v) {
+      const auto n = os.uread<std::uint32_t>(base);
+      os.uwrite<std::uint64_t>(base + 8 + 8 * n, v);
+      os.uwrite<std::uint32_t>(base, n + 1);
+      return static_cast<std::uint64_t>(n + 1);
+    });
+    // Producer uses the access protocol; consumer reads the shared data
+    // directly through uniform addresses.
+    k.create_process(1, [&os, &mailbox] {
+      for (std::uint64_t v = 1; v <= 5; ++v)
+        (void)os.invoke(mailbox, "deposit", v * 11, Access::kOptimized);
+    });
+    k.create_process(2, [&] {
+      while (os.uread<std::uint32_t>(base) < 5) k.delay(sim::kMillisecond);
+      for (int i = 0; i < 5; ++i)
+        consumer_sum += os.uread<std::uint64_t>(base + 8 + 8 * i);
+    });
+  });
+  m.run();
+  EXPECT_EQ(consumer_sum, 11u * (1 + 2 + 3 + 4 + 5));
+  ASSERT_FALSE(m.deadlocked());
+}
+
+}  // namespace
+}  // namespace bfly::psyche

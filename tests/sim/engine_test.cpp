@@ -1,0 +1,68 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bfly::sim {
+namespace {
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.post_at(30, [&] { order.push_back(3); });
+  e.post_at(10, [&] { order.push_back(1); });
+  e.post_at(20, [&] { order.push_back(2); });
+  EXPECT_EQ(e.run(), 30u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, TiesBreakByInsertionOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) e.post_at(5, [&order, i] { order.push_back(i); });
+  e.run();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, EventsCanScheduleMoreEvents) {
+  Engine e;
+  int hops = 0;
+  std::function<void()> hop = [&] {
+    if (++hops < 5) e.post_in(7, hop);
+  };
+  e.post_at(0, hop);
+  EXPECT_EQ(e.run(), 28u);
+  EXPECT_EQ(hops, 5);
+}
+
+TEST(Engine, PastPostingsClampToNow) {
+  Engine e;
+  Time seen = 1234;
+  e.post_at(100, [&] {
+    e.post_at(1, [&] { seen = e.now(); });  // in the past: clamps to now
+  });
+  e.run();
+  EXPECT_EQ(seen, 100u);
+}
+
+TEST(Engine, StopHaltsTheLoop) {
+  Engine e;
+  int ran = 0;
+  e.post_at(1, [&] { ++ran; e.stop(); });
+  e.post_at(2, [&] { ++ran; });
+  e.run();
+  EXPECT_EQ(ran, 1);
+  EXPECT_FALSE(e.empty());
+}
+
+TEST(Engine, WarpToAdvancesClock) {
+  Engine e;
+  e.warp_to(500);
+  EXPECT_EQ(e.now(), 500u);
+  e.warp_to(100);  // never goes backwards
+  EXPECT_EQ(e.now(), 500u);
+}
+
+}  // namespace
+}  // namespace bfly::sim

@@ -1,0 +1,124 @@
+#include "sim/fiber.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.hpp"
+
+namespace bfly::sim {
+namespace {
+
+TEST(Fiber, RunsBodyOnResume) {
+  bool ran = false;
+  Fiber f([&] { ran = true; }, 64 * 1024);
+  EXPECT_FALSE(ran);
+  f.resume();
+  EXPECT_TRUE(ran);
+  EXPECT_TRUE(f.finished());
+}
+
+TEST(Fiber, YieldSuspendsAndResumeContinues) {
+  int step = 0;
+  Fiber f(
+      [&] {
+        step = 1;
+        Fiber::yield_to_engine();
+        step = 2;
+      },
+      64 * 1024);
+  f.resume();
+  EXPECT_EQ(step, 1);
+  EXPECT_EQ(f.state(), Fiber::State::kBlocked);
+  f.resume();
+  EXPECT_EQ(step, 2);
+  EXPECT_TRUE(f.finished());
+}
+
+TEST(Fiber, CurrentTracksExecution) {
+  Fiber* seen = nullptr;
+  Fiber f([&] { seen = Fiber::current(); }, 64 * 1024);
+  EXPECT_EQ(Fiber::current(), nullptr);
+  f.resume();
+  EXPECT_EQ(seen, &f);
+  EXPECT_EQ(Fiber::current(), nullptr);
+}
+
+TEST(Fiber, DeepStackUse) {
+  // Recursion to a depth that would smash a tiny stack must work with the
+  // configured stack size.
+  std::function<int(int)> fib = [&](int n) {
+    return n < 2 ? n : fib(n - 1) + fib(n - 2);
+  };
+  int result = 0;
+  Fiber f([&] { result = fib(18); }, 192 * 1024);
+  f.resume();
+  EXPECT_EQ(result, 2584);
+}
+
+TEST(MachineFiber, ChargeAdvancesTime) {
+  Machine m(butterfly1(4));
+  Time end = 0;
+  m.spawn(0, [&] {
+    m.charge(1000);
+    m.charge(500);
+    end = m.now();
+  });
+  m.run();
+  EXPECT_EQ(end, 1500u);
+  EXPECT_FALSE(m.deadlocked());
+}
+
+TEST(MachineFiber, ParkAndWakeup) {
+  Machine m(butterfly1(4));
+  Fiber* sleeper = nullptr;
+  Time woke_at = 0;
+  sleeper = m.spawn(0, [&] {
+    m.park();
+    woke_at = m.now();
+  });
+  m.spawn(1, [&] {
+    m.charge(5000);
+    m.wakeup(sleeper);
+  });
+  m.run();
+  EXPECT_EQ(woke_at, 5000u);
+}
+
+TEST(MachineFiber, UnwokenParkIsDeadlock) {
+  Machine m(butterfly1(2));
+  m.spawn(0, [&] { m.park(); });
+  m.run();
+  EXPECT_TRUE(m.deadlocked());
+  EXPECT_EQ(m.blocked_fibers().size(), 1u);
+}
+
+TEST(MachineFiber, ManyFibersInterleaveDeterministically) {
+  Machine m(butterfly1(16));
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    m.spawn(i, [&, i] {
+      m.charge(100 * (i % 4));
+      order.push_back(i);
+    });
+  }
+  m.run();
+  ASSERT_EQ(order.size(), 16u);
+  // Sorted by (charge time, spawn order): all i%4==0 first, etc.
+  std::vector<int> expect;
+  for (int r = 0; r < 4; ++r)
+    for (int i = r; i < 16; i += 4) expect.push_back(i);
+  EXPECT_EQ(order, expect);
+}
+
+TEST(MachineFiber, SleepUntil) {
+  Machine m(butterfly1(2));
+  Time t = 0;
+  m.spawn(0, [&] {
+    m.sleep_until(9000);
+    t = m.now();
+  });
+  m.run();
+  EXPECT_EQ(t, 9000u);
+}
+
+}  // namespace
+}  // namespace bfly::sim

@@ -1,0 +1,65 @@
+// Failure-injection tests for the Uniform System.
+#include <gtest/gtest.h>
+
+#include "us/uniform_system.hpp"
+
+namespace bfly::us {
+namespace {
+
+using sim::butterfly1;
+using sim::Machine;
+
+TEST(UsFaults, ThrowingTaskDoesNotKillItsManager) {
+  Machine m(butterfly1(8));
+  chrys::Kernel k(m);
+  UniformSystem us(k);
+  int completed = 0;
+  us.run_main([&] {
+    us.for_all(0, 40, [&](TaskCtx& c) {
+      if (c.arg % 4 == 0) c.k.throw_err(chrys::kThrowUser + 9);
+      ++completed;
+    });
+    // Managers survived: a second generation still runs everywhere.
+    us.for_all(0, 40, [&](TaskCtx&) { ++completed; });
+  });
+  EXPECT_EQ(completed, 30 + 40);
+  EXPECT_EQ(us.tasks_faulted(), 10u);
+  EXPECT_EQ(us.tasks_run(), 80u);
+  EXPECT_FALSE(m.deadlocked());
+}
+
+TEST(UsFaults, WaitIdleStillFiresWhenTasksFault) {
+  // The completion counter must be decremented even for faulting tasks,
+  // or wait_idle would hang forever.
+  Machine m(butterfly1(4));
+  chrys::Kernel k(m);
+  UniformSystem us(k);
+  bool finished = false;
+  us.run_main([&] {
+    us.gen_on_index(0, 10, [&](TaskCtx& c) {
+      c.k.throw_err(chrys::kThrowUser);
+    });
+    us.wait_idle();
+    finished = true;
+  });
+  EXPECT_TRUE(finished);
+  EXPECT_EQ(us.tasks_faulted(), 10u);
+}
+
+TEST(UsFaults, AllocationFailureInsideTaskIsTrapped) {
+  Machine m(butterfly1(4));
+  chrys::Kernel k(m);
+  UsConfig cfg;
+  cfg.heap_limit = 64 * 1024;
+  UniformSystem us(k, cfg);
+  us.run_main([&] {
+    us.for_all(0, 8, [](TaskCtx& c) {
+      (void)c.us.alloc_global(32 * 1024);  // most of these blow the limit
+    });
+  });
+  EXPECT_GE(us.tasks_faulted(), 6u);
+  EXPECT_FALSE(m.deadlocked());
+}
+
+}  // namespace
+}  // namespace bfly::us

@@ -1,0 +1,218 @@
+#include "us/uniform_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace bfly::us {
+namespace {
+
+using sim::butterfly1;
+using sim::Machine;
+using sim::Time;
+
+TEST(UniformSystem, RunsTasksOnAllProcessors) {
+  Machine m(butterfly1(16));
+  chrys::Kernel k(m);
+  UniformSystem us(k);
+  std::vector<int> hits(16, 0);
+  us.run_main([&] {
+    us.for_all(0, 200, [&](TaskCtx& c) {
+      c.m.charge(sim::kMillisecond);  // make tasks long enough to spread
+      ++hits[c.node];
+    });
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 200);
+  int busy_nodes = 0;
+  for (int h : hits) busy_nodes += h > 0;
+  EXPECT_GT(busy_nodes, 12) << "work queue should spread tasks over nodes";
+  EXPECT_FALSE(m.deadlocked());
+}
+
+TEST(UniformSystem, TasksSeeTheirIndexArgument) {
+  Machine m(butterfly1(4));
+  chrys::Kernel k(m);
+  UniformSystem us(k);
+  std::vector<std::uint32_t> seen;
+  us.run_main([&] {
+    us.for_all(10, 20, [&](TaskCtx& c) { seen.push_back(c.arg); });
+  });
+  std::sort(seen.begin(), seen.end());
+  std::vector<std::uint32_t> expect(10);
+  std::iota(expect.begin(), expect.end(), 10u);
+  EXPECT_EQ(seen, expect);
+}
+
+TEST(UniformSystem, WaitIdleWaitsForEverything) {
+  Machine m(butterfly1(8));
+  chrys::Kernel k(m);
+  UniformSystem us(k);
+  int done = 0;
+  bool all_done_at_wait = false;
+  us.run_main([&] {
+    us.gen_on_index(0, 50, [&](TaskCtx& c) {
+      c.m.charge(2 * sim::kMillisecond);
+      ++done;
+    });
+    us.wait_idle();
+    all_done_at_wait = (done == 50);
+  });
+  EXPECT_TRUE(all_done_at_wait);
+}
+
+TEST(UniformSystem, RepeatedGenerationsAndWaits) {
+  Machine m(butterfly1(4));
+  chrys::Kernel k(m);
+  UniformSystem us(k);
+  int total = 0;
+  us.run_main([&] {
+    for (int round = 0; round < 5; ++round) {
+      us.for_all(0, 20, [&](TaskCtx& c) {
+        c.m.charge(100 * sim::kMicrosecond);
+        ++total;
+      });
+    }
+  });
+  EXPECT_EQ(total, 100);
+}
+
+TEST(UniformSystem, TasksCanGenerateTasks) {
+  Machine m(butterfly1(8));
+  chrys::Kernel k(m);
+  UniformSystem us(k);
+  std::atomic<int> leaf_count{0};
+  us.run_main([&] {
+    us.gen_task([&](TaskCtx& c) {
+      for (int i = 0; i < 10; ++i)
+        c.us.gen_task([&](TaskCtx&) { ++leaf_count; });
+    });
+    us.wait_idle();
+  });
+  EXPECT_EQ(leaf_count.load(), 10);
+}
+
+TEST(UniformSystem, SharedMemoryIsGloballyVisible) {
+  Machine m(butterfly1(8));
+  chrys::Kernel k(m);
+  UniformSystem us(k);
+  std::uint32_t sum = 0;
+  us.run_main([&] {
+    sim::PhysAddr arr = us.alloc_global(8 * 4);
+    for (int i = 0; i < 8; ++i) us.put<std::uint32_t>(arr.plus(4 * i), 0);
+    us.for_all(0, 8, [&, arr](TaskCtx& c) {
+      c.us.put<std::uint32_t>(arr.plus(4 * c.arg), c.arg * c.arg);
+    });
+    for (int i = 0; i < 8; ++i) sum += us.get<std::uint32_t>(arr.plus(4 * i));
+  });
+  EXPECT_EQ(sum, 0u + 1 + 4 + 9 + 16 + 25 + 36 + 49);
+}
+
+TEST(UniformSystem, ScatterRowsRoundRobinsAcrossMemories) {
+  Machine m(butterfly1(8));
+  chrys::Kernel k(m);
+  UsConfig cfg;
+  cfg.memory_nodes = 4;
+  UniformSystem us(k, cfg);
+  std::vector<sim::PhysAddr> rows;
+  us.run_main([&] { rows = us.scatter_rows(12, 256); });
+  ASSERT_EQ(rows.size(), 12u);
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    EXPECT_EQ(rows[i].node, i % 4);
+}
+
+TEST(UniformSystem, HeapCeilingIs16MB) {
+  Machine m(butterfly1(4));
+  chrys::Kernel k(m);
+  UniformSystem us(k);
+  int code = chrys::kThrowNone;
+  us.run_main([&] {
+    code = k.catch_block([&] {
+      for (int i = 0; i < 20; ++i)
+        (void)us.alloc_global(1024 * 1024);  // 20 MB > 16 MB ceiling
+    });
+  });
+  EXPECT_EQ(code, chrys::kThrowOutOfMemory);
+  EXPECT_LE(us.heap_in_use(), 16u * 1024 * 1024);
+}
+
+TEST(UniformSystem, AtomicAddAccumulatesAcrossTasks) {
+  Machine m(butterfly1(16));
+  chrys::Kernel k(m);
+  UniformSystem us(k);
+  std::uint32_t result = 0;
+  us.run_main([&] {
+    sim::PhysAddr acc = us.alloc_global(4);
+    us.put<std::uint32_t>(acc, 0);
+    us.for_all(0, 100, [acc](TaskCtx& c) { c.us.atomic_add(acc, c.arg); });
+    result = us.get<std::uint32_t>(acc);
+  });
+  EXPECT_EQ(result, 4950u);
+}
+
+TEST(UniformSystem, CopyToLocalRoundTrips) {
+  Machine m(butterfly1(4));
+  chrys::Kernel k(m);
+  UniformSystem us(k);
+  bool ok = false;
+  us.run_main([&] {
+    sim::PhysAddr src = us.alloc_on(2, 1024);
+    std::vector<std::uint8_t> data(1024);
+    for (std::size_t i = 0; i < data.size(); ++i)
+      data[i] = static_cast<std::uint8_t>(i * 13);
+    us.copy_from_local(src, data.data(), data.size());
+    std::vector<std::uint8_t> back(1024, 0);
+    us.copy_to_local(back.data(), src, back.size());
+    ok = (back == data);
+  });
+  EXPECT_TRUE(ok);
+}
+
+TEST(UniformSystem, TreeInitIsFasterThanSerialInitAtScale) {
+  auto init_time = [](bool tree) {
+    Machine m(butterfly1(64));
+    chrys::Kernel k(m);
+    UsConfig cfg;
+    cfg.tree_init = tree;
+    UniformSystem us(k, cfg);
+    Time t = 0;
+    k.create_process(0, [&] {
+      const Time t0 = m.now();
+      us.initialize();
+      // Managers exist once a trivial sweep completes.
+      us.for_all(0, 64, [](TaskCtx&) {});
+      t = m.now() - t0;
+      us.terminate();
+    });
+    m.run();
+    return t;
+  };
+  const Time serial = init_time(false);
+  const Time tree = init_time(true);
+  EXPECT_LT(tree, serial)
+      << "fan-out creation must beat serial creation at 64 processors";
+}
+
+TEST(UniformSystem, ParallelSpeedupOnIndependentWork) {
+  auto elapsed = [](std::uint32_t procs) {
+    Machine m(butterfly1(64));
+    chrys::Kernel k(m);
+    UsConfig cfg;
+    cfg.processors = procs;
+    UniformSystem us(k, cfg);
+    Time t = 0;
+    us.run_main([&] {
+      const Time t0 = m.now();
+      us.for_all(0, 256, [](TaskCtx& c) { c.m.charge(5 * sim::kMillisecond); });
+      t = m.now() - t0;
+    });
+    return t;
+  };
+  const Time t1 = elapsed(1);
+  const Time t32 = elapsed(32);
+  const double speedup = static_cast<double>(t1) / static_cast<double>(t32);
+  EXPECT_GT(speedup, 16.0) << "expected substantial speedup on 32 procs";
+  EXPECT_LE(speedup, 32.5);
+}
+
+}  // namespace
+}  // namespace bfly::us
