@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5_gauss.cpp" "bench/CMakeFiles/bench_fig5_gauss.dir/bench_fig5_gauss.cpp.o" "gcc" "bench/CMakeFiles/bench_fig5_gauss.dir/bench_fig5_gauss.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/bfly_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/us/CMakeFiles/bfly_us.dir/DependInfo.cmake"
+  "/root/repo/build/src/smp/CMakeFiles/bfly_smp.dir/DependInfo.cmake"
+  "/root/repo/build/src/chrysalis/CMakeFiles/bfly_chrysalis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bfly_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

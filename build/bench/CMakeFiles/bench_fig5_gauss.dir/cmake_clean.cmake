@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_gauss.dir/bench_fig5_gauss.cpp.o"
+  "CMakeFiles/bench_fig5_gauss.dir/bench_fig5_gauss.cpp.o.d"
+  "bench_fig5_gauss"
+  "bench_fig5_gauss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_gauss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

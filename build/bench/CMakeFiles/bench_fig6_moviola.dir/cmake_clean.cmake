@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_moviola.dir/bench_fig6_moviola.cpp.o"
+  "CMakeFiles/bench_fig6_moviola.dir/bench_fig6_moviola.cpp.o.d"
+  "bench_fig6_moviola"
+  "bench_fig6_moviola.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_moviola.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

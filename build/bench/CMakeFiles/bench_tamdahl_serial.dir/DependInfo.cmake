@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_tamdahl_serial.cpp" "bench/CMakeFiles/bench_tamdahl_serial.dir/bench_tamdahl_serial.cpp.o" "gcc" "bench/CMakeFiles/bench_tamdahl_serial.dir/bench_tamdahl_serial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/us/CMakeFiles/bfly_us.dir/DependInfo.cmake"
+  "/root/repo/build/src/crowd/CMakeFiles/bfly_crowd.dir/DependInfo.cmake"
+  "/root/repo/build/src/chrysalis/CMakeFiles/bfly_chrysalis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bfly_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

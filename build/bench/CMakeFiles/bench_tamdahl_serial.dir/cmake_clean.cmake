@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tamdahl_serial.dir/bench_tamdahl_serial.cpp.o"
+  "CMakeFiles/bench_tamdahl_serial.dir/bench_tamdahl_serial.cpp.o.d"
+  "bench_tamdahl_serial"
+  "bench_tamdahl_serial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tamdahl_serial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

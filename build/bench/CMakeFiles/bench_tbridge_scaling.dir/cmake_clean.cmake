@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tbridge_scaling.dir/bench_tbridge_scaling.cpp.o"
+  "CMakeFiles/bench_tbridge_scaling.dir/bench_tbridge_scaling.cpp.o.d"
+  "bench_tbridge_scaling"
+  "bench_tbridge_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tbridge_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

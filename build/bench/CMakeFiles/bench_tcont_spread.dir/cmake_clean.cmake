@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tcont_spread.dir/bench_tcont_spread.cpp.o"
+  "CMakeFiles/bench_tcont_spread.dir/bench_tcont_spread.cpp.o.d"
+  "bench_tcont_spread"
+  "bench_tcont_spread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tcont_spread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_though_locality.dir/bench_though_locality.cpp.o"
+  "CMakeFiles/bench_though_locality.dir/bench_though_locality.cpp.o.d"
+  "bench_though_locality"
+  "bench_though_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_though_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

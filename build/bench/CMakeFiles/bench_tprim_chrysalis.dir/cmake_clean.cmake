@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tprim_chrysalis.dir/bench_tprim_chrysalis.cpp.o"
+  "CMakeFiles/bench_tprim_chrysalis.dir/bench_tprim_chrysalis.cpp.o.d"
+  "bench_tprim_chrysalis"
+  "bench_tprim_chrysalis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tprim_chrysalis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

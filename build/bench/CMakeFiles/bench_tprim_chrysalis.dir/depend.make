@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tprim_chrysalis.
+# This may be replaced when dependencies are built.

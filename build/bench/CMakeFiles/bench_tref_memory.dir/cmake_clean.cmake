@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tref_memory.dir/bench_tref_memory.cpp.o"
+  "CMakeFiles/bench_tref_memory.dir/bench_tref_memory.cpp.o.d"
+  "bench_tref_memory"
+  "bench_tref_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tref_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

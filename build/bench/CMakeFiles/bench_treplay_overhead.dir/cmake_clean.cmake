@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_treplay_overhead.dir/bench_treplay_overhead.cpp.o"
+  "CMakeFiles/bench_treplay_overhead.dir/bench_treplay_overhead.cpp.o.d"
+  "bench_treplay_overhead"
+  "bench_treplay_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_treplay_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_trpc_comm.cpp" "bench/CMakeFiles/bench_trpc_comm.dir/bench_trpc_comm.cpp.o" "gcc" "bench/CMakeFiles/bench_trpc_comm.dir/bench_trpc_comm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/antfarm/CMakeFiles/bfly_antfarm.dir/DependInfo.cmake"
+  "/root/repo/build/src/lynx/CMakeFiles/bfly_lynx.dir/DependInfo.cmake"
+  "/root/repo/build/src/smp/CMakeFiles/bfly_smp.dir/DependInfo.cmake"
+  "/root/repo/build/src/elmwood/CMakeFiles/bfly_elmwood.dir/DependInfo.cmake"
+  "/root/repo/build/src/chrysalis/CMakeFiles/bfly_chrysalis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bfly_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

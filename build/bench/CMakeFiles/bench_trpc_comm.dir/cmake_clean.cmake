@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trpc_comm.dir/bench_trpc_comm.cpp.o"
+  "CMakeFiles/bench_trpc_comm.dir/bench_trpc_comm.cpp.o.d"
+  "bench_trpc_comm"
+  "bench_trpc_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trpc_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bridge_tools.dir/bridge_tools.cpp.o"
+  "CMakeFiles/bridge_tools.dir/bridge_tools.cpp.o.d"
+  "bridge_tools"
+  "bridge_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bridge_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

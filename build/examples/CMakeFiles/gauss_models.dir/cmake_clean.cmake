@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gauss_models.dir/gauss_models.cpp.o"
+  "CMakeFiles/gauss_models.dir/gauss_models.cpp.o.d"
+  "gauss_models"
+  "gauss_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gauss_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

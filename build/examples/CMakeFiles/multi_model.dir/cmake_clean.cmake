@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_model.dir/multi_model.cpp.o"
+  "CMakeFiles/multi_model.dir/multi_model.cpp.o.d"
+  "multi_model"
+  "multi_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

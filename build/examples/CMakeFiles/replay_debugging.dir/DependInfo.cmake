@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/replay_debugging.cpp" "examples/CMakeFiles/replay_debugging.dir/replay_debugging.cpp.o" "gcc" "examples/CMakeFiles/replay_debugging.dir/replay_debugging.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/replay/CMakeFiles/bfly_replay.dir/DependInfo.cmake"
+  "/root/repo/build/src/chrysalis/CMakeFiles/bfly_chrysalis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bfly_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("chrysalis")
+subdirs("us")
+subdirs("net")
+subdirs("smp")
+subdirs("antfarm")
+subdirs("lynx")
+subdirs("crowd")
+subdirs("replay")
+subdirs("psyche")
+subdirs("pds")
+subdirs("elmwood")
+subdirs("m2")
+subdirs("bridge")
+subdirs("apps")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_antfarm.dir/antfarm.cpp.o"
+  "CMakeFiles/bfly_antfarm.dir/antfarm.cpp.o.d"
+  "libbfly_antfarm.a"
+  "libbfly_antfarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_antfarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

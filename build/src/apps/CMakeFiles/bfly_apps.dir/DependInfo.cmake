@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/alphabeta.cpp" "src/apps/CMakeFiles/bfly_apps.dir/alphabeta.cpp.o" "gcc" "src/apps/CMakeFiles/bfly_apps.dir/alphabeta.cpp.o.d"
+  "/root/repo/src/apps/connectionist.cpp" "src/apps/CMakeFiles/bfly_apps.dir/connectionist.cpp.o" "gcc" "src/apps/CMakeFiles/bfly_apps.dir/connectionist.cpp.o.d"
+  "/root/repo/src/apps/gauss.cpp" "src/apps/CMakeFiles/bfly_apps.dir/gauss.cpp.o" "gcc" "src/apps/CMakeFiles/bfly_apps.dir/gauss.cpp.o.d"
+  "/root/repo/src/apps/geometry.cpp" "src/apps/CMakeFiles/bfly_apps.dir/geometry.cpp.o" "gcc" "src/apps/CMakeFiles/bfly_apps.dir/geometry.cpp.o.d"
+  "/root/repo/src/apps/graph.cpp" "src/apps/CMakeFiles/bfly_apps.dir/graph.cpp.o" "gcc" "src/apps/CMakeFiles/bfly_apps.dir/graph.cpp.o.d"
+  "/root/repo/src/apps/hough.cpp" "src/apps/CMakeFiles/bfly_apps.dir/hough.cpp.o" "gcc" "src/apps/CMakeFiles/bfly_apps.dir/hough.cpp.o.d"
+  "/root/repo/src/apps/image.cpp" "src/apps/CMakeFiles/bfly_apps.dir/image.cpp.o" "gcc" "src/apps/CMakeFiles/bfly_apps.dir/image.cpp.o.d"
+  "/root/repo/src/apps/mst.cpp" "src/apps/CMakeFiles/bfly_apps.dir/mst.cpp.o" "gcc" "src/apps/CMakeFiles/bfly_apps.dir/mst.cpp.o.d"
+  "/root/repo/src/apps/pedagogical.cpp" "src/apps/CMakeFiles/bfly_apps.dir/pedagogical.cpp.o" "gcc" "src/apps/CMakeFiles/bfly_apps.dir/pedagogical.cpp.o.d"
+  "/root/repo/src/apps/pentominoes.cpp" "src/apps/CMakeFiles/bfly_apps.dir/pentominoes.cpp.o" "gcc" "src/apps/CMakeFiles/bfly_apps.dir/pentominoes.cpp.o.d"
+  "/root/repo/src/apps/sort.cpp" "src/apps/CMakeFiles/bfly_apps.dir/sort.cpp.o" "gcc" "src/apps/CMakeFiles/bfly_apps.dir/sort.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/us/CMakeFiles/bfly_us.dir/DependInfo.cmake"
+  "/root/repo/build/src/smp/CMakeFiles/bfly_smp.dir/DependInfo.cmake"
+  "/root/repo/build/src/chrysalis/CMakeFiles/bfly_chrysalis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bfly_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_apps.dir/alphabeta.cpp.o"
+  "CMakeFiles/bfly_apps.dir/alphabeta.cpp.o.d"
+  "CMakeFiles/bfly_apps.dir/connectionist.cpp.o"
+  "CMakeFiles/bfly_apps.dir/connectionist.cpp.o.d"
+  "CMakeFiles/bfly_apps.dir/gauss.cpp.o"
+  "CMakeFiles/bfly_apps.dir/gauss.cpp.o.d"
+  "CMakeFiles/bfly_apps.dir/geometry.cpp.o"
+  "CMakeFiles/bfly_apps.dir/geometry.cpp.o.d"
+  "CMakeFiles/bfly_apps.dir/graph.cpp.o"
+  "CMakeFiles/bfly_apps.dir/graph.cpp.o.d"
+  "CMakeFiles/bfly_apps.dir/hough.cpp.o"
+  "CMakeFiles/bfly_apps.dir/hough.cpp.o.d"
+  "CMakeFiles/bfly_apps.dir/image.cpp.o"
+  "CMakeFiles/bfly_apps.dir/image.cpp.o.d"
+  "CMakeFiles/bfly_apps.dir/mst.cpp.o"
+  "CMakeFiles/bfly_apps.dir/mst.cpp.o.d"
+  "CMakeFiles/bfly_apps.dir/pedagogical.cpp.o"
+  "CMakeFiles/bfly_apps.dir/pedagogical.cpp.o.d"
+  "CMakeFiles/bfly_apps.dir/pentominoes.cpp.o"
+  "CMakeFiles/bfly_apps.dir/pentominoes.cpp.o.d"
+  "CMakeFiles/bfly_apps.dir/sort.cpp.o"
+  "CMakeFiles/bfly_apps.dir/sort.cpp.o.d"
+  "libbfly_apps.a"
+  "libbfly_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_bridge.dir/bridge.cpp.o"
+  "CMakeFiles/bfly_bridge.dir/bridge.cpp.o.d"
+  "libbfly_bridge.a"
+  "libbfly_bridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

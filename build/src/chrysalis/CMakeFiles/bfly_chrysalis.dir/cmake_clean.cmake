@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_chrysalis.dir/kernel.cpp.o"
+  "CMakeFiles/bfly_chrysalis.dir/kernel.cpp.o.d"
+  "libbfly_chrysalis.a"
+  "libbfly_chrysalis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_chrysalis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

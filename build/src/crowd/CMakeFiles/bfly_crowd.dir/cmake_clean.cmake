@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_crowd.dir/crowd.cpp.o"
+  "CMakeFiles/bfly_crowd.dir/crowd.cpp.o.d"
+  "libbfly_crowd.a"
+  "libbfly_crowd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_crowd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

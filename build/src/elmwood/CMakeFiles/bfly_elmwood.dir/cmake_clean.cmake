@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_elmwood.dir/elmwood.cpp.o"
+  "CMakeFiles/bfly_elmwood.dir/elmwood.cpp.o.d"
+  "libbfly_elmwood.a"
+  "libbfly_elmwood.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_elmwood.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_lynx.dir/lynx.cpp.o"
+  "CMakeFiles/bfly_lynx.dir/lynx.cpp.o.d"
+  "libbfly_lynx.a"
+  "libbfly_lynx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_lynx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

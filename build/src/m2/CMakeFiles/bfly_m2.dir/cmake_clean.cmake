@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_m2.dir/coroutines.cpp.o"
+  "CMakeFiles/bfly_m2.dir/coroutines.cpp.o.d"
+  "libbfly_m2.a"
+  "libbfly_m2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_m2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

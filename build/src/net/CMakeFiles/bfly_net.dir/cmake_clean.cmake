@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_net.dir/mesh.cpp.o"
+  "CMakeFiles/bfly_net.dir/mesh.cpp.o.d"
+  "libbfly_net.a"
+  "libbfly_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

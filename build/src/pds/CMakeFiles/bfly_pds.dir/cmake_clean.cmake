@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_pds.dir/concurrent.cpp.o"
+  "CMakeFiles/bfly_pds.dir/concurrent.cpp.o.d"
+  "libbfly_pds.a"
+  "libbfly_pds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_pds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_psyche.dir/psyche.cpp.o"
+  "CMakeFiles/bfly_psyche.dir/psyche.cpp.o.d"
+  "libbfly_psyche.a"
+  "libbfly_psyche.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_psyche.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_replay.dir/instant_replay.cpp.o"
+  "CMakeFiles/bfly_replay.dir/instant_replay.cpp.o.d"
+  "CMakeFiles/bfly_replay.dir/moviola.cpp.o"
+  "CMakeFiles/bfly_replay.dir/moviola.cpp.o.d"
+  "libbfly_replay.a"
+  "libbfly_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_sim.dir/fiber.cpp.o"
+  "CMakeFiles/bfly_sim.dir/fiber.cpp.o.d"
+  "CMakeFiles/bfly_sim.dir/machine.cpp.o"
+  "CMakeFiles/bfly_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/bfly_sim.dir/switch_fabric.cpp.o"
+  "CMakeFiles/bfly_sim.dir/switch_fabric.cpp.o.d"
+  "CMakeFiles/bfly_sim.dir/time.cpp.o"
+  "CMakeFiles/bfly_sim.dir/time.cpp.o.d"
+  "libbfly_sim.a"
+  "libbfly_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

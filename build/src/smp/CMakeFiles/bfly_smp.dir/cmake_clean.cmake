@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_smp.dir/family.cpp.o"
+  "CMakeFiles/bfly_smp.dir/family.cpp.o.d"
+  "libbfly_smp.a"
+  "libbfly_smp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_smp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_us.dir/uniform_system.cpp.o"
+  "CMakeFiles/bfly_us.dir/uniform_system.cpp.o.d"
+  "libbfly_us.a"
+  "libbfly_us.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_us.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

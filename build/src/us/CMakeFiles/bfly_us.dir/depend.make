@@ -1,0 +1,2 @@
+# Empty dependencies file for bfly_us.
+# This may be replaced when dependencies are built.

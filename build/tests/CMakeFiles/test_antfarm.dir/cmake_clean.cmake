@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_antfarm.dir/antfarm/antfarm_test.cpp.o"
+  "CMakeFiles/test_antfarm.dir/antfarm/antfarm_test.cpp.o.d"
+  "test_antfarm"
+  "test_antfarm.pdb"
+  "test_antfarm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_antfarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps/alphabeta_test.cpp" "tests/CMakeFiles/test_apps.dir/apps/alphabeta_test.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/alphabeta_test.cpp.o.d"
+  "/root/repo/tests/apps/apps_test.cpp" "tests/CMakeFiles/test_apps.dir/apps/apps_test.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/apps_test.cpp.o.d"
+  "/root/repo/tests/apps/gauss_test.cpp" "tests/CMakeFiles/test_apps.dir/apps/gauss_test.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/gauss_test.cpp.o.d"
+  "/root/repo/tests/apps/hough_test.cpp" "tests/CMakeFiles/test_apps.dir/apps/hough_test.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/hough_test.cpp.o.d"
+  "/root/repo/tests/apps/mst_pentomino_test.cpp" "tests/CMakeFiles/test_apps.dir/apps/mst_pentomino_test.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/mst_pentomino_test.cpp.o.d"
+  "/root/repo/tests/apps/sort_test.cpp" "tests/CMakeFiles/test_apps.dir/apps/sort_test.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/sort_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/bfly_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/us/CMakeFiles/bfly_us.dir/DependInfo.cmake"
+  "/root/repo/build/src/smp/CMakeFiles/bfly_smp.dir/DependInfo.cmake"
+  "/root/repo/build/src/chrysalis/CMakeFiles/bfly_chrysalis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bfly_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

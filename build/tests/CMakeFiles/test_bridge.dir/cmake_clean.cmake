@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bridge.dir/bridge/bridge_test.cpp.o"
+  "CMakeFiles/test_bridge.dir/bridge/bridge_test.cpp.o.d"
+  "test_bridge"
+  "test_bridge.pdb"
+  "test_bridge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/chrysalis/memory_object_test.cpp" "tests/CMakeFiles/test_chrysalis.dir/chrysalis/memory_object_test.cpp.o" "gcc" "tests/CMakeFiles/test_chrysalis.dir/chrysalis/memory_object_test.cpp.o.d"
+  "/root/repo/tests/chrysalis/partition_test.cpp" "tests/CMakeFiles/test_chrysalis.dir/chrysalis/partition_test.cpp.o" "gcc" "tests/CMakeFiles/test_chrysalis.dir/chrysalis/partition_test.cpp.o.d"
+  "/root/repo/tests/chrysalis/process_test.cpp" "tests/CMakeFiles/test_chrysalis.dir/chrysalis/process_test.cpp.o" "gcc" "tests/CMakeFiles/test_chrysalis.dir/chrysalis/process_test.cpp.o.d"
+  "/root/repo/tests/chrysalis/sync_test.cpp" "tests/CMakeFiles/test_chrysalis.dir/chrysalis/sync_test.cpp.o" "gcc" "tests/CMakeFiles/test_chrysalis.dir/chrysalis/sync_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/chrysalis/CMakeFiles/bfly_chrysalis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bfly_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chrysalis.dir/chrysalis/memory_object_test.cpp.o"
+  "CMakeFiles/test_chrysalis.dir/chrysalis/memory_object_test.cpp.o.d"
+  "CMakeFiles/test_chrysalis.dir/chrysalis/partition_test.cpp.o"
+  "CMakeFiles/test_chrysalis.dir/chrysalis/partition_test.cpp.o.d"
+  "CMakeFiles/test_chrysalis.dir/chrysalis/process_test.cpp.o"
+  "CMakeFiles/test_chrysalis.dir/chrysalis/process_test.cpp.o.d"
+  "CMakeFiles/test_chrysalis.dir/chrysalis/sync_test.cpp.o"
+  "CMakeFiles/test_chrysalis.dir/chrysalis/sync_test.cpp.o.d"
+  "test_chrysalis"
+  "test_chrysalis.pdb"
+  "test_chrysalis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chrysalis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crowd.dir/crowd/crowd_test.cpp.o"
+  "CMakeFiles/test_crowd.dir/crowd/crowd_test.cpp.o.d"
+  "test_crowd"
+  "test_crowd.pdb"
+  "test_crowd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crowd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

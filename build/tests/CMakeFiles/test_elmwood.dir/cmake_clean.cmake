@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_elmwood.dir/elmwood/elmwood_test.cpp.o"
+  "CMakeFiles/test_elmwood.dir/elmwood/elmwood_test.cpp.o.d"
+  "test_elmwood"
+  "test_elmwood.pdb"
+  "test_elmwood[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_elmwood.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lynx.dir/lynx/lynx_test.cpp.o"
+  "CMakeFiles/test_lynx.dir/lynx/lynx_test.cpp.o.d"
+  "test_lynx"
+  "test_lynx.pdb"
+  "test_lynx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lynx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_m2.dir/m2/coroutines_test.cpp.o"
+  "CMakeFiles/test_m2.dir/m2/coroutines_test.cpp.o.d"
+  "test_m2"
+  "test_m2.pdb"
+  "test_m2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_m2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pds.dir/pds/concurrent_test.cpp.o"
+  "CMakeFiles/test_pds.dir/pds/concurrent_test.cpp.o.d"
+  "test_pds"
+  "test_pds.pdb"
+  "test_pds[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

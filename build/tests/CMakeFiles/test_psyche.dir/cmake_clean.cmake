@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_psyche.dir/psyche/psyche_test.cpp.o"
+  "CMakeFiles/test_psyche.dir/psyche/psyche_test.cpp.o.d"
+  "test_psyche"
+  "test_psyche.pdb"
+  "test_psyche[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_psyche.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

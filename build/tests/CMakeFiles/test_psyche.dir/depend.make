@@ -1,0 +1,2 @@
+# Empty dependencies file for test_psyche.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_us.dir/us/fault_test.cpp.o"
+  "CMakeFiles/test_us.dir/us/fault_test.cpp.o.d"
+  "CMakeFiles/test_us.dir/us/uniform_system_test.cpp.o"
+  "CMakeFiles/test_us.dir/us/uniform_system_test.cpp.o.d"
+  "test_us"
+  "test_us.pdb"
+  "test_us[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_us.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

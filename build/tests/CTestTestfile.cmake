@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_chrysalis[1]_include.cmake")
+include("/root/repo/build/tests/test_us[1]_include.cmake")
+include("/root/repo/build/tests/test_smp[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_antfarm[1]_include.cmake")
+include("/root/repo/build/tests/test_lynx[1]_include.cmake")
+include("/root/repo/build/tests/test_crowd[1]_include.cmake")
+include("/root/repo/build/tests/test_replay[1]_include.cmake")
+include("/root/repo/build/tests/test_bridge[1]_include.cmake")
+include("/root/repo/build/tests/test_psyche[1]_include.cmake")
+include("/root/repo/build/tests/test_pds[1]_include.cmake")
+include("/root/repo/build/tests/test_elmwood[1]_include.cmake")
+include("/root/repo/build/tests/test_m2[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
