@@ -1,0 +1,73 @@
+// TFAULT — graceful degradation under dead nodes.
+//
+// Section 2.1 of the paper: with hundreds of boards, Rochester's Butterfly
+// was "rarely fully operational"; the working configuration simply shrank
+// and programs were expected to run on whatever was left.  This bench
+// quantifies that: Gaussian elimination on a 64-processor pool (rows
+// scattered over memory nodes 0-47) with 0, 1, 4, and 8 of the
+// compute-only nodes (63 downward) killed at ~40% of the clean runtime.
+// The Uniform System re-issues the tasks lost with each processor, so the
+// answer stays correct while the speedup degrades roughly with the pool.
+//
+// Output: one JSON line per configuration (plus the human-readable table),
+// so the series can be scraped into a plot.
+
+#include <cstdio>
+
+#include "apps/gauss.hpp"
+#include "bench_common.hpp"
+#include "sim/machine.hpp"
+
+int main() {
+  using namespace bfly;
+  const std::uint32_t n = bench::fast_mode() ? 64 : 192;
+  const std::uint32_t procs = 64;
+  bench::header("TFAULT", "Gauss speedup with nodes dying mid-solve",
+                "the machine was rarely fully operational: the pool shrinks, "
+                "the answer must not");
+  std::printf("matrix N=%u, 64-node Butterfly-I, rows on nodes 0-47, kills "
+              "from node 63 down\n\n", n);
+
+  apps::GaussConfig cfg;
+  cfg.n = n;
+  cfg.processors = procs;
+  cfg.memory_nodes = 48;  // killed nodes hold no rows, only managers
+
+  // Serial reference for the speedup column.
+  apps::GaussConfig serial = cfg;
+  serial.processors = 1;
+  sim::Machine msr(sim::butterfly1(64));
+  const apps::GaussResult rser = apps::gauss_us(msr, serial);
+
+  // A clean 64-processor run fixes the kill schedule at 40% of its time.
+  sim::Machine mcl(sim::butterfly1(64));
+  const apps::GaussResult rcl = apps::gauss_us(mcl, cfg);
+  const sim::Time kill_at = rcl.elapsed * 2 / 5;
+
+  std::printf("%8s %12s %10s %12s %8s\n", "killed", "elapsed(s)", "speedup",
+              "max err", "ok");
+  const std::uint32_t kill_counts[] = {0, 1, 4, 8};
+  for (std::uint32_t kills : kill_counts) {
+    sim::FaultPlan plan;
+    for (std::uint32_t i = 0; i < kills; ++i)
+      plan.kill(63 - i, kill_at + i * sim::kMillisecond);
+    sim::Machine m(sim::butterfly1(64), plan);
+    const apps::GaussResult r = apps::gauss_us(m, cfg);
+    const double err = apps::gauss_error(r, n, cfg.seed);
+    const bool ok = err < 1e-6;
+    const double speedup = static_cast<double>(rser.elapsed) /
+                           static_cast<double>(r.elapsed);
+    std::printf("%8u %12.3f %10.2f %12.2e %8s\n", kills,
+                bench::seconds(r.elapsed), speedup, err, ok ? "yes" : "NO");
+    std::printf("{\"bench\":\"tfault_degradation\",\"n\":%u,\"procs\":%u,"
+                "\"nodes_killed\":%u,\"kill_at_s\":%.3f,\"elapsed_s\":%.3f,"
+                "\"speedup\":%.3f,\"max_err\":%.3e,\"correct\":%s}\n",
+                n, procs, kills, bench::seconds(kill_at),
+                bench::seconds(r.elapsed), speedup, err,
+                ok ? "true" : "false");
+  }
+  std::printf(
+      "\nshape check: every row must say ok=yes (dead processors lose work,\n"
+      "never answers); elapsed grows and speedup shrinks as kills rise.\n");
+  return 0;
+}

@@ -10,6 +10,7 @@ namespace {
 constexpr sim::Time kRequestOverhead = 100 * sim::kMicrosecond;
 // Per-record comparison work during scans/merges.
 constexpr std::uint64_t kScanOpsPerBlock = kBlockSize / 16;
+constexpr std::uint32_t kNoRid = 0xffffffffu;
 }  // namespace
 
 BridgeFs::BridgeFs(chrys::Kernel& k, std::uint32_t servers, DiskParams disk)
@@ -25,9 +26,40 @@ BridgeFs::BridgeFs(chrys::Kernel& k, std::uint32_t servers, DiskParams disk)
     k_.create_process(servers_[s]->node, [this, s] { server_loop(s); },
                       "bridge-srv" + std::to_string(s));
   }
+  servers_alive_ = nservers_;
+  death_observer_ =
+      m_.on_node_death([this](sim::NodeId n) { handle_node_death(n); });
 }
 
-BridgeFs::~BridgeFs() = default;
+BridgeFs::~BridgeFs() {
+  if (death_observer_ != 0) m_.remove_death_observer(death_observer_);
+}
+
+void BridgeFs::fail_abandoned(std::uint32_t s) {
+  std::uint32_t rid;
+  while (k_.dq_try_dequeue_uncharged(servers_[s]->req_dq, &rid)) {
+    reqs_[rid].failed = true;
+    k_.dq_enqueue_uncharged(reqs_[rid].reply_dq, rid);
+  }
+}
+
+void BridgeFs::handle_node_death(sim::NodeId n) {
+  for (std::uint32_t s = 0; s < nservers_; ++s) {
+    Server& sv = *servers_[s];
+    if (!sv.alive || sv.node != n) continue;
+    sv.alive = false;
+    --servers_alive_;
+    ++servers_lost_;
+    // Every client is owed exactly one reply per request.  Fail-reply the
+    // one being served when the node died, then everything still queued.
+    if (sv.current_rid != kNoRid) {
+      reqs_[sv.current_rid].failed = true;
+      k_.dq_enqueue_uncharged(reqs_[sv.current_rid].reply_dq, sv.current_rid);
+      sv.current_rid = kNoRid;
+    }
+    fail_abandoned(s);
+  }
+}
 
 FileId BridgeFs::create(std::string name) {
   files_.push_back(FileMeta{std::move(name), 0});
@@ -54,6 +86,9 @@ void BridgeFs::server_loop(std::uint32_t s) {
   Server& sv = *servers_[s];
   while (true) {
     const std::uint32_t rid = k_.dq_dequeue(sv.req_dq);
+    // Claim the request host-side before any charge: if this node dies
+    // mid-service, the death observer fail-replies exactly this rid.
+    sv.current_rid = rid;
     Request& rq = reqs_[rid];
     bool stop = false;
     switch (rq.op) {
@@ -133,8 +168,11 @@ void BridgeFs::server_loop(std::uint32_t s) {
         break;
     }
     k_.dq_enqueue(rq.reply_dq, rid);
+    sv.current_rid = kNoRid;
     if (stop) break;
   }
+  sv.alive = false;
+  --servers_alive_;
 }
 
 std::uint32_t BridgeFs::local_count(FileId f, std::uint32_t s) const {
@@ -144,8 +182,10 @@ std::uint32_t BridgeFs::local_count(FileId f, std::uint32_t s) const {
 }
 
 void BridgeFs::write_block(FileId f, std::uint32_t index, const void* data) {
-  files_[f].nblocks = std::max(files_[f].nblocks, index + 1);
   const std::uint32_t s = index % nservers_;
+  if (!servers_[s]->alive)
+    throw chrys::ThrowSignal{chrys::kThrowNodeDead, servers_[s]->node};
+  files_[f].nblocks = std::max(files_[f].nblocks, index + 1);
   m_.charge(kRequestOverhead);
   // The block travels to the server's node across the switch.
   m_.access_words(sim::PhysAddr{servers_[s]->node, 0}, kBlockSize / 4 / 8);
@@ -158,13 +198,21 @@ void BridgeFs::write_block(FileId f, std::uint32_t index, const void* data) {
   rq.reply_dq = reply;
   const std::uint32_t rid = put_request(std::move(rq));
   k_.dq_enqueue(servers_[s]->req_dq, rid);
+  // The server may have died while we shipped the request, after its death
+  // observer drained the queue; fail-reply our own stranded rid.
+  if (!servers_[s]->alive) fail_abandoned(s);
   (void)k_.dq_dequeue(reply);
+  const bool failed = reqs_[rid].failed;
   release_request(rid);
   k_.delete_object(reply);
+  if (failed)
+    throw chrys::ThrowSignal{chrys::kThrowNodeDead, servers_[s]->node};
 }
 
 void BridgeFs::read_block(FileId f, std::uint32_t index, void* out) {
   const std::uint32_t s = index % nservers_;
+  if (!servers_[s]->alive)
+    throw chrys::ThrowSignal{chrys::kThrowNodeDead, servers_[s]->node};
   m_.charge(kRequestOverhead);
   const chrys::Oid reply = k_.make_dual_queue();
   Request rq;
@@ -175,9 +223,15 @@ void BridgeFs::read_block(FileId f, std::uint32_t index, void* out) {
   rq.reply_dq = reply;
   const std::uint32_t rid = put_request(std::move(rq));
   k_.dq_enqueue(servers_[s]->req_dq, rid);
+  if (!servers_[s]->alive) fail_abandoned(s);
   (void)k_.dq_dequeue(reply);
-  m_.access_words(sim::PhysAddr{servers_[s]->node, 0}, kBlockSize / 4 / 8);
+  const bool failed = reqs_[rid].failed;
   release_request(rid);
+  if (failed) {
+    k_.delete_object(reply);
+    throw chrys::ThrowSignal{chrys::kThrowNodeDead, servers_[s]->node};
+  }
+  m_.access_words(sim::PhysAddr{servers_[s]->node, 0}, kBlockSize / 4 / 8);
   k_.delete_object(reply);
 }
 
@@ -197,9 +251,11 @@ void BridgeFs::release_request(std::uint32_t rid) { req_free_.push_back(rid); }
 std::uint64_t BridgeFs::ship_to_all(Request::Op op, FileId f, FileId f2,
                                     std::uint8_t needle) {
   const chrys::Oid reply = k_.make_dual_queue();
-  std::vector<std::uint32_t> rids;
+  std::uint32_t shipped = 0;
   for (std::uint32_t s = 0; s < nservers_; ++s) {
+    if (!servers_[s]->alive) continue;  // degraded: surviving stripes only
     m_.charge(kRequestOverhead);
+    if (!servers_[s]->alive) continue;  // died during the charge
     Request rq;
     rq.op = op;
     rq.file = f;
@@ -207,13 +263,17 @@ std::uint64_t BridgeFs::ship_to_all(Request::Op op, FileId f, FileId f2,
     rq.needle = needle;
     rq.reply_dq = reply;
     const std::uint32_t rid = put_request(std::move(rq));
-    rids.push_back(rid);
     k_.dq_enqueue(servers_[s]->req_dq, rid);
+    ++shipped;
+    if (!servers_[s]->alive) fail_abandoned(s);
   }
   std::uint64_t total = 0;
-  for (std::uint32_t i = 0; i < nservers_; ++i) {
+  for (std::uint32_t i = 0; i < shipped; ++i) {
     const std::uint32_t rid = k_.dq_dequeue(reply);
-    total += reqs_[rid].result;
+    if (reqs_[rid].failed)
+      ++tool_shards_failed_;
+    else
+      total += reqs_[rid].result;
     release_request(rid);
   }
   k_.delete_object(reply);

@@ -79,6 +79,9 @@ class BridgeFs {
   FileId create(std::string name);
   /// Logical length in blocks.
   std::uint32_t blocks(FileId f) const;
+  /// Block ops throw chrys::ThrowSignal{kThrowNodeDead} when the stripe's
+  /// server node has died: that slice of every interleaved file is
+  /// unreadable, and the caller is told so explicitly rather than hanging.
   void write_block(FileId f, std::uint32_t index, const void* data);
   void read_block(FileId f, std::uint32_t index, void* out);
 
@@ -99,6 +102,16 @@ class BridgeFs {
 
   std::uint64_t disk_ops() const;
 
+  // --- Degraded operation ------------------------------------------------
+  // Tool operations on a degraded file system run on the surviving servers
+  // only: results cover the reachable stripes and tool_shards_failed()
+  // reports how many slices went unprocessed.
+
+  std::uint32_t servers_alive() const { return servers_alive_; }
+  std::uint32_t servers_lost() const { return servers_lost_; }
+  /// Per-server tool requests that failed (server died before replying).
+  std::uint64_t tool_shards_failed() const { return tool_shards_failed_; }
+
  private:
   struct Request {
     enum Op {
@@ -117,6 +130,7 @@ class BridgeFs {
     const void* wdata = nullptr;  // write
     void* rdata = nullptr;        // read
     std::uint64_t result = 0;     // tool results
+    bool failed = false;          // server died before serving it
     chrys::Oid reply_dq = chrys::kNoObject;
   };
   struct FileMeta {
@@ -131,11 +145,16 @@ class BridgeFs {
     // server k % D at local index k / D.
     std::vector<std::vector<std::vector<std::uint8_t>>> store;  // [file][local]
     std::uint32_t next_lbn = 0;  // disk block allocation cursor
+    bool alive = true;
+    std::uint32_t current_rid = 0xffffffffu;  // request being served, if any
 
     explicit Server(DiskParams p) : disk(p) {}
   };
 
   void server_loop(std::uint32_t s);
+  void handle_node_death(sim::NodeId n);
+  /// Fail-reply every request stranded in a dead server's queue.
+  void fail_abandoned(std::uint32_t s);
   std::uint64_t ship_to_all(Request::Op op, FileId f, FileId f2,
                             std::uint8_t needle);
   std::vector<std::uint8_t>& block_ref(std::uint32_t s, FileId f,
@@ -154,6 +173,10 @@ class BridgeFs {
   std::deque<Request> reqs_;            // host-side request slots (stable refs)
   std::vector<std::uint32_t> req_free_;
   chrys::Oid done_dq_ = chrys::kNoObject;
+  std::uint32_t servers_alive_ = 0;
+  std::uint32_t servers_lost_ = 0;
+  std::uint64_t tool_shards_failed_ = 0;
+  std::uint64_t death_observer_ = 0;
 };
 
 }  // namespace bfly::bridge

@@ -18,9 +18,14 @@ constexpr std::array<std::size_t, 16> kStandardSizes = {
 Kernel::Kernel(sim::Machine& m)
     : m_(m),
       sched_(m.nodes()),
-      sars_free_(m.nodes(), m.config().sars_per_node) {}
+      sars_free_(m.nodes(), m.config().sars_per_node) {
+  // Registered first so the kernel's view is consistent before any higher
+  // layer's death observer runs.
+  death_observer_ =
+      m_.on_node_death([this](sim::NodeId n) { handle_node_death(n); });
+}
 
-Kernel::~Kernel() = default;
+Kernel::~Kernel() { m_.remove_death_observer(death_observer_); }
 
 void Kernel::charge_if_on_fiber(sim::Time ns) {
   if (sim::Fiber::current() != nullptr) m_.charge(ns);
@@ -133,6 +138,8 @@ Oid Kernel::make_memory_object(sim::NodeId node, std::size_t bytes) {
   if (size > 0) {
     try {
       mo.base = m_.alloc(node, size);
+    } catch (const sim::NodeDeadError&) {
+      throw ThrowSignal{kThrowNodeDead, node};
     } catch (const sim::SimError&) {
       throw ThrowSignal{kThrowOutOfMemory, node};
     }
@@ -238,6 +245,7 @@ Oid Kernel::enter_partition(PartitionId p, std::uint32_t index,
 
 Oid Kernel::create_process(sim::NodeId node, std::function<void()> main,
                            std::string name, std::uint32_t max_segments) {
+  if (!m_.node_alive(node)) throw ThrowSignal{kThrowNodeDead, node};
   // Partition fence: a process inside a virtual machine may only create
   // processes on that machine's nodes.
   PartitionId inherited = kWholeMachine;
@@ -280,11 +288,21 @@ Oid Kernel::create_process(sim::NodeId node, std::function<void()> main,
 
   p->fiber_ = m_.spawn_parked(node, [this, p, body = std::move(main)] {
     // Top-level fault barrier: an uncaught throw terminates the process,
-    // as when Chrysalis unwinds to the outermost handler.
+    // as when Chrysalis unwinds to the outermost handler.  Machine faults
+    // (dead-node references, parity errors) terminate it the same way.
     try {
       body();
     } catch (const ThrowSignal&) {
       p->faulted_ = true;
+    } catch (const sim::NodeDeadError&) {
+      p->faulted_ = true;
+    } catch (const sim::MemoryFaultError&) {
+      p->faulted_ = true;
+    } catch (const sim::FiberKill&) {
+      // This process's own node died.  Record the death without timed
+      // operations (there is no CPU left to charge) and let the fiber end.
+      kill_exit(*p);
+      return;
     }
     exit_self();
   });
@@ -321,6 +339,7 @@ bool Kernel::on_process() const {
 }
 
 void Kernel::make_ready(Process& p) {
+  if (p.killed_ || p.state_ == Process::State::kExited) return;
   if (p.state_ == Process::State::kRunning) {
     // The target is on its CPU, part-way through deciding to block (e.g.
     // inside the context-switch charge of block_self).  Flag the wakeup so
@@ -356,6 +375,7 @@ void Kernel::dispatch_next(sim::NodeId node) {
 void Kernel::block_self() {
   Process& p = self();
   assert(sched_[p.node_].current == &p);
+  ++p.wait_seq_;  // invalidates any timer armed for an earlier wait
   m_.charge(m_.config().proc_switch_ns);
   if (p.wakeup_pending_) {
     // A post raced with our decision to block: stay on the CPU.
@@ -391,6 +411,81 @@ void Kernel::exit_self() {
   }
   dispatch_next(p.node_);
   // Fall off: the fiber body returns and the fiber finishes.
+}
+
+void Kernel::kill_exit(Process& p) {
+  if (p.state_ == Process::State::kExited) return;
+  p.killed_ = true;
+  p.faulted_ = true;
+  p.state_ = Process::State::kExited;
+  by_fiber_.erase(p.fiber_);
+  --live_processes_;
+  ++killed_processes_;
+  sars_free_[p.node_] += p.sar_block_;
+  p.sar_block_ = 0;
+  // Pull the corpse out of the dead node's scheduler...
+  NodeSched& ns = sched_[p.node_];
+  if (ns.current == &p) ns.current = nullptr;
+  std::erase(ns.ready, &p);
+  // ...and out of whatever it was blocked on, so a later post is not
+  // delivered to it.
+  if (p.waiting_on_ != kNoObject) {
+    auto it = objects_.find(p.waiting_on_);
+    if (it != objects_.end()) {
+      if (it->second.kind == ObjKind::kDualQueue) {
+        auto& q = std::get<DualQueueObj>(it->second.u);
+        std::erase(q.waiters, p.oid());
+      } else if (it->second.kind == ObjKind::kEvent) {
+        auto& e = std::get<EventObj>(it->second.u);
+        if (e.owner == p.oid()) e.waiting = false;
+      }
+    }
+    p.waiting_on_ = kNoObject;
+  }
+  // A datum handed to this process but never consumed goes back to its
+  // queue: task descriptors and tokens must not die with a courier.
+  if (p.dq_handoff_from_ != kNoObject) {
+    const Oid src = p.dq_handoff_from_;
+    p.dq_handoff_from_ = kNoObject;
+    if (objects_.count(src) > 0 && rec(src).kind == ObjKind::kDualQueue)
+      deliver_or_queue(src, p.wait_datum_);
+  }
+  // Unlike exit_self, nothing is reclaimed: the node crashed, so its
+  // subsidiary objects linger until kernel teardown — faithful to a machine
+  // where a dead node's memory objects were simply unreachable.
+}
+
+void Kernel::handle_node_death(sim::NodeId n) {
+  for (auto& [oid, r] : objects_) {
+    (void)oid;
+    if (r.kind != ObjKind::kProcess) continue;
+    Process& p = *std::get<std::unique_ptr<Process>>(r.u);
+    if (p.node_ != n || p.state_ == Process::State::kExited) continue;
+    p.killed_ = true;  // visible immediately: posts now skip this process
+    // Processes whose fiber never started have no stack to unwind; the
+    // machine drops them outright, so their exit bookkeeping happens here.
+    // Started fibers unwind via FiberKill and reach kill_exit themselves.
+    if (p.fiber_->state() == sim::Fiber::State::kRunnable) kill_exit(p);
+  }
+}
+
+void Kernel::deliver_or_queue(Oid dq, std::uint32_t datum) {
+  DualQueueObj& q = std::get<DualQueueObj>(rec(dq).u);
+  while (!q.waiters.empty()) {
+    Process& w = proc(q.waiters.front());
+    if (w.killed_ || w.state_ == Process::State::kExited) {
+      q.waiters.pop_front();
+      continue;
+    }
+    q.waiters.pop_front();
+    w.wait_datum_ = datum;
+    w.waiting_on_ = kNoObject;
+    w.dq_handoff_from_ = dq;
+    make_ready(w);
+    return;
+  }
+  // Head, not tail: the datum was logically already dequeued once.
+  q.data.push_front(datum);
 }
 
 void Kernel::yield() {
@@ -440,6 +535,7 @@ void Kernel::event_post(Oid ev, std::uint32_t datum) {
   if (e.waiting) {
     e.waiting = false;
     Process& owner = proc(e.owner);
+    if (owner.killed_) return;  // the waiter died with its node: drop
     owner.wait_datum_ = datum;
     owner.waiting_on_ = kNoObject;
     make_ready(owner);
@@ -482,12 +578,23 @@ Oid Kernel::make_dual_queue(std::size_t capacity) {
 
 void Kernel::dq_enqueue(Oid dq, std::uint32_t datum) {
   charge_if_on_fiber(m_.config().dq_enqueue_ns);
+  dq_enqueue_uncharged(dq, datum);
+}
+
+void Kernel::dq_enqueue_uncharged(Oid dq, std::uint32_t datum) {
   DualQueueObj& q = std::get<DualQueueObj>(rec(dq).u);
-  if (!q.waiters.empty()) {
+  while (!q.waiters.empty()) {
     Process& w = proc(q.waiters.front());
+    if (w.killed_ || w.state_ == Process::State::kExited) {
+      // The waiter died between its node's death and its unwind; skip it
+      // so the datum is not lost on a corpse.
+      q.waiters.pop_front();
+      continue;
+    }
     q.waiters.pop_front();
     w.wait_datum_ = datum;
     w.waiting_on_ = kNoObject;
+    w.dq_handoff_from_ = dq;  // in flight until the dequeue call consumes it
     make_ready(w);
     return;
   }
@@ -508,11 +615,56 @@ std::uint32_t Kernel::dq_dequeue(Oid dq) {
   q.waiters.push_back(p.oid());
   p.waiting_on_ = dq;
   block_self();
+  p.dq_handoff_from_ = kNoObject;  // datum safely in our hands
   return p.wait_datum_;
+}
+
+bool Kernel::dq_dequeue_for(Oid dq, sim::Time timeout, std::uint32_t* out) {
+  Process& p = self();
+  m_.charge(m_.config().dq_dequeue_ns);
+  DualQueueObj& q = std::get<DualQueueObj>(rec(dq).u);
+  if (!q.data.empty()) {
+    *out = q.data.front();
+    q.data.pop_front();
+    return true;
+  }
+  q.waiters.push_back(p.oid());
+  p.waiting_on_ = dq;
+  p.timed_out_ = false;
+  // block_self() bumps wait_seq_ exactly once; a timer for THIS wait must
+  // match that value, so a stale timer firing during some later wait on the
+  // same queue cannot cancel it.
+  const std::uint64_t seq = p.wait_seq_ + 1;
+  const Oid poid = p.oid();
+  m_.engine().post_at(m_.now() + timeout, [this, poid, dq, seq] {
+    auto it = objects_.find(poid);
+    if (it == objects_.end()) return;
+    Process& w = *std::get<std::unique_ptr<Process>>(it->second.u);
+    if (w.killed_ || w.state_ != Process::State::kBlocked ||
+        w.waiting_on_ != dq || w.wait_seq_ != seq)
+      return;  // already served, or a different wait: stale timer
+    auto qit = objects_.find(dq);
+    if (qit != objects_.end()) {
+      auto& qq = std::get<DualQueueObj>(qit->second.u);
+      std::erase(qq.waiters, poid);
+    }
+    w.timed_out_ = true;
+    w.waiting_on_ = kNoObject;
+    make_ready(w);
+  });
+  block_self();
+  if (p.timed_out_) return false;
+  p.dq_handoff_from_ = kNoObject;  // datum safely in our hands
+  *out = p.wait_datum_;
+  return true;
 }
 
 bool Kernel::dq_try_dequeue(Oid dq, std::uint32_t* out) {
   charge_if_on_fiber(m_.config().dq_dequeue_ns);
+  return dq_try_dequeue_uncharged(dq, out);
+}
+
+bool Kernel::dq_try_dequeue_uncharged(Oid dq, std::uint32_t* out) {
   DualQueueObj& q = std::get<DualQueueObj>(rec(dq).u);
   if (q.data.empty()) return false;
   *out = q.data.front();

@@ -46,6 +46,8 @@ class Process {
   sim::NodeId node() const { return node_; }
   State state() const { return state_; }
   bool faulted() const { return faulted_; }
+  /// True when the process died with its node (a FaultPlan kill).
+  bool killed() const { return killed_; }
   const std::string& name() const { return name_; }
 
   /// Number of segment slots (SARs) this process owns.
@@ -65,11 +67,18 @@ class Process {
   std::string name_;
   sim::Fiber* fiber_ = nullptr;
   bool wakeup_pending_ = false;  // post arrived while deciding to block
+  bool killed_ = false;          // node died under this process
+  bool timed_out_ = false;       // last timed wait expired without data
+  std::uint64_t wait_seq_ = 0;   // blocking-wait generation (stale-timer guard)
   std::uint32_t partition_ = 0xffffffffu;  // kWholeMachine
   std::uint32_t sar_block_ = 0;
   std::vector<Oid> segments_;      // segment index -> memory object (or 0)
   std::uint32_t wait_datum_ = 0;   // datum delivered by event/dq post
   Oid waiting_on_ = kNoObject;     // object this process is blocked on
+  // Dual queue whose datum is in flight to this process: delivered by an
+  // enqueuer but not yet consumed by the dequeue call.  If the process dies
+  // inside that window the kernel re-queues the datum (at-least-once).
+  Oid dq_handoff_from_ = kNoObject;
 };
 
 class Kernel {
@@ -104,6 +113,12 @@ class Kernel {
 
   /// Number of processes that have not exited.
   std::size_t live_processes() const { return live_processes_; }
+
+  /// Cheap liveness bitmap lookup: can `node` still run code and serve
+  /// memory?  (Delegates to the machine's fault state.)
+  bool node_alive(sim::NodeId node) const { return m_.node_alive(node); }
+  /// Processes that died with their node.
+  std::size_t killed_processes() const { return killed_processes_; }
   /// Snapshot of blocked processes: (name, oid, object waited on).
   struct BlockedInfo {
     std::string name;
@@ -213,8 +228,19 @@ class Kernel {
   /// both.  capacity 0 = unbounded.
   Oid make_dual_queue(std::size_t capacity = 0);
   void dq_enqueue(Oid dq, std::uint32_t datum);
+  /// Enqueue without charging simulated time even from process context.
+  /// For host-side bookkeeping tokens (EOF sentinels, recovery completions)
+  /// that must not perturb the event stream of a healthy run.
+  void dq_enqueue_uncharged(Oid dq, std::uint32_t datum);
   std::uint32_t dq_dequeue(Oid dq);
   bool dq_try_dequeue(Oid dq, std::uint32_t* out);
+  /// Uncharged, non-blocking pop; recovery code draining a dead process's
+  /// queue must not bill simulated time to anyone.
+  bool dq_try_dequeue_uncharged(Oid dq, std::uint32_t* out);
+  /// Dequeue with a deadline: returns false if `timeout` elapses first.
+  /// The microcoded queues had no such operation; recovery code needs one,
+  /// so it is built from a timer event plus a wait-generation counter.
+  bool dq_dequeue_for(Oid dq, sim::Time timeout, std::uint32_t* out);
   std::size_t dq_depth(Oid dq) const;
 
   // --- Catch / throw ---------------------------------------------------------------
@@ -270,6 +296,13 @@ class Kernel {
   /// Block the calling process; returns when made ready and dispatched.
   void block_self();
   void exit_self();
+  /// Exit bookkeeping for a process that died with its node: no timed
+  /// operations, no object reclamation (the crash ran nothing gracefully).
+  void kill_exit(Process& p);
+  void handle_node_death(sim::NodeId n);
+  /// Uncharged delivery used by recovery paths: hand `datum` to a live
+  /// waiter or put it back at the head of the queue.
+  void deliver_or_queue(Oid dq, std::uint32_t datum);
   void charge_if_on_fiber(sim::Time ns);
 
   static std::size_t standard_size(std::size_t bytes);
@@ -284,6 +317,8 @@ class Kernel {
   sim::Time template_busy_until_ = 0;  // serialized process-template resource
   std::vector<std::vector<sim::NodeId>> partitions_;
   std::size_t live_processes_ = 0;
+  std::size_t killed_processes_ = 0;
+  std::uint64_t death_observer_ = 0;
   std::size_t live_bytes_ = 0;
   std::size_t wasted_bytes_ = 0;
   std::size_t leaked_bytes_ = 0;

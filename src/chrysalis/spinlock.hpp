@@ -23,9 +23,15 @@ class SpinLock {
       : m_(m), cell_(cell), probe_interval_(probe_interval) {}
 
   /// Acquire by test-and-set; every failed probe spins (and steals cycles
-  /// from the home module of the lock word).
+  /// from the home module of the lock word).  A transient memory fault on a
+  /// probe is just a failed probe — spin again.  (A *dead* home node still
+  /// throws: that lock is gone for good.)
   void acquire() {
-    while (m_.test_and_set(cell_) != 0) {
+    for (;;) {
+      try {
+        if (m_.test_and_set(cell_) == 0) break;
+      } catch (const sim::MemoryFaultError&) {
+      }
       ++spins_;
       m_.charge(probe_interval_);
     }
@@ -33,15 +39,28 @@ class SpinLock {
   }
 
   bool try_acquire() {
-    if (m_.test_and_set(cell_) != 0) {
-      ++spins_;
-      return false;
+    try {
+      if (m_.test_and_set(cell_) == 0) {
+        ++acquisitions_;
+        return true;
+      }
+    } catch (const sim::MemoryFaultError&) {
     }
-    ++acquisitions_;
-    return true;
+    ++spins_;
+    return false;
   }
 
-  void release() { m_.write<std::uint32_t>(cell_, 0); }
+  void release() {
+    // A transient memory fault on the release write would leave the lock
+    // held forever and wedge every spinner; the PNC retries the store.
+    for (;;) {
+      try {
+        m_.write<std::uint32_t>(cell_, 0);
+        return;
+      } catch (const sim::MemoryFaultError&) {
+      }
+    }
+  }
 
   std::uint64_t acquisitions() const { return acquisitions_; }
   /// Failed probes: a direct measure of busy-wait contention.

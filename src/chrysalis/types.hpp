@@ -55,6 +55,8 @@ enum ThrowCode : int {
   kThrowOutOfMemory = 7,
   kThrowNotConnected = 8,    ///< SMP: destination not in the family topology
   kThrowReplayDiverged = 9,  ///< Instant Replay: execution left the log
+  kThrowNodeDead = 10,       ///< operation needed a node that has died
+  kThrowBrokenStream = 11,   ///< NET: the stream's writer exited or died
   kThrowUser = 100,          ///< first code available to applications
 };
 

@@ -50,8 +50,17 @@ void Stream::read(void* out, std::size_t n) {
       buffered_.pop_front();
       continue;
     }
+    if (broken_)
+      throw chrys::ThrowSignal{chrys::kThrowBrokenStream, id_};
     // Pull the next chunk (blocks until a writer supplies one).
     const std::uint32_t cid = k.dq_dequeue(chunk_queue_);
+    if (cid == Mesh::kEofCid) {
+      // The writer exited (or its node died) with bytes still owed.  Put
+      // the sentinel back so any later read fails the same way, and raise.
+      broken_ = true;
+      k.dq_enqueue_uncharged(chunk_queue_, Mesh::kEofCid);
+      throw chrys::ThrowSignal{chrys::kThrowBrokenStream, id_};
+    }
     Mesh::Chunk c = mesh_.chunks_[cid];
     mesh_.chunk_free_.push_back(cid);
     std::vector<std::uint8_t> tmp(c.len);
@@ -105,19 +114,54 @@ Mesh::Mesh(chrys::Kernel& k, std::uint32_t rows, std::uint32_t cols,
       }
     }
   }
-  for (auto& e : elements_) {
-    Element* ep = &e;
+  element_active_.assign(elements_.size(), 1);
+  death_observer_ =
+      m_.on_node_death([this](sim::NodeId n) { handle_node_death(n); });
+  for (std::size_t i = 0; i < elements_.size(); ++i) {
+    Element* ep = &elements_[i];
     k_.create_process(
-        e.node_,
-        [this, ep, body] {
-          body(*ep);
+        ep->node_,
+        [this, ep, body, i] {
+          // A body that throws must still release its obligations: its
+          // readers get EOF instead of a silent hang, and join() still
+          // gets this element's completion token.
+          try {
+            body(*ep);
+          } catch (const chrys::ThrowSignal&) {
+            ++elements_faulted_;
+          } catch (const sim::NodeDeadError&) {
+            ++elements_faulted_;
+          } catch (const sim::MemoryFaultError&) {
+            ++elements_faulted_;
+          }
+          for (Stream* s : ep->out_)
+            if (s != nullptr) k_.dq_enqueue_uncharged(s->chunk_queue_, kEofCid);
           k_.dq_enqueue(done_queue_, 0);
+          element_active_[i] = 0;
         },
         "net-" + std::to_string(ep->row_) + "," + std::to_string(ep->col_));
   }
 }
 
-Mesh::~Mesh() = default;
+Mesh::~Mesh() {
+  if (death_observer_ != 0) m_.remove_death_observer(death_observer_);
+}
+
+void Mesh::element_gone(std::size_t idx) {
+  element_active_[idx] = 0;
+  ++elements_lost_;
+  Element& e = elements_[idx];
+  // The dead element will never write again nor report done; do both on
+  // its behalf (uncharged — the PNC's crash handling, not the dead node).
+  for (Stream* s : e.out_)
+    if (s != nullptr) k_.dq_enqueue_uncharged(s->chunk_queue_, kEofCid);
+  k_.dq_enqueue_uncharged(done_queue_, 0);
+}
+
+void Mesh::handle_node_death(sim::NodeId n) {
+  for (std::size_t i = 0; i < elements_.size(); ++i)
+    if (element_active_[i] && elements_[i].node_ == n) element_gone(i);
+}
 
 Stream* Mesh::make_stream(sim::NodeId reader_node) {
   auto s = std::unique_ptr<Stream>(

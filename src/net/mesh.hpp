@@ -28,9 +28,15 @@ class Mesh;
 class Stream {
  public:
   /// Write `n` bytes (asynchronous; blocks only for the transfer cost).
+  /// Throws sim::NodeDeadError if the reader's node has died (the chunk
+  /// buffer lives in the reader's memory).
   void write(const void* data, std::size_t n);
-  /// Read exactly `n` bytes, blocking until they have all arrived.
+  /// Read exactly `n` bytes, blocking until they have all arrived.  If the
+  /// writing element exits or its node dies before supplying them, throws
+  /// chrys::ThrowSignal{kThrowBrokenStream} instead of blocking forever.
   void read(void* out, std::size_t n);
+  /// The writer is gone and no more bytes will ever arrive.
+  bool broken() const { return broken_; }
   /// Bytes immediately available.
   std::size_t available() const { return buffered_.size(); }
 
@@ -54,6 +60,7 @@ class Stream {
   sim::NodeId reader_node_;
   chrys::Oid chunk_queue_ = chrys::kNoObject;  // dual queue of chunk ids
   std::deque<std::uint8_t> buffered_;          // reader-side reassembly
+  bool broken_ = false;                        // EOF sentinel was seen
 };
 
 enum class Direction : std::uint8_t { kNorth, kSouth, kWest, kEast };
@@ -101,19 +108,30 @@ class Mesh {
   std::uint32_t rows() const { return rows_; }
   std::uint32_t cols() const { return cols_; }
 
-  /// Wait for every element body to return.
+  /// Wait for every element body to return — or for its node to die; a
+  /// mesh on a faulty machine still joins (degraded, never deadlocked).
   void join();
 
   std::uint64_t bytes_streamed() const { return bytes_streamed_; }
+  /// Elements whose body ended in an uncaught throw (e.g. a broken stream).
+  std::uint64_t elements_faulted() const { return elements_faulted_; }
+  /// Elements lost outright to node deaths.
+  std::uint64_t elements_lost() const { return elements_lost_; }
 
  private:
   friend class Stream;
+  /// Sentinel chunk id: "this stream's writer is gone".  Posted uncharged
+  /// on writer exit or node death so a blocked reader errors out instead of
+  /// waiting forever; never collides with a real chunk id.
+  static constexpr std::uint32_t kEofCid = 0xffffffffu;
   struct Chunk {
     sim::PhysAddr buf{};
     std::uint32_t len = 0;
   };
 
   Stream* make_stream(sim::NodeId reader_node);
+  void element_gone(std::size_t idx);
+  void handle_node_death(sim::NodeId n);
 
   chrys::Kernel& k_;
   sim::Machine& m_;
@@ -124,6 +142,10 @@ class Mesh {
   std::vector<std::uint32_t> chunk_free_;
   chrys::Oid done_queue_ = chrys::kNoObject;
   std::uint64_t bytes_streamed_ = 0;
+  std::vector<std::uint8_t> element_active_;  // body still owes its streams
+  std::uint64_t elements_faulted_ = 0;
+  std::uint64_t elements_lost_ = 0;
+  std::uint64_t death_observer_ = 0;
 };
 
 }  // namespace bfly::net

@@ -1,0 +1,103 @@
+// Deterministic fault injection for the simulated Butterfly.
+//
+// The paper is blunt about the hardware: a 128-node Butterfly-I was rarely
+// fully operational.  Nodes died, memory boards went bad, and the systems
+// software ran on whatever subset of the machine survived the morning's
+// diagnostics.  A FaultPlan lets a test or bench script that experience:
+//
+//   * kill a node at simulated time T — its fibers stop being scheduled
+//     (their stacks unwind cleanly) and references to its memory module
+//     raise NodeDeadError;
+//   * inject transient memory faults (parity errors) on timed references
+//     with a configurable probability;
+//   * drop or delay switch packets, modelled as extra latency (a dropped
+//     packet is retried by the PNC after a timeout).
+//
+// Everything is driven by the plan's own seeded RNG, so a run remains a
+// pure function of (config, plan, program) and Instant Replay determinism
+// is preserved.  An empty plan is free: no fault RNG draw ever happens and
+// the event stream is byte-identical to a machine built without one.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/time.hpp"
+
+namespace bfly::sim {
+
+/// Raised on simulated machine faults (bad address, out of memory, ...).
+class SimError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A timed reference (or allocation) targeted a node that has been killed.
+class NodeDeadError : public SimError {
+ public:
+  explicit NodeDeadError(NodeId node)
+      : SimError("reference to dead node " + std::to_string(node)),
+        node_(node) {}
+  NodeId node() const { return node_; }
+
+ private:
+  NodeId node_;
+};
+
+/// A timed reference suffered a transient (parity-style) memory fault.  The
+/// reference's time was charged but no data moved; the operation may simply
+/// be retried.
+class MemoryFaultError : public SimError {
+ public:
+  explicit MemoryFaultError(NodeId node)
+      : SimError("transient memory fault on node " + std::to_string(node)),
+        node_(node) {}
+  NodeId node() const { return node_; }
+
+ private:
+  NodeId node_;
+};
+
+/// A script of hardware failures, applied by Machine.  Reproducible: two
+/// machines built from the same (config, plan) observe identical faults.
+struct FaultPlan {
+  struct NodeKill {
+    NodeId node = 0;
+    Time at = 0;
+  };
+
+  /// Nodes to kill and when.  Kills are permanent for the run.
+  std::vector<NodeKill> node_kills;
+
+  /// Probability that one timed single-word reference suffers a transient
+  /// memory fault (MemoryFaultError after the time is charged).
+  double mem_fault_prob = 0.0;
+
+  /// Probability that one switch packet is dropped.  A drop is modelled as
+  /// the PNC's retry: the packet re-enters the network after drop_retry_ns.
+  double packet_drop_prob = 0.0;
+  Time drop_retry_ns = 100 * kMicrosecond;
+
+  /// Probability that one switch packet is delayed by packet_delay_ns
+  /// (models a congested or flaky switch card).
+  double packet_delay_prob = 0.0;
+  Time packet_delay_ns = 50 * kMicrosecond;
+
+  /// Seed for the plan's private RNG (never shared with Machine's RNG).
+  std::uint64_t seed = 0xb1f7fa17ULL;
+
+  FaultPlan& kill(NodeId node, Time at) {
+    node_kills.push_back(NodeKill{node, at});
+    return *this;
+  }
+
+  bool any() const {
+    return !node_kills.empty() || mem_fault_prob > 0.0 ||
+           packet_drop_prob > 0.0 || packet_delay_prob > 0.0;
+  }
+};
+
+}  // namespace bfly::sim

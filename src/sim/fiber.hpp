@@ -19,6 +19,13 @@
 
 namespace bfly::sim {
 
+/// Thrown inside a fiber whose node has been killed by a FaultPlan.  It is
+/// raised from the machine's yield points (charge/park) so the fiber's stack
+/// unwinds cleanly — destructors run, host resources are released — and is
+/// swallowed by Fiber::run_body.  User code should never catch it (catching
+/// by value or by `...` and continuing would keep a dead node's code alive).
+struct FiberKill {};
+
 class Fiber {
  public:
   enum class State { kCreated, kRunnable, kRunning, kBlocked, kFinished };
@@ -53,6 +60,11 @@ class Fiber {
 
   std::function<void()> body_;
   std::unique_ptr<char[]> stack_;
+  std::size_t stack_bytes_;
+  // ASan bookkeeping: the fake-stack handle saved while this fiber is
+  // switched out (see the fiber-switch annotations in fiber.cpp).  Unused
+  // (but harmless) in non-sanitized builds.
+  void* asan_fake_stack_ = nullptr;
   ucontext_t ctx_{};
   State state_ = State::kCreated;
   std::string name_;

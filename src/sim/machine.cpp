@@ -2,15 +2,28 @@
 
 #include <algorithm>
 #include <cassert>
+#include <exception>
 
 namespace bfly::sim {
 
-Machine::Machine(MachineConfig cfg)
+Machine::Machine(MachineConfig cfg, FaultPlan faults)
     : cfg_(cfg),
+      faults_(std::move(faults)),
       fabric_(cfg),
       rng_(cfg.seed),
+      fault_rng_(faults_.seed),
       stats_(cfg.nodes),
-      node_(cfg.nodes) {}
+      node_(cfg.nodes),
+      node_dead_(cfg.nodes, 0) {
+  if (faults_.any()) {
+    fault_checks_ = true;
+    fabric_.configure_faults(faults_, &fault_rng_);
+    for (const FaultPlan::NodeKill& k : faults_.node_kills) {
+      if (k.node >= cfg_.nodes) throw SimError("FaultPlan: bad node in kill");
+      engine_.post_at(k.at, [this, n = k.node] { do_kill(n); });
+    }
+  }
+}
 
 Machine::~Machine() = default;
 
@@ -26,6 +39,7 @@ Fiber* Machine::spawn(NodeId node, std::function<void()> body,
 Fiber* Machine::spawn_parked(NodeId node, std::function<void()> body,
                              std::string name) {
   if (node >= cfg_.nodes) throw SimError("spawn: bad node id");
+  if (fault_checks_ && node_dead_[node]) throw NodeDeadError(node);
   auto fiber = std::make_unique<Fiber>(std::move(body),
                                        cfg_.fiber_stack_bytes,
                                        std::move(name));
@@ -84,12 +98,26 @@ std::vector<Fiber*> Machine::blocked_fibers() const {
 
 // --- Time ----------------------------------------------------------------
 
+void Machine::check_kill(FiberCtl* c) {
+  if (!c->killed) return;
+  // A destructor running during the FiberKill unwind may reach a yield
+  // point; yielding mid-unwind would corrupt the fiber, so timed operations
+  // silently complete instantly on an already-dying fiber.
+  if (std::uncaught_exceptions() > 0) return;
+  throw FiberKill{};
+}
+
 void Machine::charge(Time ns) {
   Fiber* f = Fiber::current();
   if (f == nullptr) throw SimError("charge: not on a fiber");
   FiberCtl* c = ctl(f);
+  if (fault_checks_ && c->killed) {
+    check_kill(c);
+    return;  // in-flight exception: complete instantly, do not yield
+  }
   schedule_resume(c, engine_.now() + ns);
   Fiber::yield_to_engine();
+  if (fault_checks_) check_kill(c);
 }
 
 void Machine::charged_compute(Time ns) {
@@ -105,12 +133,23 @@ void Machine::sleep_until(Time t) {
 void Machine::park() {
   Fiber* f = Fiber::current();
   if (f == nullptr) throw SimError("park: not on a fiber");
+  if (fault_checks_) {
+    FiberCtl* c = ctl(f);
+    if (c->killed) {
+      check_kill(c);
+      return;
+    }
+    Fiber::yield_to_engine();
+    check_kill(c);
+    return;
+  }
   Fiber::yield_to_engine();
 }
 
 void Machine::wakeup(Fiber* f, Time delay) {
   FiberCtl* c = ctl(f);
   if (c == nullptr) return;  // already finished
+  if (c->killed) return;     // doomed; it unwinds through its own path
   if (c->resume_pending || f->state() == Fiber::State::kRunning) {
     // The target is not parked.  Single-threaded cooperative scheduling
     // means a correct synchronization layer re-checks its state before
@@ -118,6 +157,85 @@ void Machine::wakeup(Fiber* f, Time delay) {
     return;
   }
   schedule_resume(c, engine_.now() + delay);
+}
+
+// --- Faults ---------------------------------------------------------------
+
+void Machine::kill_node(NodeId node, Time at) {
+  if (node >= cfg_.nodes) throw SimError("kill_node: bad node");
+  fault_checks_ = true;
+  engine_.post_at(at, [this, node] { do_kill(node); });
+}
+
+std::uint64_t Machine::on_node_death(std::function<void(NodeId)> fn) {
+  const std::uint64_t id = next_observer_id_++;
+  death_observers_.push_back(DeathObserver{id, std::move(fn)});
+  return id;
+}
+
+void Machine::remove_death_observer(std::uint64_t id) {
+  std::erase_if(death_observers_,
+                [id](const DeathObserver& o) { return o.id == id; });
+}
+
+void Machine::do_kill(NodeId n) {
+  if (n >= cfg_.nodes || node_dead_[n]) return;
+  node_dead_[n] = 1;
+  ++dead_nodes_count_;
+  // Observers first: recovery layers capture in-flight state (which task a
+  // manager was running, which requests a server held) while the scheduler's
+  // view of the node is still intact.  Index loop: an observer may register
+  // further observers but must not unregister others.
+  for (std::size_t i = 0; i < death_observers_.size(); ++i)
+    death_observers_[i].fn(n);
+  // Now tear down the node's fibers.
+  std::vector<Fiber*> victims;
+  for (Fiber* f : live_) {
+    auto it = fibers_.find(f);
+    if (it != fibers_.end() && it->second.node == n) victims.push_back(f);
+  }
+  for (Fiber* f : victims) {
+    auto it = fibers_.find(f);
+    if (it == fibers_.end()) continue;
+    FiberCtl& c = it->second;
+    c.killed = true;
+    // A fiber with a resume already queued unwinds when that event fires
+    // (charge() re-checks killed on wakeup).
+    if (c.resume_pending) continue;
+    if (f->state() == Fiber::State::kRunnable) {
+      // Never ran: nothing on its stack to unwind, drop it outright.
+      live_.erase(std::find(live_.begin(), live_.end(), f));
+      fibers_.erase(it);
+      continue;
+    }
+    // Parked: resume it so park() raises FiberKill and the stack unwinds
+    // through run_body, running destructors along the way.
+    f->resume();
+    if (f->finished()) {
+      live_.erase(std::find(live_.begin(), live_.end(), f));
+      fibers_.erase(f);
+    }
+  }
+}
+
+void Machine::check_node(NodeId home) const {
+  if (home >= cfg_.nodes) throw SimError("bad node in address");
+}
+
+void Machine::check_target(NodeId home) {
+  if (!node_dead_[home]) return;
+  ++stats_.dead_node_refs;
+  // The requester still pays for the failed transaction: issue overhead,
+  // the trip out, and the error reply coming back.
+  charge(cfg_.issue_overhead_ns + 2 * fabric_.traversal_ns());
+  throw NodeDeadError(home);
+}
+
+void Machine::maybe_mem_fault(NodeId home) {
+  if (faults_.mem_fault_prob <= 0.0) return;
+  if (fault_rng_.uniform() >= faults_.mem_fault_prob) return;
+  ++stats_.mem_faults_injected;
+  throw MemoryFaultError(home);
 }
 
 void Machine::abandon(Fiber* f) {
@@ -156,6 +274,7 @@ const std::uint8_t* Machine::raw_const(PhysAddr a, std::size_t n) const {
 
 PhysAddr Machine::alloc(NodeId node, std::size_t bytes, std::size_t align) {
   if (node >= cfg_.nodes) throw SimError("alloc: bad node");
+  if (fault_checks_ && node_dead_[node]) throw NodeDeadError(node);
   if (bytes == 0) bytes = 1;
   (void)align;  // everything is 8-aligned
   const auto size = static_cast<std::uint32_t>((bytes + 7) & ~std::size_t{7});
@@ -209,6 +328,8 @@ Time Machine::reference_finish(NodeId req, NodeId home, std::uint32_t words,
 void Machine::reference(PhysAddr a, std::uint32_t words, bool write) {
   (void)write;
   const NodeId req = current_node();
+  check_node(a.node);
+  if (fault_checks_) check_target(a.node);
   Time q = 0;
   const Time finish = reference_finish(req, a.node, words, &q);
   NodeStats& s = stats_.node[req];
@@ -222,6 +343,7 @@ void Machine::reference(PhysAddr a, std::uint32_t words, bool write) {
   const Time d = finish - engine_.now();
   s.stall_ns += d;
   charge(d);
+  if (fault_checks_) maybe_mem_fault(a.node);
 }
 
 std::uint32_t Machine::fetch_add_u32(PhysAddr a, std::uint32_t delta) {
@@ -257,6 +379,12 @@ std::uint32_t Machine::test_and_set(PhysAddr a) {
 void Machine::block_copy(PhysAddr dst, PhysAddr src, std::size_t bytes) {
   if (bytes == 0) return;
   const NodeId req = current_node();
+  check_node(src.node);
+  check_node(dst.node);
+  if (fault_checks_) {
+    check_target(src.node);
+    check_target(dst.node);
+  }
   const std::uint32_t words = word_count(bytes);
   Time q = 0;
   // Head of the transfer pays full reference latency to the source...
@@ -288,6 +416,8 @@ void Machine::block_copy(PhysAddr dst, PhysAddr src, std::size_t bytes) {
 void Machine::block_read(void* host_dst, PhysAddr src, std::size_t bytes) {
   if (bytes == 0) return;
   const NodeId req = current_node();
+  check_node(src.node);
+  if (fault_checks_) check_target(src.node);
   const std::uint32_t words = word_count(bytes);
   Time q = 0;
   const Time head = reference_finish(req, src.node, 1, &q);
@@ -310,6 +440,8 @@ void Machine::block_write(PhysAddr dst, const void* host_src,
                           std::size_t bytes) {
   if (bytes == 0) return;
   const NodeId req = current_node();
+  check_node(dst.node);
+  if (fault_checks_) check_target(dst.node);
   const std::uint32_t words = word_count(bytes);
   Time q = 0;
   const Time head = reference_finish(req, dst.node, 1, &q);
@@ -332,6 +464,8 @@ void Machine::access_words(PhysAddr a, std::uint32_t n, bool write) {
   (void)write;
   if (n == 0) return;
   const NodeId req = current_node();
+  check_node(a.node);
+  if (fault_checks_) check_target(a.node);
   // n back-to-back single-word references; the requester is latency-bound,
   // so each starts when the previous completes.  Only the first can queue
   // behind foreign traffic (an approximation that keeps this O(1)).

@@ -28,6 +28,7 @@
 
 #include "sim/config.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault.hpp"
 #include "sim/fiber.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
@@ -47,15 +48,12 @@ struct PhysAddr {
   bool operator==(const PhysAddr&) const = default;
 };
 
-/// Raised on simulated machine faults (bad address, out of memory, ...).
-class SimError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
-
 class Machine {
  public:
-  explicit Machine(MachineConfig cfg);
+  /// `faults` scripts hardware failures for this run; the default empty plan
+  /// injects nothing and leaves the event stream byte-identical to a machine
+  /// built before fault injection existed.
+  explicit Machine(MachineConfig cfg, FaultPlan faults = {});
   ~Machine();
 
   Machine(const Machine&) = delete;
@@ -94,6 +92,30 @@ class Machine {
   /// edges recorded by the synchronization layers.
   bool deadlocked() const { return !live_.empty(); }
   std::vector<Fiber*> blocked_fibers() const;
+
+  // --- Faults ----------------------------------------------------------------
+
+  const FaultPlan& faults() const { return faults_; }
+  /// True when any fault can occur this run (plan non-empty or a kill was
+  /// scheduled programmatically).  Layers may use this to gate recovery
+  /// bookkeeping so healthy runs stay byte-identical to pre-fault builds.
+  bool faults_possible() const { return fault_checks_; }
+
+  bool node_alive(NodeId n) const { return !node_dead_[n]; }
+  std::uint32_t dead_nodes() const { return dead_nodes_count_; }
+
+  /// Schedule `node` to die at absolute simulated time `at` (in addition to
+  /// any kills in the plan).  Must be called before run() reaches `at`.
+  void kill_node(NodeId node, Time at);
+
+  /// Register a callback invoked in engine context the moment a node dies,
+  /// before the node's fibers unwind.  Observers run in registration order
+  /// (the Kernel registers first, so higher layers see consistent kernel
+  /// state).  They must not perform timed operations.  Returns a handle for
+  /// remove_death_observer; holders that can die before the Machine must
+  /// unregister in their destructor.
+  std::uint64_t on_node_death(std::function<void(NodeId)> fn);
+  void remove_death_observer(std::uint64_t id);
 
   // --- Time ------------------------------------------------------------------
 
@@ -183,6 +205,7 @@ class Machine {
     std::unique_ptr<Fiber> fiber;
     NodeId node = 0;
     bool resume_pending = false;
+    bool killed = false;  // node died; unwind via FiberKill at next yield
   };
   struct FreeBlock {
     std::uint32_t offset;
@@ -215,14 +238,38 @@ class Machine {
   FiberCtl* ctl(Fiber* f);
   void schedule_resume(FiberCtl* c, Time at);
 
+  /// Unwind the calling fiber if its node died.  No-op while an exception
+  /// is already in flight (yielding mid-unwind would corrupt the fiber).
+  void check_kill(FiberCtl* c);
+  /// Raise NodeDeadError (after charging the failed round trip) when a
+  /// timed operation targets a dead node.
+  // Address validation happens before the timing model touches per-node
+  // state: a wild node id must raise SimError, not index off node_[].
+  void check_node(NodeId home) const;
+  void check_target(NodeId home);
+  void do_kill(NodeId n);
+  void maybe_mem_fault(NodeId home);
+
   MachineConfig cfg_;
+  FaultPlan faults_;
   Engine engine_;
   SwitchFabric fabric_;
   Rng rng_;
+  Rng fault_rng_;
   MachineStats stats_;
   mutable std::vector<Node> node_;
   std::unordered_map<Fiber*, FiberCtl> fibers_;
   std::vector<Fiber*> live_;  // spawned and not yet finished
+
+  bool fault_checks_ = false;  // any fault possible this run
+  std::vector<std::uint8_t> node_dead_;
+  std::uint32_t dead_nodes_count_ = 0;
+  struct DeathObserver {
+    std::uint64_t id;
+    std::function<void(NodeId)> fn;
+  };
+  std::vector<DeathObserver> death_observers_;
+  std::uint64_t next_observer_id_ = 1;
 };
 
 }  // namespace bfly::sim

@@ -25,10 +25,16 @@ struct NodeStats {
 struct MachineStats {
   std::vector<NodeStats> node;
 
+  // Machine-wide fault accounting (all zero unless a FaultPlan is active).
+  std::uint64_t mem_faults_injected = 0;  ///< transient faults raised
+  std::uint64_t dead_node_refs = 0;       ///< references that hit a dead node
+
   explicit MachineStats(std::size_t n = 0) : node(n) {}
 
   void reset() {
     for (auto& s : node) s = NodeStats{};
+    mem_faults_injected = 0;
+    dead_node_refs = 0;
   }
 
   std::uint64_t total_local_refs() const {

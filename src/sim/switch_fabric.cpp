@@ -42,9 +42,31 @@ std::uint32_t SwitchFabric::port_index(std::uint32_t stage, NodeId src,
   return stage * nodes_ + (pos % nodes_);
 }
 
+void SwitchFabric::configure_faults(const FaultPlan& plan, Rng* rng) {
+  if (plan.packet_drop_prob <= 0.0 && plan.packet_delay_prob <= 0.0) return;
+  fault_rng_ = rng;
+  drop_prob_ = plan.packet_drop_prob;
+  delay_prob_ = plan.packet_delay_prob;
+  drop_retry_ns_ = plan.drop_retry_ns;
+  delay_ns_ = plan.packet_delay_ns;
+}
+
 Time SwitchFabric::route(NodeId src, NodeId dst, Time depart,
                          std::uint32_t words) {
   if (src == dst) return depart;
+  if (fault_rng_ != nullptr) {
+    // A dropped packet is retried by the PNC after a timeout; retries can
+    // themselves be dropped, so the latency penalty compounds.  A delayed
+    // packet limps through a congested/flaky switch card once.
+    while (drop_prob_ > 0.0 && fault_rng_->uniform() < drop_prob_) {
+      ++packets_dropped_;
+      depart += drop_retry_ns_;
+    }
+    if (delay_prob_ > 0.0 && fault_rng_->uniform() < delay_prob_) {
+      ++packets_delayed_;
+      depart += delay_ns_;
+    }
+  }
   if (!model_contention_) return depart + traversal_ns();
 
   Time t = depart;

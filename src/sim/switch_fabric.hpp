@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "sim/config.hpp"
+#include "sim/fault.hpp"
+#include "sim/rng.hpp"
 #include "sim/time.hpp"
 
 namespace bfly::sim {
@@ -21,6 +23,11 @@ namespace bfly::sim {
 class SwitchFabric {
  public:
   explicit SwitchFabric(const MachineConfig& cfg);
+
+  /// Arm packet-level fault injection (drop/delay) from a plan.  `rng` must
+  /// outlive the fabric; Machine passes its dedicated fault RNG so the main
+  /// machine RNG stream is untouched.  No-op when the plan injects nothing.
+  void configure_faults(const FaultPlan& plan, Rng* rng);
 
   /// Number of switch stages a packet traverses.
   std::uint32_t stages() const { return stages_; }
@@ -38,6 +45,10 @@ class SwitchFabric {
   /// modelling is on).
   Time contention_ns() const { return contention_ns_; }
 
+  /// Packets dropped (and retried) / delayed by fault injection.
+  std::uint64_t packets_dropped() const { return packets_dropped_; }
+  std::uint64_t packets_delayed() const { return packets_delayed_; }
+
  private:
   std::uint32_t port_index(std::uint32_t stage, NodeId src, NodeId dst) const;
 
@@ -50,6 +61,15 @@ class SwitchFabric {
   // a 4-ary banyan has N output ports per stage (N/4 switches x 4 ports).
   std::vector<Time> port_busy_;
   Time contention_ns_ = 0;
+
+  // Packet fault injection (inactive unless configure_faults armed it).
+  Rng* fault_rng_ = nullptr;
+  double drop_prob_ = 0.0;
+  double delay_prob_ = 0.0;
+  Time drop_retry_ns_ = 0;
+  Time delay_ns_ = 0;
+  std::uint64_t packets_dropped_ = 0;
+  std::uint64_t packets_delayed_ = 0;
 };
 
 }  // namespace bfly::sim

@@ -7,11 +7,26 @@ namespace bfly::us {
 
 namespace {
 constexpr std::uint32_t kStopTid = 0xffffffffu;
+constexpr std::uint32_t kNoTask = 0xfffffffeu;
 // CPU cost of a manager picking up and launching one task beyond the dual
 // queue cost itself.
 constexpr sim::Time kDispatchOverhead = 15 * sim::kMicrosecond;
 // CPU held while searching a free list inside the allocator lock.
 constexpr sim::Time kAllocWork = 100 * sim::kMicrosecond;
+
+// Clears a spin-lock word host-side if an exception (in particular a
+// FiberKill unwinding a dying node) escapes while the lock is held.  A dead
+// allocator must not wedge every other node spinning on its lock.  The poke
+// is untimed: the clear models the PNC crash handler, not a store by the
+// (dead) holder.
+struct LockCrashGuard {
+  sim::Machine& m;
+  sim::PhysAddr cell;
+  bool armed = true;
+  ~LockCrashGuard() {
+    if (armed) m.poke<std::uint32_t>(cell, 0);
+  }
+};
 }  // namespace
 
 UniformSystem::UniformSystem(chrys::Kernel& k, UsConfig cfg)
@@ -23,7 +38,9 @@ UniformSystem::UniformSystem(chrys::Kernel& k, UsConfig cfg)
                    : std::min(cfg_.memory_nodes, m_.nodes());
 }
 
-UniformSystem::~UniformSystem() = default;
+UniformSystem::~UniformSystem() {
+  if (death_observer_ != 0) m_.remove_death_observer(death_observer_);
+}
 
 sim::Time UniformSystem::run_main(std::function<void()> main) {
   k_.create_process(
@@ -53,18 +70,33 @@ void UniformSystem::initialize() {
   m_.poke<std::uint32_t>(serial_lock_cell_, 0);
   node_lock_cell_.resize(mem_nodes_);
   for (std::uint32_t n = 0; n < mem_nodes_; ++n) {
-    node_lock_cell_[n] = m_.alloc(n, 8);
+    // A memory node already dead at startup still needs a lock cell — the
+    // round-robin allocator grabs the lock before discovering the node is
+    // gone.  Park the cell on node 0 so the probe fails cleanly.
+    node_lock_cell_[n] = m_.alloc(m_.node_alive(n) ? n : 0, 8);
     m_.poke<std::uint32_t>(node_lock_cell_[n], 0);
   }
 
   managers_.assign(procs_, chrys::kNoObject);
+  inflight_.assign(procs_, kNoTask);
+  decrementing_.assign(procs_, 0);
+  manager_alive_.assign(procs_, 1);
+  managers_alive_ = procs_;
+  death_observer_ =
+      m_.on_node_death([this](sim::NodeId n) { handle_node_death(n); });
   if (!cfg_.tree_init) {
     // Historical behaviour: the initializing process creates every manager
     // serially — startup is linear in P (the paper's Amdahl lesson; the
     // Rochester "faster initialization" fix is tree_init below).
     for (std::uint32_t w = 0; w < procs_; ++w) {
-      managers_[w] = k_.create_process(
-          w, [this, w] { manager_loop(w); }, "us-mgr" + std::to_string(w));
+      if (!manager_alive_[w]) continue;  // died while we were creating others
+      try {
+        managers_[w] = k_.create_process(
+            w, [this, w] { manager_loop(w); }, "us-mgr" + std::to_string(w));
+      } catch (const chrys::ThrowSignal& t) {
+        if (t.code != chrys::kThrowNodeDead) throw;
+        mark_manager_dead(w);
+      }
     }
   } else {
     // Fan-out tree: manager w creates managers 2w+1 and 2w+2 before
@@ -75,14 +107,35 @@ void UniformSystem::initialize() {
 }
 
 void UniformSystem::start_manager_tree(std::uint32_t w) {
-  managers_[w] = k_.create_process(
-      w,
-      [this, w] {
-        for (std::uint32_t c = 2 * w + 1; c <= 2 * w + 2; ++c)
-          if (c < procs_) start_manager_tree(c);
-        manager_loop(w);
-      },
-      "us-mgr" + std::to_string(w));
+  if (manager_alive_[w]) {
+    try {
+      managers_[w] = k_.create_process(
+          w,
+          [this, w] {
+            for (std::uint32_t c = 2 * w + 1; c <= 2 * w + 2; ++c)
+              if (c < procs_) start_manager_tree(c);
+            manager_loop(w);
+          },
+          "us-mgr" + std::to_string(w));
+      return;
+    } catch (const chrys::ThrowSignal& t) {
+      if (t.code != chrys::kThrowNodeDead) throw;
+      mark_manager_dead(w);
+    }
+  }
+  // Subtree root is dead: adopt its children so their subtrees still start.
+  for (std::uint32_t c = 2 * w + 1; c <= 2 * w + 2; ++c)
+    if (c < procs_) start_manager_tree(c);
+}
+
+void UniformSystem::mark_manager_dead(std::uint32_t w) {
+  // A node found dead at manager-creation time.  If the death observer
+  // already saw it die (registered before the creation loop), everything
+  // below happened there.
+  if (!manager_alive_[w]) return;
+  manager_alive_[w] = 0;
+  --managers_alive_;
+  ++nodes_lost_;
 }
 
 void UniformSystem::terminate() {
@@ -94,33 +147,104 @@ void UniformSystem::manager_loop(std::uint32_t worker) {
   while (true) {
     const std::uint32_t tid = k_.dq_dequeue(work_queue_);
     if (tid == kStopTid) break;
+    // Record the claim before any further yield: if this node dies mid-task
+    // the death observer re-issues exactly this descriptor.
+    inflight_[worker] = tid;
     m_.charge(kDispatchOverhead);
     TaskCtx ctx{*this, k_, m_, worker, node, table_[tid].arg};
-    // A task that throws must not take its manager down with it — the
-    // processor would silently drop out of the crowd.  Trap, count, move on.
+    // A task that throws — or hits a machine fault — must not take its
+    // manager down with it: the processor would silently drop out of the
+    // crowd.  Trap, count, move on.
     try {
       table_[tid].fn(ctx);
     } catch (const chrys::ThrowSignal&) {
       ++tasks_faulted_;
+    } catch (const sim::NodeDeadError&) {
+      ++tasks_faulted_;
+    } catch (const sim::MemoryFaultError&) {
+      ++tasks_faulted_;
     }
     ++tasks_run_;
-    // Completion: last task out signals the waiter, if any.
-    if (m_.fetch_add_u32(outstanding_, 0xffffffffu) == 1 &&
-        waiter_proc_ != chrys::kNoObject) {
-      waiter_proc_ = chrys::kNoObject;
+    // The task body is done: from here the descriptor must not be re-run,
+    // but its outstanding_ decrement is still owed.  The two flags flip
+    // host-side (no yields), so the death observer always sees exactly one
+    // of: "reissue the task" / "apply the owed decrement" / "all settled".
+    inflight_[worker] = kNoTask;
+    decrementing_[worker] = 1;
+    const std::uint32_t before = fetch_add_retry(outstanding_, 0xffffffffu);
+    decrementing_[worker] = 0;
+    if (before == 1 && waiter_proc_ != chrys::kNoObject) {
+      // Post first, clear second: if this node dies inside the post's
+      // charge, waiter_proc_ is still set and the death observer rescues
+      // the waiter.  Delivery and the clear are a single host-side step.
       k_.event_post(idle_event_, 0);
+      waiter_proc_ = chrys::kNoObject;
     }
   }
+  manager_alive_[worker] = 0;
+  --managers_alive_;
 }
 
 void UniformSystem::enqueue_descriptor(std::uint32_t tid) {
   k_.dq_enqueue(work_queue_, tid);
 }
 
+std::uint32_t UniformSystem::fetch_add_retry(sim::PhysAddr a,
+                                             std::uint32_t d) {
+  for (;;) {
+    try {
+      return m_.fetch_add_u32(a, d);
+    } catch (const sim::MemoryFaultError&) {
+    }
+  }
+}
+
+std::uint32_t UniformSystem::read_u32_retry(sim::PhysAddr a) {
+  for (;;) {
+    try {
+      return m_.read<std::uint32_t>(a);
+    } catch (const sim::MemoryFaultError&) {
+    }
+  }
+}
+
+void UniformSystem::handle_node_death(sim::NodeId n) {
+  if (!initialized_ || n >= procs_) return;  // not a pool processor
+  if (!manager_alive_[n]) return;            // already stopped normally
+  manager_alive_[n] = 0;
+  --managers_alive_;
+  ++nodes_lost_;
+  if (decrementing_[n]) {
+    // The task body finished but the node died before its outstanding_
+    // decrement landed; apply it on the dead manager's behalf (host-side —
+    // the simulated store was lost with the node).
+    decrementing_[n] = 0;
+    const std::uint32_t v = m_.peek<std::uint32_t>(outstanding_);
+    m_.poke<std::uint32_t>(outstanding_, v - 1);
+  }
+  if (inflight_[n] != kNoTask) {
+    // The claimed descriptor died with its manager mid-run: put it back at
+    // the front of the queue for a survivor.  At-least-once semantics —
+    // tasks observe no partial simulated writes (mutations are atomic with
+    // the charge that pays for them), so a re-run is safe.
+    const std::uint32_t tid = inflight_[n];
+    inflight_[n] = kNoTask;
+    ++tasks_reissued_;
+    k_.dq_enqueue(work_queue_, tid);
+  }
+  // Rescue a stranded wait_idle: either the work drained exactly as the
+  // last manager died, or there is nobody left to drain it.
+  if (waiter_proc_ != chrys::kNoObject &&
+      (managers_alive_ == 0 || m_.peek<std::uint32_t>(outstanding_) == 0)) {
+    waiter_proc_ = chrys::kNoObject;
+    k_.event_post(idle_event_, 0);
+  }
+}
+
 void UniformSystem::gen_task(TaskFn fn, std::uint32_t arg) {
   table_.push_back(TaskRec{std::move(fn), arg});
   const auto tid = static_cast<std::uint32_t>(table_.size() - 1);
-  (void)m_.fetch_add_u32(outstanding_, 1);
+  (void)fetch_add_retry(outstanding_, 1);
   enqueue_descriptor(tid);
 }
 
@@ -130,7 +254,7 @@ void UniformSystem::gen_on_index(std::uint32_t lo, std::uint32_t hi,
   // One shared TaskRec; the per-index argument rides in the descriptor's
   // low bits via distinct records (kept simple: one record per index, the
   // closure is shared).
-  (void)m_.fetch_add_u32(outstanding_, hi - lo);
+  (void)fetch_add_retry(outstanding_, hi - lo);
   for (std::uint32_t i = lo; i < hi; ++i) {
     table_.push_back(TaskRec{fn, i});
     enqueue_descriptor(static_cast<std::uint32_t>(table_.size() - 1));
@@ -139,11 +263,14 @@ void UniformSystem::gen_on_index(std::uint32_t lo, std::uint32_t hi,
 
 void UniformSystem::wait_idle() {
   chrys::Process& p = k_.self();
-  if (m_.read<std::uint32_t>(outstanding_) == 0) return;
+  if (read_u32_retry(outstanding_) == 0) return;
+  // Whole pool dead: the queued tasks will never run, and nobody is left to
+  // post the idle event.  Return degraded instead of parking forever.
+  if (managers_alive_ == 0) return;
   idle_event_ = k_.make_event(p.oid());
   waiter_proc_ = p.oid();
   // Re-check: the last task may have completed while we created the event.
-  if (m_.read<std::uint32_t>(outstanding_) == 0) {
+  if (read_u32_retry(outstanding_) == 0) {
     if (waiter_proc_ != chrys::kNoObject) {
       // No manager claimed the post: nothing outstanding, just clean up.
       waiter_proc_ = chrys::kNoObject;
@@ -172,29 +299,40 @@ sim::PhysAddr UniformSystem::allocate_with_lock(sim::NodeId node,
                                  : serial_lock_cell_;
   chrys::SpinLock lock(m_, cell);
   lock.acquire();
+  // Armed only while the lock is held; disarmed after release() returns (a
+  // release interrupted by a kill never cleared the word, so disarming
+  // before it would leave the lock set forever).
+  LockCrashGuard guard{m_, cell};
   m_.charge(kAllocWork);
   // Ceiling check and bookkeeping must be adjacent (no yields between),
   // so concurrent allocators on different nodes cannot both squeeze under
   // the 16 MB limit.
   if (heap_in_use_ + bytes > cfg_.heap_limit) {
     lock.release();
+    guard.armed = false;
     throw chrys::ThrowSignal{chrys::kThrowOutOfMemory,
                              static_cast<std::uint32_t>(bytes)};
   }
   sim::PhysAddr a;
   try {
     a = m_.alloc(node, bytes);
+  } catch (const sim::NodeDeadError&) {
+    lock.release();
+    guard.armed = false;
+    throw chrys::ThrowSignal{chrys::kThrowNodeDead, node};
   } catch (const sim::SimError&) {
     lock.release();
+    guard.armed = false;
     throw chrys::ThrowSignal{chrys::kThrowOutOfMemory, node};
   }
   heap_in_use_ += bytes;
   lock.release();
+  guard.armed = false;
   return a;
 }
 
 sim::PhysAddr UniformSystem::alloc_global(std::size_t bytes) {
-  const std::uint32_t idx = m_.fetch_add_u32(rr_counter_, 1);
+  const std::uint32_t idx = fetch_add_retry(rr_counter_, 1);
   return allocate_with_lock(idx % mem_nodes_, bytes);
 }
 

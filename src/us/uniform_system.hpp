@@ -135,6 +135,20 @@ class UniformSystem {
   /// Tasks that ended in an uncaught throw (trapped by the manager).
   std::uint64_t tasks_faulted() const { return tasks_faulted_; }
 
+  // --- Degraded-machine operation ---------------------------------------------
+  // When a FaultPlan kills a node, the Uniform System drops that processor
+  // from the pool and re-issues whatever task was in flight on it, so a
+  // for_all still completes on the survivors — the paper's machines were
+  // "rarely fully operational" and the pool simply shrank.
+
+  /// Pool processors lost to node deaths.
+  std::uint32_t nodes_lost() const { return nodes_lost_; }
+  /// Tasks re-issued because their processor died mid-task (at-least-once
+  /// execution: such tasks must tolerate a partial prior run).
+  std::uint64_t tasks_reissued() const { return tasks_reissued_; }
+  /// Managers still serving the work queue.
+  std::uint32_t managers_alive() const { return managers_alive_; }
+
  private:
   struct TaskRec {
     TaskFn fn;
@@ -143,8 +157,19 @@ class UniformSystem {
 
   void manager_loop(std::uint32_t worker);
   void start_manager_tree(std::uint32_t worker);
+  // Record a manager whose node was already dead when we tried to create
+  // it (a kill that lands during initialization); no-op if the death
+  // observer got there first.
+  void mark_manager_dead(std::uint32_t worker);
   void enqueue_descriptor(std::uint32_t tid);
+  void handle_node_death(sim::NodeId n);
   sim::PhysAddr allocate_with_lock(sim::NodeId node, std::size_t bytes);
+  // Infrastructure accesses (completion counter, scatter cursor) retry
+  // transient memory faults: losing one would wedge the whole system, and
+  // the real PNC retried failed transactions.  Dead-node errors still
+  // propagate — those are permanent.
+  std::uint32_t fetch_add_retry(sim::PhysAddr a, std::uint32_t d);
+  std::uint32_t read_u32_retry(sim::PhysAddr a);
 
   chrys::Kernel& k_;
   sim::Machine& m_;
@@ -170,6 +195,16 @@ class UniformSystem {
   chrys::Oid waiter_proc_ = chrys::kNoObject;
   std::uint64_t tasks_run_ = 0;
   std::uint64_t tasks_faulted_ = 0;
+
+  // Fault recovery state (all host-side: zero cost on healthy runs).
+  std::uint64_t death_observer_ = 0;
+  std::vector<std::uint32_t> inflight_;      // per worker: tid being run
+  std::vector<std::uint8_t> decrementing_;   // per worker: task done, counter
+                                             // decrement still in flight
+  std::vector<std::uint8_t> manager_alive_;  // per worker
+  std::uint32_t managers_alive_ = 0;
+  std::uint32_t nodes_lost_ = 0;
+  std::uint64_t tasks_reissued_ = 0;
 };
 
 }  // namespace bfly::us

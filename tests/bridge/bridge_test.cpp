@@ -182,5 +182,95 @@ TEST(Bridge, NaiveInterfaceDoesNotScale) {
   EXPECT_GT(four * 2, one) << "no parallel win through the serial client";
 }
 
+TEST(BridgeFaults, DeadServerFailsItsStripeOthersKeepServing) {
+  // Four servers on nodes 0-3; node 2's server dies mid-run.  Blocks whose
+  // stripe lands on server 2 raise kThrowNodeDead; the other stripes keep
+  // working, and shutdown still completes.
+  sim::FaultPlan plan;
+  plan.kill(2, 500 * sim::kMillisecond);
+  Machine m(butterfly1(8), plan);
+  chrys::Kernel k(m);
+  std::uint32_t dead_stripe_errors = 0;
+  std::uint32_t good_reads = 0;
+  k.create_process(7, [&] {
+    BridgeFs fs(k, 4);
+    const FileId f = fs.create("data");
+    std::vector<std::uint8_t> blk, back(kBlockSize);
+    // All 12 writes land well before the kill at 500 ms.
+    for (std::uint32_t b = 0; b < 12; ++b) {
+      fill_block(blk, b);
+      fs.write_block(f, b, blk.data());
+    }
+    // Wait out the kill, then read everything back: the dead server's
+    // stripe fails, the rest is intact.
+    while (k.node_alive(2)) k.delay(50 * sim::kMillisecond);
+    for (std::uint32_t b = 0; b < 12; ++b) {
+      const int err = k.catch_block([&] {
+        fs.read_block(f, b, back.data());
+        fill_block(blk, b);
+        if (back == blk) ++good_reads;
+      });
+      if (err == chrys::kThrowNodeDead) ++dead_stripe_errors;
+    }
+    EXPECT_EQ(fs.servers_lost(), 1u);
+    EXPECT_EQ(fs.servers_alive(), 3u);
+    fs.shutdown();
+  });
+  m.run();
+  ASSERT_FALSE(m.deadlocked());
+  // Blocks 2, 6, 10 live on the dead server.
+  EXPECT_EQ(dead_stripe_errors, 3u);
+  EXPECT_EQ(good_reads, 9u);
+}
+
+TEST(BridgeFaults, ToolOpsRunDegradedOnSurvivors) {
+  sim::FaultPlan plan;
+  plan.kill(1, 300 * sim::kMillisecond);
+  Machine m(butterfly1(8), plan);
+  chrys::Kernel k(m);
+  k.create_process(7, [&] {
+    BridgeFs fs(k, 4);
+    const FileId f = fs.create("data");
+    std::vector<std::uint8_t> blk(kBlockSize, 0xAB);
+    // 8 blocks at ~26 ms each: done well before the kill at 300 ms.
+    for (std::uint32_t b = 0; b < 8; ++b) fs.write_block(f, b, blk.data());
+    // Wait out the kill, then search: it runs on the 3 survivors only.
+    while (k.node_alive(1)) k.delay(50 * sim::kMillisecond);
+    const std::uint64_t hits = fs.tool_search(f, 0xAB);
+    // 6 of 8 blocks are on surviving servers (blocks 1 and 5 are lost).
+    EXPECT_EQ(hits, 6u * kBlockSize);
+    EXPECT_EQ(fs.servers_lost(), 1u);
+    EXPECT_EQ(fs.servers_alive(), 3u);
+    fs.shutdown();
+  });
+  m.run();
+  ASSERT_FALSE(m.deadlocked());
+}
+
+TEST(BridgeFaults, RequestInFlightOnDyingServerGetsAFailureReply) {
+  // The client is blocked waiting on a reply from the very server that
+  // dies: it must receive a failure reply promptly, not hang.
+  sim::FaultPlan plan;
+  plan.kill(0, 100 * sim::kMillisecond);
+  Machine m(butterfly1(4), plan);
+  chrys::Kernel k(m);
+  bool threw = false;
+  k.create_process(3, [&] {
+    BridgeFs fs(k, 2);
+    const FileId f = fs.create("data");
+    std::vector<std::uint8_t> blk(kBlockSize, 1);
+    // Server 0 (node 0) owns even blocks; a long write train keeps it busy
+    // across its death time.
+    for (std::uint32_t b = 0; b < 40 && !threw; b += 2) {
+      const int err = k.catch_block([&] { fs.write_block(f, b, blk.data()); });
+      if (err == chrys::kThrowNodeDead) threw = true;
+    }
+    fs.shutdown();
+  });
+  m.run();
+  ASSERT_FALSE(m.deadlocked());
+  EXPECT_TRUE(threw);
+}
+
 }  // namespace
 }  // namespace bfly::bridge

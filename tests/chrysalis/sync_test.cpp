@@ -273,5 +273,131 @@ TEST(SpinLock, SpinningStealsCyclesFromLockHomeNode) {
   EXPECT_GT(victim_time(20), 2 * victim_time(0));
 }
 
+TEST(DualQueue, TimedDequeueReturnsDataWhenAvailable) {
+  Machine m(butterfly1(2));
+  Kernel k(m);
+  bool got = false;
+  std::uint32_t v = 0;
+  k.create_process(0, [&] {
+    const Oid dq = k.make_dual_queue();
+    k.dq_enqueue(dq, 31);
+    got = k.dq_dequeue_for(dq, 10 * sim::kMillisecond, &v);
+  });
+  m.run();
+  EXPECT_TRUE(got);
+  EXPECT_EQ(v, 31u);
+}
+
+TEST(DualQueue, TimedDequeueTimesOutOnEmptyQueue) {
+  Machine m(butterfly1(2));
+  Kernel k(m);
+  bool got = true;
+  Time woke = 0;
+  k.create_process(0, [&] {
+    const Oid dq = k.make_dual_queue();
+    std::uint32_t v = 0;
+    got = k.dq_dequeue_for(dq, 8 * sim::kMillisecond, &v);
+    woke = m.now();
+  });
+  m.run();
+  EXPECT_FALSE(got);
+  EXPECT_GE(woke, 8 * sim::kMillisecond);
+  EXPECT_FALSE(m.deadlocked());
+}
+
+TEST(DualQueue, TimedDequeueWokenByLatePost) {
+  Machine m(butterfly1(2));
+  Kernel k(m);
+  bool got = false;
+  std::uint32_t v = 0;
+  Oid dq = kNoObject;
+  k.create_process(0, [&] {
+    dq = k.make_dual_queue();
+    got = k.dq_dequeue_for(dq, 60 * sim::kMillisecond, &v);
+  });
+  k.create_process(1, [&] {
+    k.delay(5 * sim::kMillisecond);
+    k.dq_enqueue(dq, 9);
+  });
+  m.run();
+  EXPECT_TRUE(got);
+  EXPECT_EQ(v, 9u);
+  EXPECT_FALSE(m.deadlocked());
+}
+
+TEST(DualQueue, StaleTimerAfterDeliveryDoesNotCorruptLaterWaits) {
+  // Deliver just before the timeout fires, then reuse the process in a
+  // second timed wait that outlives the first (stale) timer event.  The
+  // generation counter must keep the old timer from waking the new wait.
+  Machine m(butterfly1(2));
+  Kernel k(m);
+  std::vector<std::pair<bool, std::uint32_t>> results;
+  Oid dq = kNoObject;
+  k.create_process(0, [&] {
+    dq = k.make_dual_queue();
+    std::uint32_t v = 0;
+    const bool a = k.dq_dequeue_for(dq, 10 * sim::kMillisecond, &v);
+    results.push_back({a, v});
+    v = 0;
+    const bool b = k.dq_dequeue_for(dq, 50 * sim::kMillisecond, &v);
+    results.push_back({b, v});
+  });
+  k.create_process(1, [&] {
+    k.delay(9 * sim::kMillisecond);  // just under the first deadline
+    k.dq_enqueue(dq, 1);
+    k.delay(30 * sim::kMillisecond);
+    k.dq_enqueue(dq, 2);
+  });
+  m.run();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0], (std::pair<bool, std::uint32_t>{true, 1}));
+  EXPECT_EQ(results[1], (std::pair<bool, std::uint32_t>{true, 2}));
+  EXPECT_FALSE(m.deadlocked());
+}
+
+TEST(Kill, KilledProcessReleasesItsDualQueueWaiterSlot) {
+  // A process blocked in dq_dequeue dies with its node; a later enqueue
+  // must not hand the datum to the corpse.
+  sim::FaultPlan plan;
+  plan.kill(1, 5 * sim::kMillisecond);
+  Machine m(butterfly1(2), plan);
+  Kernel k(m);
+  std::uint32_t got = 0;
+  Oid dq = kNoObject;
+  k.create_process(0, [&] {
+    dq = k.make_dual_queue();
+    k.delay(20 * sim::kMillisecond);
+    k.dq_enqueue(dq, 77);
+    k.delay(5 * sim::kMillisecond);
+    std::uint32_t v = 0;
+    if (k.dq_try_dequeue(dq, &v)) got = v;
+  });
+  k.create_process(1, [&] {
+    k.delay(sim::kMillisecond);
+    (void)k.dq_dequeue(dq);  // blocked here when node 1 dies at 5 ms
+  });
+  m.run();
+  EXPECT_FALSE(m.deadlocked());
+  // The datum survived: the dead waiter was skipped and the data queued.
+  EXPECT_EQ(got, 77u);
+  EXPECT_GE(k.killed_processes(), 1u);
+}
+
+TEST(Kill, CreateProcessOnDeadNodeThrows) {
+  sim::FaultPlan plan;
+  plan.kill(1, sim::kMillisecond);
+  Machine m(butterfly1(2), plan);
+  Kernel k(m);
+  std::uint32_t err = kThrowNone;
+  k.create_process(0, [&] {
+    k.delay(10 * sim::kMillisecond);
+    err = static_cast<std::uint32_t>(
+        k.catch_block([&] { (void)k.create_process(1, [] {}); }));
+  });
+  m.run();
+  EXPECT_EQ(err, static_cast<std::uint32_t>(kThrowNodeDead));
+  EXPECT_FALSE(m.deadlocked());
+}
+
 }  // namespace
 }  // namespace bfly::chrys

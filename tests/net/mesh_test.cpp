@@ -145,5 +145,97 @@ TEST(Mesh, LargeTransfersArriveIntact) {
   });
 }
 
+TEST(MeshFaults, ReadFromExitedPeerRaisesInsteadOfHanging) {
+  // The writer element exits without ever writing; its reader must get a
+  // broken-stream throw, not block forever.
+  Machine m(sim::butterfly1(4));
+  chrys::Kernel k(m);
+  std::uint32_t err = 0;
+  bool read_returned = false;
+  k.create_process(0, [&] {
+    Mesh mesh(k, 1, 2, [&](Element& e) {
+      if (e.col() == 0) return;  // writer quits immediately
+      std::uint32_t v = 0;
+      err = k.catch_block(
+          [&] { v = e.in(Direction::kWest)->read_value<std::uint32_t>(); });
+      read_returned = true;
+      (void)v;
+    });
+    mesh.join();
+    EXPECT_EQ(mesh.elements_faulted(), 0u);  // the body caught it
+    EXPECT_EQ(mesh.elements_lost(), 0u);
+  });
+  m.run();
+  ASSERT_FALSE(m.deadlocked());
+  EXPECT_TRUE(read_returned);
+  EXPECT_EQ(err, chrys::kThrowBrokenStream);
+}
+
+TEST(MeshFaults, DeadWriterNodeBreaksTheStreamAndJoinCompletes) {
+  // Node 1 (the writer element's node) dies mid-run.  The reader gets a
+  // broken-stream error, the mesh still joins, and nothing deadlocks.
+  sim::FaultPlan plan;
+  plan.kill(1, 20 * sim::kMillisecond);
+  Machine m(sim::butterfly1(4), plan);
+  chrys::Kernel k(m);
+  std::uint32_t first = 0;
+  k.create_process(0, [&] {
+    MeshOptions opt;
+    opt.base_node = 1;  // element (0,0) on node 1, element (0,1) on node 2
+    Mesh mesh(
+        k, 1, 2,
+        [&](Element& e) {
+          if (e.col() == 0) {
+            // One value early, then die mid-delay before the second.
+            e.out(Direction::kEast)->write_value<std::uint32_t>(7);
+            k.delay(100 * sim::kMillisecond);
+            e.out(Direction::kEast)->write_value<std::uint32_t>(8);
+          } else {
+            Stream* in = e.in(Direction::kWest);
+            first = in->read_value<std::uint32_t>();
+            (void)in->read_value<std::uint32_t>();  // writer dies: throws
+          }
+        },
+        opt);
+    mesh.join();
+    EXPECT_EQ(mesh.elements_lost(), 1u);
+    EXPECT_EQ(mesh.elements_faulted(), 1u);  // the reader's uncaught throw
+  });
+  m.run();
+  ASSERT_FALSE(m.deadlocked());
+  EXPECT_EQ(first, 7u);
+  EXPECT_FALSE(m.node_alive(1));
+}
+
+TEST(MeshFaults, BytesBufferedBeforeTheBreakAreStillReadable) {
+  Machine m(sim::butterfly1(4));
+  chrys::Kernel k(m);
+  std::vector<std::uint8_t> got;
+  std::uint32_t err = 0;
+  k.create_process(0, [&] {
+    Mesh mesh(k, 1, 2, [&](Element& e) {
+      if (e.col() == 0) {
+        const std::uint8_t data[] = {9, 8, 7};
+        e.out(Direction::kEast)->write(data, 3);  // then exit
+      } else {
+        Stream* in = e.in(Direction::kWest);
+        std::uint8_t buf[3] = {};
+        in->read(buf, 3);  // delivered bytes arrive fine
+        got.assign(buf, buf + 3);
+        err = k.catch_block([&] {
+          std::uint8_t more = 0;
+          in->read(&more, 1);  // past the end: broken
+        });
+        EXPECT_TRUE(in->broken());
+      }
+    });
+    mesh.join();
+  });
+  m.run();
+  ASSERT_FALSE(m.deadlocked());
+  EXPECT_EQ(got, (std::vector<std::uint8_t>{9, 8, 7}));
+  EXPECT_EQ(err, chrys::kThrowBrokenStream);
+}
+
 }  // namespace
 }  // namespace bfly::net

@@ -23,8 +23,9 @@ struct RacyRun {
 };
 
 RacyRun run_racy(std::uint32_t actors, std::uint32_t rounds, Mode mode,
-                 std::uint64_t jitter_seed, const Log* script = nullptr) {
-  Machine m(butterfly1(8));
+                 std::uint64_t jitter_seed, const Log* script = nullptr,
+                 sim::FaultPlan plan = {}) {
+  Machine m(butterfly1(8), std::move(plan));
   chrys::Kernel k(m);
   Monitor mon(k, actors);
   RacyRun out;
@@ -147,6 +148,61 @@ TEST(InstantReplay, ReadersAndWritersInterleaveCorrectly) {
   for (std::uint32_t v : seen) EXPECT_TRUE(v == 10u || v == 20u);
   Log log = mon.take_log();
   EXPECT_EQ(log.total_entries(), 4u);
+}
+
+// Entry-by-entry log equality: byte-identical in every recorded field.
+void expect_logs_identical(const Log& a, const Log& b) {
+  ASSERT_EQ(a.per_actor.size(), b.per_actor.size());
+  for (std::size_t i = 0; i < a.per_actor.size(); ++i) {
+    ASSERT_EQ(a.per_actor[i].size(), b.per_actor[i].size()) << "actor " << i;
+    for (std::size_t j = 0; j < a.per_actor[i].size(); ++j) {
+      const AccessEntry& x = a.per_actor[i][j];
+      const AccessEntry& y = b.per_actor[i][j];
+      EXPECT_EQ(x.object, y.object) << "actor " << i << " entry " << j;
+      EXPECT_EQ(x.version, y.version) << "actor " << i << " entry " << j;
+      EXPECT_EQ(x.readers, y.readers) << "actor " << i << " entry " << j;
+      EXPECT_EQ(x.is_write, y.is_write) << "actor " << i << " entry " << j;
+      EXPECT_EQ(x.at, y.at) << "actor " << i << " entry " << j;
+    }
+  }
+}
+
+TEST(InstantReplay, FaultPlanWithZeroProbsKeepsRecordingDeterministic) {
+  // A FaultPlan whose probabilistic faults are all zero — here it only
+  // kills node 7, which hosts no actor and no monitored object — must not
+  // perturb determinism: two same-seed record runs produce byte-identical
+  // logs, orders, and elapsed times.
+  sim::FaultPlan plan;
+  plan.mem_fault_prob = 0.0;
+  plan.kill(7, 10 * sim::kMillisecond);
+  RacyRun a = run_racy(4, 6, Mode::kRecord, 1111, nullptr, plan);
+  RacyRun b = run_racy(4, 6, Mode::kRecord, 1111, nullptr, plan);
+  EXPECT_EQ(a.order, b.order);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+  EXPECT_EQ(a.fault_code, 0);
+  expect_logs_identical(a.log, b.log);
+}
+
+TEST(InstantReplay, EmptyFaultPlanIsByteIdenticalToNoPlan) {
+  // The acceptance bar for the fault machinery: constructing the machine
+  // with a default FaultPlan must leave the run bit-for-bit unchanged.
+  RacyRun plain = run_racy(4, 6, Mode::kRecord, 2222);
+  RacyRun planned = run_racy(4, 6, Mode::kRecord, 2222, nullptr,
+                             sim::FaultPlan{});
+  EXPECT_EQ(plain.order, planned.order);
+  EXPECT_EQ(plain.elapsed, planned.elapsed);
+  expect_logs_identical(plain.log, planned.log);
+}
+
+TEST(InstantReplay, ReplayStillForcesOrderUnderAFaultPlan) {
+  // Record clean, replay on a machine whose unused node dies mid-run: the
+  // recorded interleaving must still be enforced on the survivors.
+  RacyRun rec = run_racy(4, 6, Mode::kRecord, 1111);
+  sim::FaultPlan plan;
+  plan.kill(7, 10 * sim::kMillisecond);
+  RacyRun rep = run_racy(4, 6, Mode::kReplay, 9999, &rec.log, plan);
+  EXPECT_EQ(rep.order, rec.order);
+  EXPECT_EQ(rep.fault_code, 0);
 }
 
 TEST(Moviola, BuildsThePartialOrder) {

@@ -1,0 +1,224 @@
+// Deterministic fault injection at the machine level: node kills, transient
+// memory faults, and switch packet faults, all reproducible from
+// (config, FaultPlan) alone.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace bfly::sim {
+namespace {
+
+TEST(FaultPlan, EmptyPlanChangesNothing) {
+  // Two machines running the same program, one with a default (empty)
+  // FaultPlan passed explicitly: identical elapsed time and stats.
+  auto run = [](bool with_plan) {
+    Machine m = with_plan ? Machine(butterfly1(8), FaultPlan{})
+                          : Machine(butterfly1(8));
+    std::uint32_t sum = 0;
+    const PhysAddr a = m.alloc(3, 64);
+    m.poke<std::uint32_t>(a, 5);
+    m.spawn(0, [&] {
+      for (int i = 0; i < 50; ++i) sum += m.read<std::uint32_t>(a);
+      m.write<std::uint32_t>(a, 7);
+    });
+    const Time t = m.run();
+    return std::pair<Time, std::uint32_t>(t, sum);
+  };
+  const auto plain = run(false);
+  const auto planned = run(true);
+  EXPECT_EQ(plain.first, planned.first);
+  EXPECT_EQ(plain.second, planned.second);
+}
+
+TEST(FaultPlan, KilledNodeStopsItsFibersWithoutDeadlock) {
+  FaultPlan plan;
+  plan.kill(1, 5 * kMillisecond);
+  Machine m(butterfly1(4), plan);
+  int victim_steps = 0;
+  int survivor_steps = 0;
+  m.spawn(1, [&] {
+    for (int i = 0; i < 100; ++i) {
+      m.charge(kMillisecond);
+      ++victim_steps;
+    }
+  });
+  m.spawn(0, [&] {
+    for (int i = 0; i < 100; ++i) {
+      m.charge(kMillisecond);
+      ++survivor_steps;
+    }
+  });
+  m.run();
+  EXPECT_FALSE(m.deadlocked());
+  EXPECT_EQ(survivor_steps, 100);
+  EXPECT_LT(victim_steps, 100);
+  EXPECT_FALSE(m.node_alive(1));
+  EXPECT_TRUE(m.node_alive(0));
+  EXPECT_EQ(m.dead_nodes(), 1u);
+}
+
+TEST(FaultPlan, ReferencesToADeadNodeThrow) {
+  FaultPlan plan;
+  plan.kill(2, kMillisecond);
+  Machine m(butterfly1(4), plan);
+  const PhysAddr remote = m.alloc(2, 64);
+  bool threw = false;
+  NodeId reported = 99;
+  m.spawn(0, [&] {
+    m.charge(10 * kMillisecond);  // node 2 is gone by now
+    try {
+      (void)m.read<std::uint32_t>(remote);
+    } catch (const NodeDeadError& e) {
+      threw = true;
+      reported = e.node();
+    }
+  });
+  m.run();
+  EXPECT_TRUE(threw);
+  EXPECT_EQ(reported, 2u);
+  EXPECT_GE(m.stats().dead_node_refs, 1u);
+  EXPECT_FALSE(m.deadlocked());
+}
+
+TEST(FaultPlan, AllocOnDeadNodeThrows) {
+  FaultPlan plan;
+  plan.kill(3, kMillisecond);
+  Machine m(butterfly1(4), plan);
+  bool threw = false;
+  m.spawn(0, [&] {
+    m.charge(10 * kMillisecond);
+    try {
+      (void)m.alloc(3, 64);
+    } catch (const NodeDeadError&) {
+      threw = true;
+    }
+  });
+  m.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(FaultPlan, TransientMemoryFaultsAreDeterministic) {
+  auto run = [] {
+    FaultPlan plan;
+    plan.mem_fault_prob = 0.05;
+    plan.seed = 1234;
+    Machine m(butterfly1(8), plan);
+    const PhysAddr a = m.alloc(5, 64);
+    std::uint64_t faults_seen = 0;
+    m.spawn(0, [&] {
+      for (int i = 0; i < 400; ++i) {
+        try {
+          (void)m.read<std::uint32_t>(a);
+        } catch (const MemoryFaultError& e) {
+          ++faults_seen;
+          EXPECT_EQ(e.node(), 5u);
+        }
+      }
+    });
+    const Time t = m.run();
+    return std::tuple<std::uint64_t, std::uint64_t, Time>(
+        faults_seen, m.stats().mem_faults_injected, t);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_GT(std::get<0>(a), 0u);
+  EXPECT_EQ(std::get<0>(a), std::get<1>(a));
+  // Same plan, same seed: byte-identical fault pattern and timing.
+  EXPECT_EQ(a, b);
+}
+
+TEST(FaultPlan, PacketDropsAddRetryLatency) {
+  auto elapsed_with = [](double drop_prob) {
+    FaultPlan plan;
+    plan.packet_drop_prob = drop_prob;
+    plan.drop_retry_ns = 200 * kMicrosecond;
+    Machine m(butterfly1(8), plan);
+    const PhysAddr a = m.alloc(6, 64);
+    m.spawn(0, [&] {
+      for (int i = 0; i < 300; ++i) (void)m.read<std::uint32_t>(a);
+    });
+    const Time t = m.run();
+    return std::pair<Time, std::uint64_t>(t, m.fabric().packets_dropped());
+  };
+  const auto faulty = elapsed_with(0.2);
+  const auto clean = elapsed_with(0.0);
+  EXPECT_GT(faulty.second, 0u);
+  EXPECT_EQ(clean.second, 0u);
+  EXPECT_GT(faulty.first, clean.first);
+}
+
+TEST(FaultPlan, PacketDelaysAddLatencyDeterministically) {
+  auto run = [] {
+    FaultPlan plan;
+    plan.packet_delay_prob = 0.3;
+    plan.packet_delay_ns = 100 * kMicrosecond;
+    plan.seed = 77;
+    Machine m(butterfly1(8), plan);
+    const PhysAddr a = m.alloc(4, 64);
+    m.spawn(0, [&] {
+      for (int i = 0; i < 200; ++i) (void)m.read<std::uint32_t>(a);
+    });
+    const Time t = m.run();
+    return std::pair<Time, std::uint64_t>(t, m.fabric().packets_delayed());
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_GT(a.second, 0u);
+  EXPECT_EQ(a, b);
+}
+
+TEST(FaultPlan, KillAtTimeZeroPreventsSpawns) {
+  FaultPlan plan;
+  plan.kill(1, 0);
+  Machine m(butterfly1(4), plan);
+  m.spawn(0, [&] { m.charge(kMillisecond); });
+  m.run();
+  EXPECT_FALSE(m.node_alive(1));
+  EXPECT_THROW(m.spawn(1, [] {}), NodeDeadError);
+}
+
+TEST(FaultPlan, RuntimeKillNodeMatchesPlannedKill) {
+  // kill_node() arms the same machinery as a planned kill.
+  Machine m(butterfly1(4));
+  int steps = 0;
+  m.kill_node(2, 3 * kMillisecond);
+  m.spawn(2, [&] {
+    for (int i = 0; i < 10; ++i) {
+      m.charge(kMillisecond);
+      ++steps;
+    }
+  });
+  m.run();
+  EXPECT_FALSE(m.deadlocked());
+  EXPECT_LT(steps, 10);
+  EXPECT_FALSE(m.node_alive(2));
+}
+
+TEST(FaultPlan, DeathObserversFireOnceInOrder) {
+  FaultPlan plan;
+  plan.kill(0, kMillisecond);
+  plan.kill(3, 2 * kMillisecond);
+  Machine m(butterfly1(4), plan);
+  std::vector<std::pair<int, NodeId>> calls;
+  const auto id1 = m.on_node_death([&](NodeId n) { calls.push_back({1, n}); });
+  (void)m.on_node_death([&](NodeId n) { calls.push_back({2, n}); });
+  m.spawn(1, [&] { m.charge(10 * kMillisecond); });
+  m.run();
+  ASSERT_EQ(calls.size(), 4u);
+  EXPECT_EQ(calls[0], (std::pair<int, NodeId>{1, 0}));
+  EXPECT_EQ(calls[1], (std::pair<int, NodeId>{2, 0}));
+  EXPECT_EQ(calls[2], (std::pair<int, NodeId>{1, 3}));
+  EXPECT_EQ(calls[3], (std::pair<int, NodeId>{2, 3}));
+  m.remove_death_observer(id1);
+}
+
+TEST(FaultPlan, BadKillTargetIsRejected) {
+  FaultPlan plan;
+  plan.kill(9, kMillisecond);  // only 4 nodes
+  EXPECT_THROW(Machine(butterfly1(4), plan), SimError);
+}
+
+}  // namespace
+}  // namespace bfly::sim
