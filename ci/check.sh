@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 build + tests, the sanitizer preset, and lint.
+#
+# Exits nonzero on the first failure (set -e), so a red step fails the
+# whole job.  Steps:
+#   1. default preset  — Release build, full ctest suite
+#   2. asan preset     — ASan+UBSan build, full ctest suite
+#   3. lint            — clang-tidy over src/ against the compile database
+#                        (skips with a notice when clang-tidy isn't installed;
+#                        the `lint` target handles that itself)
+#
+# Usage: ci/check.sh [jobs]        (default: nproc)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+step "configure + build (default preset)"
+cmake --preset default
+cmake --build --preset default -j "$JOBS"
+
+step "test (default preset)"
+ctest --preset default -j "$JOBS"
+
+step "configure + build (asan preset)"
+cmake --preset asan
+cmake --build --preset asan -j "$JOBS"
+
+step "test (asan preset)"
+ctest --preset asan -j "$JOBS"
+
+step "lint (clang-tidy)"
+cmake --build build --target lint
+
+step "all checks passed"

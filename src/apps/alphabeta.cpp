@@ -78,9 +78,13 @@ SearchResult alphabeta_parallel(sim::Machine& m, const GameConfig& cfg,
     const sim::Time t0 = m.now();
     us.for_all(0, cfg.branching, [&](us::TaskCtx& c) {
       const std::uint32_t mv = c.arg;
-      // Read the bound other tasks have established so far.
+      // Read the bound other tasks have established so far.  The optimistic
+      // read happens outside the lock, so it must go through the memory
+      // module's atomic path (fetch-add of 0 is the PNC atomic-read idiom);
+      // a plain load here would race with the locked publish below.  Same
+      // single-word reference, so the timing is unchanged.
       const int shared_alpha =
-          static_cast<int>(c.us.get<std::uint32_t>(alpha_cell)) - 1024;
+          static_cast<int>(c.us.atomic_add(alpha_cell, 0)) - 1024;
       Searcher s{cfg};
       const int v = -s.negamax(mix(cfg.seed, mv), cfg.depth - 1, -1000,
                                -shared_alpha);

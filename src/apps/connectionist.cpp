@@ -73,7 +73,13 @@ ConnectionistResult connectionist(sim::Machine& m,
     // memory; weights/topology are scattered by unit chunk so each worker's
     // own units are (mostly) in nearby memory.
     const std::uint32_t chunk = (n + procs - 1) / procs;
-    std::vector<sim::PhysAddr> act_chunks = us.scatter_rows(procs, chunk * 4);
+    // Double-buffered activations (the reference's act/next swap): within a
+    // round every worker reads the whole current vector while writers fill
+    // the other buffer, so same-round reads and writes never touch the same
+    // words.  A single buffer would be a data race masked only by the host
+    // mirror — bfly::analyze flags it.
+    std::vector<std::vector<sim::PhysAddr>> act_bufs = {
+        us.scatter_rows(procs, chunk * 4), us.scatter_rows(procs, chunk * 4)};
     std::vector<sim::PhysAddr> wt_chunks =
         us.scatter_rows(procs, chunk * cfg.fanin * 8);
     result.network_bytes =
@@ -82,7 +88,7 @@ ConnectionistResult connectionist(sim::Machine& m,
       const std::uint32_t lo = w * chunk;
       const std::uint32_t count = lo < n ? std::min(chunk, n - lo) : 0;
       if (count > 0)
-        m.poke_bytes(act_chunks[w], net.act0.data() + lo, count * 4);
+        m.poke_bytes(act_bufs[0][w], net.act0.data() + lo, count * 4);
     }
 
     std::vector<float> host_act = net.act0;  // mirrors simulated memory
@@ -95,6 +101,8 @@ ConnectionistResult connectionist(sim::Machine& m,
                                              cfg.fanin * 8)));
     const sim::Time t0 = m.now();
     for (std::uint32_t r = 0; r < cfg.rounds; ++r) {
+      const std::vector<sim::PhysAddr>& cur = act_bufs[r % 2];
+      const std::vector<sim::PhysAddr>& nxt = act_bufs[(r + 1) % 2];
       std::vector<float> next(n);
       us.for_all(0, procs, [&](us::TaskCtx& c) {
         const std::uint32_t w = c.arg;
@@ -107,7 +115,7 @@ ConnectionistResult connectionist(sim::Machine& m,
         for (std::uint32_t ww = 0; ww < procs; ++ww) {
           const std::uint32_t wlo = ww * chunk;
           const std::uint32_t wcount = wlo < n ? std::min(chunk, n - wlo) : 0;
-          if (wcount > 0) c.us.copy_to_local(buf, act_chunks[ww], wcount * 4);
+          if (wcount > 0) c.us.copy_to_local(buf, cur[ww], wcount * 4);
         }
         c.us.copy_to_local(buf, wt_chunks[w], count * cfg.fanin * 8);
         // Weighted sums: 2 flops per connection plus the squash.
@@ -120,8 +128,8 @@ ConnectionistResult connectionist(sim::Machine& m,
           }
           next[u] = squash(s);
         }
-        // Write the chunk's new activations back.
-        c.us.copy_from_local(act_chunks[w], next.data() + lo, count * 4);
+        // Write the chunk's new activations back into the other buffer.
+        c.us.copy_from_local(nxt[w], next.data() + lo, count * 4);
       });
       host_act = next;
     }

@@ -531,6 +531,7 @@ Oid Kernel::make_event(Oid owner_process) {
 
 void Kernel::event_post(Oid ev, std::uint32_t datum) {
   charge_if_on_fiber(m_.config().event_post_ns);
+  m_.observe_release(sim::chan_of_oid(ev));
   EventObj& e = std::get<EventObj>(rec(ev).u);
   if (e.waiting) {
     e.waiting = false;
@@ -552,11 +553,13 @@ std::uint32_t Kernel::event_wait(Oid ev) {
   if (e.owner != p.oid()) throw ThrowSignal{kThrowNotOwner, ev};
   if (e.pending) {
     e.pending = false;
+    m_.observe_acquire(sim::chan_of_oid(ev));
     return e.datum;
   }
   e.waiting = true;
   p.waiting_on_ = ev;
   block_self();
+  m_.observe_acquire(sim::chan_of_oid(ev));
   return p.wait_datum_;
 }
 
@@ -582,6 +585,7 @@ void Kernel::dq_enqueue(Oid dq, std::uint32_t datum) {
 }
 
 void Kernel::dq_enqueue_uncharged(Oid dq, std::uint32_t datum) {
+  m_.observe_release(sim::chan_of_oid(dq));
   DualQueueObj& q = std::get<DualQueueObj>(rec(dq).u);
   while (!q.waiters.empty()) {
     Process& w = proc(q.waiters.front());
@@ -610,12 +614,14 @@ std::uint32_t Kernel::dq_dequeue(Oid dq) {
   if (!q.data.empty()) {
     const std::uint32_t v = q.data.front();
     q.data.pop_front();
+    m_.observe_acquire(sim::chan_of_oid(dq));
     return v;
   }
   q.waiters.push_back(p.oid());
   p.waiting_on_ = dq;
   block_self();
   p.dq_handoff_from_ = kNoObject;  // datum safely in our hands
+  m_.observe_acquire(sim::chan_of_oid(dq));
   return p.wait_datum_;
 }
 
@@ -626,6 +632,7 @@ bool Kernel::dq_dequeue_for(Oid dq, sim::Time timeout, std::uint32_t* out) {
   if (!q.data.empty()) {
     *out = q.data.front();
     q.data.pop_front();
+    m_.observe_acquire(sim::chan_of_oid(dq));
     return true;
   }
   q.waiters.push_back(p.oid());
@@ -655,6 +662,7 @@ bool Kernel::dq_dequeue_for(Oid dq, sim::Time timeout, std::uint32_t* out) {
   block_self();
   if (p.timed_out_) return false;
   p.dq_handoff_from_ = kNoObject;  // datum safely in our hands
+  m_.observe_acquire(sim::chan_of_oid(dq));
   *out = p.wait_datum_;
   return true;
 }
@@ -669,6 +677,7 @@ bool Kernel::dq_try_dequeue_uncharged(Oid dq, std::uint32_t* out) {
   if (q.data.empty()) return false;
   *out = q.data.front();
   q.data.pop_front();
+  m_.observe_acquire(sim::chan_of_oid(dq));
   return true;
 }
 

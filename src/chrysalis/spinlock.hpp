@@ -36,12 +36,14 @@ class SpinLock {
       m_.charge(probe_interval_);
     }
     ++acquisitions_;
+    m_.observe_lock_acquire(sim::chan_of(cell_));
   }
 
   bool try_acquire() {
     try {
       if (m_.test_and_set(cell_) == 0) {
         ++acquisitions_;
+        m_.observe_lock_acquire(sim::chan_of(cell_));
         return true;
       }
     } catch (const sim::MemoryFaultError&) {
@@ -53,6 +55,7 @@ class SpinLock {
   void release() {
     // A transient memory fault on the release write would leave the lock
     // held forever and wedge every spinner; the PNC retries the store.
+    m_.observe_lock_release(sim::chan_of(cell_));
     for (;;) {
       try {
         m_.write<std::uint32_t>(cell_, 0);

@@ -20,6 +20,10 @@ void Stream::write(const void* data, std::size_t n) {
   sim::Machine& m = mesh_.m_;
   chrys::Kernel& k = mesh_.k_;
   m.charge(kWriteOverhead);
+  // Release before the chunk body is published: everything the writer did
+  // up to here is visible to whoever reads this stream.  (The dual-queue
+  // hand-off publishes an edge too; this one names the stream itself.)
+  m.observe_release(sim::chan_of_stream(id_));
   // The chunk body lands in a buffer on the reader's node.
   Mesh::Chunk c;
   c.len = static_cast<std::uint32_t>(n);
@@ -61,6 +65,7 @@ void Stream::read(void* out, std::size_t n) {
       k.dq_enqueue_uncharged(chunk_queue_, Mesh::kEofCid);
       throw chrys::ThrowSignal{chrys::kThrowBrokenStream, id_};
     }
+    m.observe_acquire(sim::chan_of_stream(id_));
     Mesh::Chunk c = mesh_.chunks_[cid];
     mesh_.chunk_free_.push_back(cid);
     std::vector<std::uint8_t> tmp(c.len);

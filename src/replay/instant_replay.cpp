@@ -27,6 +27,10 @@ std::uint32_t Monitor::register_object(sim::NodeId home, std::string name) {
   m_.poke<std::uint32_t>(o.version, 0);
   m_.poke<std::uint32_t>(o.active_readers, 0);
   m_.poke<std::uint32_t>(o.version_readers, 0);
+  m_.label_memory(o.lock, 4, "IR." + o.name + ".lock");
+  m_.label_memory(o.version, 4, "IR." + o.name + ".version");
+  m_.label_memory(o.active_readers, 4, "IR." + o.name + ".active_readers");
+  m_.label_memory(o.version_readers, 4, "IR." + o.name + ".version_readers");
   obj_.push_back(o);
   record_.object_names.push_back(obj_.back().name);
   return static_cast<std::uint32_t>(obj_.size() - 1);

@@ -51,6 +51,7 @@ Fiber* Machine::spawn_parked(NodeId node, std::function<void()> body,
   assert(ok);
   (void)ok;
   live_.push_back(f);
+  if (observer_) observer_->on_spawn(Fiber::current(), f);
   return f;
 }
 
@@ -301,6 +302,7 @@ PhysAddr Machine::alloc(NodeId node, std::size_t bytes, std::size_t align) {
 
 void Machine::free(PhysAddr addr, std::size_t bytes) {
   if (addr.node >= cfg_.nodes) return;
+  if (observer_) observer_->on_free(addr, bytes);
   const auto size = static_cast<std::uint32_t>((bytes + 7) & ~std::size_t{7});
   Node& nd = node_[addr.node];
   nd.free_list.push_back(FreeBlock{addr.offset, size});
@@ -325,11 +327,11 @@ Time Machine::reference_finish(NodeId req, NodeId home, std::uint32_t words,
   return finish;
 }
 
-void Machine::reference(PhysAddr a, std::uint32_t words, bool write) {
-  (void)write;
+void Machine::reference(PhysAddr a, std::uint32_t words, MemOp op) {
   const NodeId req = current_node();
   check_node(a.node);
   if (fault_checks_) check_target(a.node);
+  observe_access(a, words, op, req);
   Time q = 0;
   const Time finish = reference_finish(req, a.node, words, &q);
   NodeStats& s = stats_.node[req];
@@ -347,7 +349,7 @@ void Machine::reference(PhysAddr a, std::uint32_t words, bool write) {
 }
 
 std::uint32_t Machine::fetch_add_u32(PhysAddr a, std::uint32_t delta) {
-  reference(a, 1, true);
+  reference(a, 1, MemOp::kAtomic);
   auto* p = raw(a, 4);
   std::uint32_t old;
   std::memcpy(&old, p, 4);
@@ -357,7 +359,7 @@ std::uint32_t Machine::fetch_add_u32(PhysAddr a, std::uint32_t delta) {
 }
 
 std::uint32_t Machine::fetch_or_u32(PhysAddr a, std::uint32_t bits) {
-  reference(a, 1, true);
+  reference(a, 1, MemOp::kAtomic);
   auto* p = raw(a, 4);
   std::uint32_t old;
   std::memcpy(&old, p, 4);
@@ -367,7 +369,7 @@ std::uint32_t Machine::fetch_or_u32(PhysAddr a, std::uint32_t bits) {
 }
 
 std::uint32_t Machine::test_and_set(PhysAddr a) {
-  reference(a, 1, true);
+  reference(a, 1, MemOp::kAtomic);
   auto* p = raw(a, 4);
   std::uint32_t old;
   std::memcpy(&old, p, 4);
@@ -386,6 +388,8 @@ void Machine::block_copy(PhysAddr dst, PhysAddr src, std::size_t bytes) {
     check_target(dst.node);
   }
   const std::uint32_t words = word_count(bytes);
+  observe_access(src, words, MemOp::kRead, req);
+  observe_access(dst, words, MemOp::kWrite, req);
   Time q = 0;
   // Head of the transfer pays full reference latency to the source...
   const Time head = reference_finish(req, src.node, 1, &q);
@@ -419,6 +423,7 @@ void Machine::block_read(void* host_dst, PhysAddr src, std::size_t bytes) {
   check_node(src.node);
   if (fault_checks_) check_target(src.node);
   const std::uint32_t words = word_count(bytes);
+  observe_access(src, words, MemOp::kRead, req);
   Time q = 0;
   const Time head = reference_finish(req, src.node, 1, &q);
   const Time stream = static_cast<Time>(words) * cfg_.block_word_ns;
@@ -443,6 +448,7 @@ void Machine::block_write(PhysAddr dst, const void* host_src,
   check_node(dst.node);
   if (fault_checks_) check_target(dst.node);
   const std::uint32_t words = word_count(bytes);
+  observe_access(dst, words, MemOp::kWrite, req);
   Time q = 0;
   const Time head = reference_finish(req, dst.node, 1, &q);
   const Time stream = static_cast<Time>(words) * cfg_.block_word_ns;
@@ -466,6 +472,9 @@ void Machine::access_words(PhysAddr a, std::uint32_t n, bool write) {
   const NodeId req = current_node();
   check_node(a.node);
   if (fault_checks_) check_target(a.node);
+  // Aggregate traffic: counted for contention lints, never race-checked
+  // (these calls model reference volume, not individual data accesses).
+  observe_access(a, n, MemOp::kAggregate, req);
   // n back-to-back single-word references; the requester is latency-bound,
   // so each starts when the previous completes.  Only the first can queue
   // behind foreign traffic (an approximation that keeps this O(1)).

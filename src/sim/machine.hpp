@@ -30,23 +30,13 @@
 #include "sim/engine.hpp"
 #include "sim/fault.hpp"
 #include "sim/fiber.hpp"
+#include "sim/observe.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
 #include "sim/switch_fabric.hpp"
 #include "sim/time.hpp"
 
 namespace bfly::sim {
-
-/// A physical address: (node, byte offset within that node's memory).
-struct PhysAddr {
-  NodeId node = 0;
-  std::uint32_t offset = 0;
-
-  PhysAddr plus(std::uint64_t delta) const {
-    return PhysAddr{node, static_cast<std::uint32_t>(offset + delta)};
-  }
-  bool operator==(const PhysAddr&) const = default;
-};
 
 class Machine {
  public:
@@ -152,7 +142,7 @@ class Machine {
   /// Timed single reference.  sizeof(T) must be <= 8.
   template <typename T>
   T read(PhysAddr a) {
-    reference(a, word_count(sizeof(T)), /*write=*/false);
+    reference(a, word_count(sizeof(T)), MemOp::kRead);
     T v;
     std::memcpy(&v, raw(a, sizeof(T)), sizeof(T));
     return v;
@@ -160,7 +150,7 @@ class Machine {
 
   template <typename T>
   void write(PhysAddr a, T v) {
-    reference(a, word_count(sizeof(T)), /*write=*/true);
+    reference(a, word_count(sizeof(T)), MemOp::kWrite);
     std::memcpy(raw(a, sizeof(T)), &v, sizeof(T));
   }
 
@@ -181,6 +171,34 @@ class Machine {
   /// Charge `n` back-to-back word references to `target` in a single event
   /// (used by tight inner loops; contention is accounted in aggregate).
   void access_words(PhysAddr a, std::uint32_t n, bool write = false);
+
+  // --- Observation (correctness tooling; see sim/observe.hpp) -----------------
+  // All hooks are host-side and uncharged: attaching an observer leaves the
+  // simulated event stream byte-identical to a bare run.
+
+  void set_observer(MemObserver* o) { observer_ = o; }
+  MemObserver* observer() const { return observer_; }
+
+  /// Publish a happens-before release/acquire edge on `chan` for the
+  /// calling context.  No-ops without an observer; synchronization layers
+  /// call these from the fiber performing the operation.
+  void observe_release(std::uint64_t chan) {
+    if (observer_) observer_->on_release(Fiber::current(), chan);
+  }
+  void observe_acquire(std::uint64_t chan) {
+    if (observer_) observer_->on_acquire(Fiber::current(), chan);
+  }
+  /// Lock-order events for acquisition-graph lints.
+  void observe_lock_acquire(std::uint64_t lock) {
+    if (observer_) observer_->on_lock_acquire(Fiber::current(), lock);
+  }
+  void observe_lock_release(std::uint64_t lock) {
+    if (observer_) observer_->on_lock_release(Fiber::current(), lock);
+  }
+  /// Name a range of physical memory for diagnostic reports.
+  void label_memory(PhysAddr a, std::size_t bytes, std::string name) {
+    if (observer_) observer_->on_label(a, bytes, std::move(name));
+  }
 
   // --- Untimed backdoor (tests, tooling, result extraction) -------------------
   template <typename T>
@@ -224,7 +242,13 @@ class Machine {
   }
 
   /// Perform + charge one reference of `words` words to a.node.
-  void reference(PhysAddr a, std::uint32_t words, bool write);
+  void reference(PhysAddr a, std::uint32_t words, MemOp op);
+  /// Report one reference to the registered observer (uncharged).
+  void observe_access(PhysAddr a, std::uint32_t words, MemOp op,
+                      NodeId requester) {
+    if (observer_) observer_->on_access(Fiber::current(), requester, a,
+                                        words, op);
+  }
   /// Compute completion time of a reference departing now; updates module
   /// occupancy and stats but does not charge.
   Time reference_finish(NodeId requester, NodeId home, std::uint32_t words,
@@ -270,6 +294,7 @@ class Machine {
   };
   std::vector<DeathObserver> death_observers_;
   std::uint64_t next_observer_id_ = 1;
+  MemObserver* observer_ = nullptr;
 };
 
 }  // namespace bfly::sim

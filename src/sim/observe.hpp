@@ -1,0 +1,102 @@
+// Observation hooks for correctness tooling (the bfly::analyze layer).
+//
+// Every timed memory reference and every synchronization operation in the
+// stack can be *observed* by a MemObserver registered on the Machine.  The
+// hooks are strictly host-side: an observer may not perform timed
+// operations, so an instrumented run is event-identical to a bare run (the
+// uncharged-instrumentation invariant the analyze tests assert against
+// Instant Replay logs).  When no observer is registered every hook is a
+// single pointer test.
+//
+// Synchronization layers publish happens-before edges through *channels*:
+// a release joins the releasing actor's knowledge into the channel, an
+// acquire joins the channel into the acquiring actor.  Channel ids share
+// one 64-bit namespace, partitioned by the helpers below:
+//   * memory words (spin-lock cells, atomic counters) — chan_of(addr);
+//   * Chrysalis objects (events, dual queues)         — chan_of_oid(oid);
+//   * NET streams                                     — chan_of_stream(id).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/config.hpp"
+#include "sim/time.hpp"
+
+namespace bfly::sim {
+
+class Fiber;
+
+/// A physical address: (node, byte offset within that node's memory).
+struct PhysAddr {
+  NodeId node = 0;
+  std::uint32_t offset = 0;
+
+  PhysAddr plus(std::uint64_t delta) const {
+    return PhysAddr{node, static_cast<std::uint32_t>(offset + delta)};
+  }
+  bool operator==(const PhysAddr&) const = default;
+};
+
+/// What kind of memory operation an on_access observation describes.
+enum class MemOp : std::uint8_t {
+  kRead,
+  kWrite,
+  /// PNC atomic read-modify-write (fetch_add, fetch_or, test_and_set).
+  /// Marks the word as a synchronization cell: the memory module serializes
+  /// word references, so a word managed by atomics orders its plain
+  /// accesses too.
+  kAtomic,
+  /// access_words(): aggregate traffic accounting for tight loops.  These
+  /// model reference *volume*, not individual data accesses, so detectors
+  /// count them for contention but do not race-check them.
+  kAggregate,
+};
+
+/// Channel id for a word-addressed synchronization cell.
+constexpr std::uint64_t chan_of(PhysAddr a) {
+  return (static_cast<std::uint64_t>(a.node) << 32) | a.offset;
+}
+/// Channel id for a Chrysalis kernel object (event, dual queue).
+constexpr std::uint64_t chan_of_oid(std::uint32_t oid) {
+  return (1ull << 62) | oid;
+}
+/// Channel id for a NET stream.
+constexpr std::uint64_t chan_of_stream(std::uint32_t id) {
+  return (2ull << 62) | id;
+}
+
+/// Host-side observer of the simulated memory / synchronization stream.
+/// All callbacks run in the context (fiber or engine) that performed the
+/// operation and must not charge simulated time.  `f` is nullptr for
+/// operations performed from engine/host context.
+class MemObserver {
+ public:
+  virtual ~MemObserver() = default;
+
+  /// One reference of `words` 32-bit words starting at `a`, issued by a
+  /// fiber running on `requester`.
+  virtual void on_access(Fiber* f, NodeId requester, PhysAddr a,
+                         std::uint32_t words, MemOp op) = 0;
+  /// A new fiber was created (parent is nullptr for host-spawned fibers).
+  virtual void on_spawn(Fiber* parent, Fiber* child) = 0;
+  /// Physical memory was returned to the allocator; shadow state for the
+  /// range is stale (the allocator hands reused addresses to unrelated
+  /// code, which must not inherit old epochs).
+  virtual void on_free(PhysAddr a, std::size_t bytes) = 0;
+
+  /// Happens-before edges published by synchronization layers.
+  virtual void on_release(Fiber* f, std::uint64_t chan) = 0;
+  virtual void on_acquire(Fiber* f, std::uint64_t chan) = 0;
+
+  /// Lock-order events (spin locks).  Purely for acquisition-graph lints;
+  /// the mutual-exclusion edges themselves flow through the lock word.
+  virtual void on_lock_acquire(Fiber* f, std::uint64_t lock) = 0;
+  virtual void on_lock_release(Fiber* f, std::uint64_t lock) = 0;
+
+  /// Symbolization: the runtimes name the shared objects they allocate so
+  /// reports can say "US.outstanding" instead of "node 0 +0x10".
+  virtual void on_label(PhysAddr a, std::size_t bytes, std::string name) = 0;
+};
+
+}  // namespace bfly::sim

@@ -50,6 +50,9 @@ void Member::send(std::uint32_t dest, std::uint32_t tag, const void* data,
   rec.len = static_cast<std::uint32_t>(len);
   if (len > 0) {
     rec.buf = m.alloc(rcv.node_, len);
+    m.label_memory(rec.buf, len,
+                   "SMP.msg[" + std::to_string(index_) + "->" +
+                       std::to_string(dest) + "]");
     m.block_write(rec.buf, data, len);
   }
   const std::uint32_t id = fam_.put_record(rec);

@@ -64,10 +64,13 @@ void UniformSystem::initialize() {
   // system).
   outstanding_ = m_.alloc(0, 8);
   m_.poke<std::uint32_t>(outstanding_, 0);
+  m_.label_memory(outstanding_, 8, "US.outstanding");
   rr_counter_ = m_.alloc(0, 8);
   m_.poke<std::uint32_t>(rr_counter_, 0);
+  m_.label_memory(rr_counter_, 8, "US.rr_counter");
   serial_lock_cell_ = m_.alloc(0, 8);
   m_.poke<std::uint32_t>(serial_lock_cell_, 0);
+  m_.label_memory(serial_lock_cell_, 8, "US.serial_lock");
   node_lock_cell_.resize(mem_nodes_);
   for (std::uint32_t n = 0; n < mem_nodes_; ++n) {
     // A memory node already dead at startup still needs a lock cell — the
@@ -75,6 +78,8 @@ void UniformSystem::initialize() {
     // gone.  Park the cell on node 0 so the probe fails cleanly.
     node_lock_cell_[n] = m_.alloc(m_.node_alive(n) ? n : 0, 8);
     m_.poke<std::uint32_t>(node_lock_cell_[n], 0);
+    m_.label_memory(node_lock_cell_[n], 8,
+                    "US.node_lock[" + std::to_string(n) + "]");
   }
 
   managers_.assign(procs_, chrys::kNoObject);

@@ -1,0 +1,197 @@
+// Race-detector sweep over the application suite: every app runs (small
+// problem sizes, small machine) with the Analyzer attached and must come
+// out race-free.  Gauss under the Uniform System is the acceptance bar
+// from the issue; the rest of the suite rides along so a future change
+// that drops a happens-before edge anywhere in the stack fails here.
+#include <gtest/gtest.h>
+
+#include "analyze/analyze.hpp"
+#include "apps/alphabeta.hpp"
+#include "apps/connectionist.hpp"
+#include "apps/gauss.hpp"
+#include "apps/geometry.hpp"
+#include "apps/graph.hpp"
+#include "apps/hough.hpp"
+#include "apps/image.hpp"
+#include "apps/mst.hpp"
+#include "apps/pedagogical.hpp"
+#include "apps/pentominoes.hpp"
+#include "apps/sort.hpp"
+
+namespace bfly::analyze {
+namespace {
+
+using sim::butterfly1;
+using sim::Machine;
+
+TEST(AppsScan, GaussUs) {
+  Machine m(butterfly1(8));
+  Analyzer an(m);
+  apps::GaussConfig cfg;
+  cfg.n = 24;
+  apps::GaussResult r = apps::gauss_us(m, cfg);
+  EXPECT_LT(apps::gauss_error(r, cfg.n, cfg.seed), 1e-9);
+  EXPECT_EQ(an.races_total(), 0u) << an.report();
+}
+
+TEST(AppsScan, GaussSmp) {
+  Machine m(butterfly1(8));
+  Analyzer an(m);
+  apps::GaussConfig cfg;
+  cfg.n = 24;
+  apps::GaussResult r = apps::gauss_smp(m, cfg);
+  EXPECT_LT(apps::gauss_error(r, cfg.n, cfg.seed), 1e-9);
+  EXPECT_EQ(an.races_total(), 0u) << an.report();
+}
+
+TEST(AppsScan, Hough) {
+  Machine m(butterfly1(8));
+  Analyzer an(m);
+  apps::HoughConfig cfg;
+  cfg.width = 64;
+  cfg.height = 64;
+  cfg.angles = 45;
+  cfg.processors = 8;
+  cfg.noise = 50;
+  (void)apps::hough(m, cfg);
+  EXPECT_EQ(an.races_total(), 0u) << an.report();
+}
+
+TEST(AppsScan, OddEvenSort) {
+  Machine m(butterfly1(8));
+  Analyzer an(m);
+  apps::SortConfig cfg;
+  cfg.n = 128;
+  cfg.processors = 4;
+  apps::SortResult r = apps::odd_even_sort(m, cfg);
+  EXPECT_TRUE(std::is_sorted(r.keys.begin(), r.keys.end()));
+  EXPECT_EQ(an.races_total(), 0u) << an.report();
+}
+
+TEST(AppsScan, BitonicSort) {
+  Machine m(butterfly1(8));
+  Analyzer an(m);
+  apps::SortConfig cfg;
+  cfg.n = 128;
+  cfg.processors = 4;
+  apps::SortResult r = apps::bitonic_sort(m, cfg);
+  EXPECT_TRUE(std::is_sorted(r.keys.begin(), r.keys.end()));
+  EXPECT_EQ(an.races_total(), 0u) << an.report();
+}
+
+TEST(AppsScan, BiffApplyAndHistogram) {
+  Machine m(butterfly1(8));
+  Analyzer an(m);
+  const apps::Image img = apps::Image::synthetic(48, 48, 5);
+  (void)apps::biff_apply(m, img, apps::filter_invert(), 4);
+  (void)apps::biff_histogram(m, img, 4);
+  EXPECT_EQ(an.races_total(), 0u) << an.report();
+}
+
+TEST(AppsScan, BiffPipeline) {
+  Machine m(butterfly1(8));
+  Analyzer an(m);
+  const apps::Image img = apps::Image::synthetic(48, 48, 6);
+  (void)apps::biff_pipeline(
+      m, img, {apps::filter_threshold(96), apps::filter_invert()}, 4);
+  EXPECT_EQ(an.races_total(), 0u) << an.report();
+}
+
+TEST(AppsScan, ConvexHull) {
+  Machine m(butterfly1(8));
+  Analyzer an(m);
+  (void)apps::convex_hull(m, apps::random_points(200, 21), 8);
+  EXPECT_EQ(an.races_total(), 0u) << an.report();
+}
+
+TEST(AppsScan, ConnectedComponents) {
+  Machine m(butterfly1(8));
+  Analyzer an(m);
+  // Documented suppression: connected_components uses chaotic relaxation —
+  // same-round tasks read neighbour labels while others overwrite them,
+  // with no synchronization by design.  Labels move monotonically towards
+  // the component minimum and the driver loops to a fixpoint, so a stale
+  // read only delays convergence (the result check below proves it).  See
+  // the matching comment in src/apps/graph.cpp.
+  an.suppress("cc.labels");
+  const apps::Graph g = apps::Graph::random(60, 3, 77);
+  apps::GraphRunResult r = apps::connected_components(m, g, 8);
+  EXPECT_EQ(r.labels, apps::cc_reference(g));
+  EXPECT_EQ(an.races_total(), 0u) << an.report();
+}
+
+TEST(AppsScan, TransitiveClosure) {
+  Machine m(butterfly1(8));
+  Analyzer an(m);
+  const apps::Graph g = apps::Graph::random(30, 2, 5);
+  apps::GraphRunResult r = apps::transitive_closure(m, g, 8);
+  EXPECT_EQ(r.value, apps::closure_reference(g));
+  EXPECT_EQ(an.races_total(), 0u) << an.report();
+}
+
+TEST(AppsScan, SubgraphIso) {
+  Machine m(butterfly1(8));
+  Analyzer an(m);
+  const apps::Graph tri = apps::Graph::cliques(1, 3);
+  const apps::Graph host = apps::Graph::cliques(1, 4);
+  (void)apps::subgraph_isomorphism(m, tri, host, 8);
+  EXPECT_EQ(an.races_total(), 0u) << an.report();
+}
+
+TEST(AppsScan, BoruvkaMst) {
+  Machine m(butterfly1(8));
+  Analyzer an(m);
+  const apps::WeightedGraph g = apps::WeightedGraph::random(40, 20, 9);
+  apps::MstResult r = apps::boruvka_mst(m, g, 8);
+  EXPECT_EQ(r.total_weight, apps::mst_reference(g));
+  EXPECT_EQ(an.races_total(), 0u) << an.report();
+}
+
+TEST(AppsScan, Queens) {
+  Machine m(butterfly1(8));
+  Analyzer an(m);
+  apps::QueensResult r = apps::queens(m, 6, 8);
+  EXPECT_EQ(r.solutions, apps::queens_reference(6));
+  EXPECT_EQ(an.races_total(), 0u) << an.report();
+}
+
+TEST(AppsScan, KnightsTour) {
+  Machine m(butterfly1(8));
+  Analyzer an(m);
+  (void)apps::knights_tour(m, 5, 4, 11);
+  EXPECT_EQ(an.races_total(), 0u) << an.report();
+}
+
+TEST(AppsScan, Pentominoes) {
+  Machine m(butterfly1(8));
+  Analyzer an(m);
+  apps::PentominoConfig cfg;  // 5x5, FILTY
+  (void)apps::pentominoes(m, cfg, 8);
+  EXPECT_EQ(an.races_total(), 0u) << an.report();
+}
+
+TEST(AppsScan, AlphaBeta) {
+  Machine m(butterfly1(8));
+  Analyzer an(m);
+  apps::GameConfig cfg;
+  cfg.depth = 4;
+  cfg.branching = 5;
+  apps::SearchResult r = apps::alphabeta_parallel(m, cfg, 8);
+  EXPECT_EQ(r.value, apps::alphabeta_reference(cfg).value);
+  EXPECT_EQ(an.races_total(), 0u) << an.report();
+}
+
+TEST(AppsScan, Connectionist) {
+  Machine m(butterfly1(8));
+  Analyzer an(m);
+  apps::ConnectionistConfig cfg;
+  cfg.units = 64;
+  cfg.fanin = 6;
+  cfg.rounds = 2;
+  cfg.processors = 4;
+  (void)apps::connectionist(m, cfg);
+  EXPECT_EQ(an.races_total(), 0u) << an.report();
+}
+
+}  // namespace
+}  // namespace bfly::analyze
