@@ -4,8 +4,11 @@
 # Exits nonzero on the first failure (set -e), so a red step fails the
 # whole job.  Steps:
 #   1. default preset  — Release build, full ctest suite
-#   2. asan preset     — ASan+UBSan build, full ctest suite
-#   3. lint            — clang-tidy over src/ against the compile database
+#   2. fault smoke     — the fault-injection and recovery benches (fast
+#                        mode, fixed seeds) rerun verbosely so a hang or
+#                        crash in the kill/restart paths is easy to read
+#   3. asan preset     — ASan+UBSan build, full ctest suite
+#   4. lint            — clang-tidy over src/ against the compile database
 #                        (skips with a notice when clang-tidy isn't installed;
 #                        the `lint` target handles that itself)
 #
@@ -23,6 +26,9 @@ cmake --build --preset default -j "$JOBS"
 
 step "test (default preset)"
 ctest --preset default -j "$JOBS"
+
+step "fault-heavy smoke (tfault + trecovery benches, fast mode)"
+ctest --preset default -L fault-smoke --output-on-failure --verbose
 
 step "configure + build (asan preset)"
 cmake --preset asan

@@ -13,8 +13,10 @@ constexpr std::uint64_t kScanOpsPerBlock = kBlockSize / 16;
 constexpr std::uint32_t kNoRid = 0xffffffffu;
 }  // namespace
 
-BridgeFs::BridgeFs(chrys::Kernel& k, std::uint32_t servers, DiskParams disk)
-    : k_(k), m_(k.machine()), nservers_(servers), disk_params_(disk) {
+BridgeFs::BridgeFs(chrys::Kernel& k, std::uint32_t servers, DiskParams disk,
+                   StableStore* persist)
+    : k_(k), m_(k.machine()), nservers_(servers), disk_params_(disk),
+      persist_(persist) {
   done_dq_ = k_.make_dual_queue();
   for (std::uint32_t s = 0; s < nservers_; ++s) {
     auto sv = std::make_unique<Server>(disk_params_);
@@ -22,17 +24,46 @@ BridgeFs::BridgeFs(chrys::Kernel& k, std::uint32_t servers, DiskParams disk)
     sv->req_dq = k_.make_dual_queue();
     servers_.push_back(std::move(sv));
   }
+  if (persist_ != nullptr && !persist_->empty()) {
+    if (persist_->servers != nservers_)
+      throw sim::SimError(
+          "BridgeFs: stable-store image was written with a different server "
+          "count; interleaving would scramble every file");
+    for (const auto& fi : persist_->files)
+      files_.push_back(FileMeta{fi.name, fi.nblocks});
+    for (std::uint32_t s = 0; s < nservers_; ++s)
+      servers_[s]->store = persist_->stores[s];
+  }
   for (std::uint32_t s = 0; s < nservers_; ++s) {
     k_.create_process(servers_[s]->node, [this, s] { server_loop(s); },
                       "bridge-srv" + std::to_string(s));
   }
   servers_alive_ = nservers_;
-  death_observer_ =
-      m_.on_node_death([this](sim::NodeId n) { handle_node_death(n); });
+  // Crash tier: the file system hears broadcast deaths; a silently killed
+  // server node is reported by a failure detector through excise_node.
+  crash_observer_ =
+      m_.on_node_crash([this](sim::NodeId n) { handle_node_death(n); });
 }
 
 BridgeFs::~BridgeFs() {
-  if (death_observer_ != 0) m_.remove_death_observer(death_observer_);
+  persist();
+  if (crash_observer_ != 0) m_.remove_crash_observer(crash_observer_);
+}
+
+void BridgeFs::persist() {
+  if (persist_ == nullptr) return;
+  persist_->servers = nservers_;
+  persist_->files.clear();
+  for (const auto& f : files_)
+    persist_->files.push_back(StableStore::FileImage{f.name, f.nblocks});
+  persist_->stores.assign(nservers_, {});
+  for (std::uint32_t s = 0; s < nservers_; ++s)
+    persist_->stores[s] = servers_[s]->store;
+}
+
+void BridgeFs::excise_node(sim::NodeId n) {
+  if (n >= m_.nodes() || m_.node_alive(n)) return;  // never excise the living
+  handle_node_death(n);
 }
 
 void BridgeFs::fail_abandoned(std::uint32_t s) {
@@ -65,6 +96,16 @@ FileId BridgeFs::create(std::string name) {
   files_.push_back(FileMeta{std::move(name), 0});
   for (auto& sv : servers_) sv->store.emplace_back();
   return static_cast<FileId>(files_.size() - 1);
+}
+
+bool BridgeFs::lookup(const std::string& name, FileId* out) const {
+  for (std::size_t i = 0; i < files_.size(); ++i) {
+    if (files_[i].name == name) {
+      *out = static_cast<FileId>(i);
+      return true;
+    }
+  }
+  return false;
 }
 
 std::uint32_t BridgeFs::blocks(FileId f) const { return files_[f].nblocks; }

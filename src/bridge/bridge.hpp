@@ -63,11 +63,32 @@ class Disk {
 
 using FileId = std::uint32_t;
 
+/// Host-side image of the disks' contents: stable storage that outlives one
+/// Machine incarnation.  A BridgeFs constructed with a StableStore loads the
+/// blocks written by a previous run and flushes its own on destruction (or
+/// persist()), which is what makes checkpoint/restart possible — the
+/// simulated machine reboots, the platters do not.
+struct StableStore {
+  struct FileImage {
+    std::string name;
+    std::uint32_t nblocks = 0;
+  };
+  std::uint32_t servers = 0;  ///< geometry the image was written with
+  std::vector<FileImage> files;
+  /// [server][file][local block] block bytes (empty = never written).
+  std::vector<std::vector<std::vector<std::vector<std::uint8_t>>>> stores;
+
+  bool empty() const { return files.empty(); }
+};
+
 class BridgeFs {
  public:
   /// Create `servers` Bridge server processes on nodes [0, servers), each
-  /// with one disk.  Must be called from a Chrysalis process.
-  BridgeFs(chrys::Kernel& k, std::uint32_t servers, DiskParams disk = {});
+  /// with one disk.  Must be called from a Chrysalis process.  When
+  /// `persist` is given, a non-empty image is loaded (its server count must
+  /// match) and the store is flushed back on destruction.
+  BridgeFs(chrys::Kernel& k, std::uint32_t servers, DiskParams disk = {},
+           StableStore* persist = nullptr);
   ~BridgeFs();
 
   BridgeFs(const BridgeFs&) = delete;
@@ -77,6 +98,8 @@ class BridgeFs {
 
   // --- Standard (naive) interface: one block at a time through the client --
   FileId create(std::string name);
+  /// Find a file by name (e.g. one loaded from a StableStore image).
+  bool lookup(const std::string& name, FileId* out) const;
   /// Logical length in blocks.
   std::uint32_t blocks(FileId f) const;
   /// Block ops throw chrys::ThrowSignal{kThrowNodeDead} when the stripe's
@@ -99,6 +122,18 @@ class BridgeFs {
 
   /// Stop the server processes (call before the creator exits).
   void shutdown();
+
+  /// Flush the block store to the StableStore now (host-side, untimed —
+  /// blocks were durable the moment each write was serviced; this just
+  /// copies the image out so the next incarnation can load it).  The
+  /// destructor does this too; explicit calls make restart harnesses clear.
+  void persist();
+
+  /// Excise a node a failure detector declared dead: fail-reply the
+  /// in-flight and queued requests of every server homed there.  Loud
+  /// kills arrive automatically via the crash broadcast; silent kills need
+  /// this call.  No-op for a live or already-excised node.
+  void excise_node(sim::NodeId n);
 
   std::uint64_t disk_ops() const;
 
@@ -176,7 +211,8 @@ class BridgeFs {
   std::uint32_t servers_alive_ = 0;
   std::uint32_t servers_lost_ = 0;
   std::uint64_t tool_shards_failed_ = 0;
-  std::uint64_t death_observer_ = 0;
+  std::uint64_t crash_observer_ = 0;
+  StableStore* persist_ = nullptr;
 };
 
 }  // namespace bfly::bridge

@@ -270,6 +270,14 @@ Oid Kernel::create_process(sim::NodeId node, std::function<void()> main,
     const sim::Time start = std::max(m_.now(), template_busy_until_);
     template_busy_until_ = start + cfg.proc_create_serial_ns;
     m_.charge(template_busy_until_ - m_.now());
+    // The charges above take milliseconds of simulated time; the target can
+    // die in the middle of them.  Re-check so the caller sees the same
+    // kThrowNodeDead as a dead-at-entry target, not a raw machine error
+    // from the fiber spawn below.
+    if (!m_.node_alive(node)) {
+      sars_free_[node] += block;
+      throw ThrowSignal{kThrowNodeDead, node};
+    }
   }
 
   auto pp = std::make_unique<Process>();

@@ -53,11 +53,13 @@ class Stream {
 
  private:
   friend class Mesh;
-  Stream(Mesh& mesh, std::uint32_t id, sim::NodeId reader_node);
+  Stream(Mesh& mesh, std::uint32_t id, sim::NodeId reader_node,
+         sim::NodeId writer_node);
 
   Mesh& mesh_;
   std::uint32_t id_;
   sim::NodeId reader_node_;
+  sim::NodeId writer_node_;
   chrys::Oid chunk_queue_ = chrys::kNoObject;  // dual queue of chunk ids
   std::deque<std::uint8_t> buffered_;          // reader-side reassembly
   bool broken_ = false;                        // EOF sentinel was seen
@@ -91,6 +93,15 @@ struct MeshOptions {
   bool wrap_rows = false;  ///< torus in the row direction
   bool wrap_cols = false;  ///< cylinder / torus in the column direction
   sim::NodeId base_node = 0;
+  /// Bounded retry for the chunk block transfers; a transient memory fault
+  /// on a stream is retried with backoff before propagating.
+  sim::RetryPolicy retry;
+  /// When nonzero, a blocked read re-checks the writer's liveness every
+  /// `read_timeout` of simulated time and raises kThrowBrokenStream if the
+  /// writer's node is gone — the reader's own failure detection, needed for
+  /// silent deaths where no EOF sentinel was ever posted.  0 blocks forever
+  /// (and preserves the pre-rescue event stream exactly).
+  sim::Time read_timeout = 0;
 };
 
 /// Builds the mesh (processes plus all streams) and runs an element body on
@@ -118,6 +129,19 @@ class Mesh {
   /// Elements lost outright to node deaths.
   std::uint64_t elements_lost() const { return elements_lost_; }
 
+  /// Excise a node a failure detector has declared dead: readers of its
+  /// elements' streams get EOF, join() gets their completion tokens.  Loud
+  /// kills arrive here automatically via the crash broadcast; silent kills
+  /// need this call (wire it to rescue::Membership::subscribe).  No-op for
+  /// a node that is still alive or already excised.
+  void excise_node(sim::NodeId n);
+
+  /// Called when a stream transfer exhausts its RetryPolicy, before the
+  /// fault propagates (feed to rescue::Membership::denounce).
+  void set_retry_exhausted_hook(std::function<void(sim::NodeId)> fn) {
+    retry_exhausted_ = std::move(fn);
+  }
+
  private:
   friend class Stream;
   /// Sentinel chunk id: "this stream's writer is gone".  Posted uncharged
@@ -129,12 +153,16 @@ class Mesh {
     std::uint32_t len = 0;
   };
 
-  Stream* make_stream(sim::NodeId reader_node);
+  Stream* make_stream(sim::NodeId reader_node, sim::NodeId writer_node);
   void element_gone(std::size_t idx);
   void handle_node_death(sim::NodeId n);
+  /// Run `op` under the mesh's RetryPolicy: transient memory faults are
+  /// retried with backoff; exhaustion fires the hook and rethrows.
+  void with_retry(const std::function<void()>& op);
 
   chrys::Kernel& k_;
   sim::Machine& m_;
+  MeshOptions opt_;
   std::uint32_t rows_, cols_;
   std::vector<Element> elements_;
   std::vector<std::unique_ptr<Stream>> streams_;
@@ -145,7 +173,8 @@ class Mesh {
   std::vector<std::uint8_t> element_active_;  // body still owes its streams
   std::uint64_t elements_faulted_ = 0;
   std::uint64_t elements_lost_ = 0;
-  std::uint64_t death_observer_ = 0;
+  std::uint64_t crash_observer_ = 0;
+  std::function<void(sim::NodeId)> retry_exhausted_;
 };
 
 }  // namespace bfly::net

@@ -78,6 +78,12 @@ class Monitor {
   Log take_log();
   /// Install a log to drive a replay-mode run.
   void load_log(Log log);
+  /// Drop everything recorded so far (a checkpoint barrier: a restarted run
+  /// resumes from the checkpoint, so history before it can never be
+  /// replayed and need not be kept — the log stays bounded).
+  void truncate_log() {
+    for (auto& v : record_.per_actor) v.clear();
+  }
 
   /// Number of monitoring memory references issued (to quantify the
   /// "within a few percent" overhead claim).

@@ -1,0 +1,169 @@
+#include "rescue/checkpoint.hpp"
+
+#include <cstring>
+
+namespace bfly::rescue {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x42434b31;  // "1KCB"
+
+// Header block layout (u32 little-endian at byte offsets).
+constexpr std::size_t kOffMagic = 0;
+constexpr std::size_t kOffSeq = 4;
+constexpr std::size_t kOffStep = 8;
+constexpr std::size_t kOffRegions = 12;
+constexpr std::size_t kOffBytes = 16;
+constexpr std::size_t kOffSum = 20;
+
+std::uint32_t fnv1a(const std::vector<std::uint8_t>& data) {
+  std::uint32_t h = 2166136261u;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= 16777619u;
+  }
+  return h;
+}
+
+void put_u32(std::vector<std::uint8_t>& blk, std::size_t off,
+             std::uint32_t v) {
+  std::memcpy(blk.data() + off, &v, 4);
+}
+
+std::uint32_t get_u32(const std::vector<std::uint8_t>& blk, std::size_t off) {
+  std::uint32_t v;
+  std::memcpy(&v, blk.data() + off, 4);
+  return v;
+}
+
+}  // namespace
+
+Checkpointer::Checkpointer(chrys::Kernel& k, bridge::BridgeFs& fs,
+                           CheckpointConfig cfg)
+    : k_(k), m_(k.machine()), fs_(fs), cfg_(std::move(cfg)) {}
+
+void Checkpointer::protect(sim::PhysAddr addr, std::size_t bytes) {
+  regions_.push_back(Region{addr, bytes});
+}
+
+std::size_t Checkpointer::total_bytes() const {
+  std::size_t n = 0;
+  for (const auto& r : regions_) n += r.bytes;
+  return n;
+}
+
+void Checkpointer::take_checkpoint() {
+  if (regions_.empty()) return;
+  ++seq_;
+  const std::string name =
+      cfg_.file_prefix + ((seq_ % 2) != 0 ? ".a" : ".b");
+  bridge::FileId f;
+  if (!fs_.lookup(name, &f)) f = fs_.create(name);
+  // Gather the protected regions out of simulated memory: charged block
+  // reads, possibly remote — checkpointing costs simulated time.
+  std::vector<std::uint8_t> data(total_bytes());
+  std::size_t off = 0;
+  for (const auto& r : regions_) {
+    m_.block_read(data.data() + off, r.addr, r.bytes);
+    off += r.bytes;
+  }
+  const std::uint32_t sum = fnv1a(data);
+  // Data blocks first, header block strictly last: a crash mid-checkpoint
+  // leaves this buffer with a stale (or zero) header whose checksum cannot
+  // match the half-written data, so restore() rejects it and falls back to
+  // the other buffer.
+  const auto nblk = static_cast<std::uint32_t>(
+      (data.size() + bridge::kBlockSize - 1) / bridge::kBlockSize);
+  std::vector<std::uint8_t> blk(bridge::kBlockSize);
+  for (std::uint32_t i = 0; i < nblk; ++i) {
+    const std::size_t base = static_cast<std::size_t>(i) * bridge::kBlockSize;
+    const std::size_t len = std::min(bridge::kBlockSize, data.size() - base);
+    std::memset(blk.data(), 0, bridge::kBlockSize);
+    std::memcpy(blk.data(), data.data() + base, len);
+    fs_.write_block(f, 1 + i, blk.data());
+  }
+  std::memset(blk.data(), 0, bridge::kBlockSize);
+  put_u32(blk, kOffMagic, kMagic);
+  put_u32(blk, kOffSeq, seq_);
+  put_u32(blk, kOffStep, next_step_);
+  put_u32(blk, kOffRegions, static_cast<std::uint32_t>(regions_.size()));
+  put_u32(blk, kOffBytes, static_cast<std::uint32_t>(data.size()));
+  put_u32(blk, kOffSum, sum);
+  fs_.write_block(f, 0, blk.data());
+  ++m_.stats().checkpoints_taken;
+  if (mon_ != nullptr) mon_->truncate_log();
+}
+
+bool Checkpointer::validate(bridge::FileId f, std::uint32_t* seq,
+                            std::uint32_t* step,
+                            std::vector<std::uint8_t>* data) {
+  if (fs_.blocks(f) < 1) return false;
+  std::vector<std::uint8_t> blk(bridge::kBlockSize);
+  fs_.read_block(f, 0, blk.data());
+  if (get_u32(blk, kOffMagic) != kMagic) return false;
+  if (get_u32(blk, kOffRegions) != regions_.size()) return false;
+  const std::uint32_t bytes = get_u32(blk, kOffBytes);
+  if (bytes != total_bytes()) return false;
+  // Pull everything out of the header before blk is reused for data.
+  const std::uint32_t want_sum = get_u32(blk, kOffSum);
+  const std::uint32_t hdr_seq = get_u32(blk, kOffSeq);
+  const std::uint32_t hdr_step = get_u32(blk, kOffStep);
+  const auto nblk = static_cast<std::uint32_t>(
+      (bytes + bridge::kBlockSize - 1) / bridge::kBlockSize);
+  if (fs_.blocks(f) < 1 + nblk) return false;
+  data->assign(bytes, 0);
+  for (std::uint32_t i = 0; i < nblk; ++i) {
+    const std::size_t base = static_cast<std::size_t>(i) * bridge::kBlockSize;
+    const std::size_t len = std::min(bridge::kBlockSize, data->size() - base);
+    fs_.read_block(f, 1 + i, blk.data());
+    std::memcpy(data->data() + base, blk.data(), len);
+  }
+  if (fnv1a(*data) != want_sum) return false;
+  *seq = hdr_seq;
+  *step = hdr_step;
+  return true;
+}
+
+bool Checkpointer::restore() {
+  std::uint32_t best_seq = 0, best_step = 0;
+  std::vector<std::uint8_t> best;
+  for (const char* suffix : {".a", ".b"}) {
+    bridge::FileId f;
+    if (!fs_.lookup(cfg_.file_prefix + suffix, &f)) continue;
+    std::uint32_t seq = 0, step = 0;
+    std::vector<std::uint8_t> data;
+    if (!validate(f, &seq, &step, &data)) continue;
+    if (seq > best_seq) {
+      best_seq = seq;
+      best_step = step;
+      best = std::move(data);
+    }
+  }
+  if (best_seq == 0) return false;
+  // Scatter the image back into the protected regions (charged writes).
+  std::size_t off = 0;
+  for (const auto& r : regions_) {
+    m_.block_write(r.addr, best.data() + off, r.bytes);
+    off += r.bytes;
+  }
+  seq_ = best_seq;  // keep alternating buffers from where we left off
+  next_step_ = best_step;
+  ++m_.stats().restart_count;
+  return true;
+}
+
+void Checkpointer::run_steps(std::uint32_t total,
+                             const std::function<void(std::uint32_t)>& fn) {
+  for (std::uint32_t i = next_step_; i < total; ++i) {
+    fn(i);
+    next_step_ = i + 1;
+    // Checkpoint at the boundary (quiesced: the caller's step has drained
+    // its tasks); skip the pointless one after the final step.
+    if (cfg_.every_steps != 0 && next_step_ < total &&
+        next_step_ % cfg_.every_steps == 0) {
+      take_checkpoint();
+    }
+  }
+}
+
+}  // namespace bfly::rescue

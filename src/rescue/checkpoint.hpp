@@ -1,0 +1,97 @@
+// Checkpoint/restart through the Bridge file system.
+//
+// A long computation structured as steps (outer iterations of Gauss, phases
+// of a sort) registers its shared-memory regions with protect() and runs
+// its steps through run_steps().  At configurable step boundaries — the
+// computation is *quiesced* there: wait_idle has drained the Uniform System
+// task bag, so the bag's serialization is just the step cursor — the
+// checkpointer reads every protected region out of simulated memory
+// (charged block reads), streams it into a checkpoint file on the Bridge
+// servers (charged disk writes), and writes the header block last.  Two
+// files are used alternately, so a crash mid-checkpoint tears at most the
+// buffer being written; the header-written-last-plus-checksum rule makes a
+// torn buffer detectably invalid and restore() falls back to the other.
+//
+// Because the Bridge store is backed by a StableStore that outlives the
+// Machine, a fresh simulation under the same seed can restore() the latest
+// valid checkpoint and resume at the recorded step — and since the
+// simulator is deterministic, the restarted run's answer is bit-for-bit
+// the answer the unkilled run would have produced.
+//
+// Checkpoints are also Instant Replay barriers: nothing before a restored
+// checkpoint can ever be re-executed, so the monitor's record log is
+// truncated at each checkpoint (attach_replay), keeping it bounded.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bridge/bridge.hpp"
+#include "replay/instant_replay.hpp"
+
+namespace bfly::rescue {
+
+struct CheckpointConfig {
+  /// Take a checkpoint every N completed steps (0 = never).
+  std::uint32_t every_steps = 1;
+  /// Checkpoint file names are <prefix>.a and <prefix>.b.
+  std::string file_prefix = "ckpt";
+};
+
+class Checkpointer {
+ public:
+  Checkpointer(chrys::Kernel& k, bridge::BridgeFs& fs,
+               CheckpointConfig cfg = {});
+
+  Checkpointer(const Checkpointer&) = delete;
+  Checkpointer& operator=(const Checkpointer&) = delete;
+
+  /// Register a shared-memory region to be saved/restored.  Regions must
+  /// be registered in the same order in the original and restarted runs
+  /// (deterministic allocation gives them identical addresses anyway).
+  void protect(sim::PhysAddr addr, std::size_t bytes);
+
+  /// Truncate this monitor's record log at every checkpoint.
+  void attach_replay(replay::Monitor* mon) { mon_ = mon; }
+
+  /// Load the newest valid checkpoint, if any: scatters the saved bytes
+  /// back into the protected regions and sets next_step().  Returns false
+  /// (and leaves memory untouched) when no valid checkpoint exists — e.g.
+  /// a fresh run, or both buffers torn.  Call from a Chrysalis process.
+  bool restore();
+
+  /// First step run_steps() will execute (0 on a fresh run).
+  std::uint32_t next_step() const { return next_step_; }
+
+  /// Run steps [next_step(), total), checkpointing at every_steps
+  /// boundaries.  Call from a Chrysalis process; `fn` gets the step index.
+  void run_steps(std::uint32_t total,
+                 const std::function<void(std::uint32_t)>& fn);
+
+  /// Take a checkpoint now (run_steps calls this; exposed for tests).
+  void take_checkpoint();
+
+ private:
+  struct Region {
+    sim::PhysAddr addr{};
+    std::size_t bytes = 0;
+  };
+
+  std::size_t total_bytes() const;
+  /// Validate one buffer file; on success fills seq/step/data.
+  bool validate(bridge::FileId f, std::uint32_t* seq, std::uint32_t* step,
+                std::vector<std::uint8_t>* data);
+
+  chrys::Kernel& k_;
+  sim::Machine& m_;
+  bridge::BridgeFs& fs_;
+  CheckpointConfig cfg_;
+  replay::Monitor* mon_ = nullptr;
+  std::vector<Region> regions_;
+  std::uint32_t seq_ = 0;        // last checkpoint sequence number written
+  std::uint32_t next_step_ = 0;
+};
+
+}  // namespace bfly::rescue

@@ -1,0 +1,149 @@
+#include "rescue/rescue.hpp"
+
+namespace bfly::rescue {
+
+Membership::Membership(chrys::Kernel& k, RescueConfig cfg)
+    : k_(k), m_(k.machine()), cfg_(cfg) {
+  if (cfg_.monitor_node >= m_.nodes())
+    throw sim::SimError("Membership: monitor_node out of range");
+  if (cfg_.suspect_after <= cfg_.heartbeat_period)
+    throw sim::SimError(
+        "Membership: suspect_after must exceed heartbeat_period or healthy "
+        "nodes get suspected");
+  const std::uint32_t n = m_.nodes();
+  member_.assign(n, 1);
+  members_alive_ = n;
+  last_seq_.assign(n, 0);
+  last_move_.assign(n, 0);
+  // One 8-byte heartbeat word per node, plus the published epoch cell, all
+  // in the monitor node's memory.
+  hb_base_ = m_.alloc(cfg_.monitor_node, static_cast<std::size_t>(n) * 8);
+  epoch_cell_ = m_.alloc(cfg_.monitor_node, 8);
+}
+
+void Membership::start() {
+  if (started_) return;
+  started_ = true;
+  const std::uint32_t nodes = m_.nodes();
+  for (sim::NodeId n = 0; n < nodes; ++n) {
+    if (!k_.node_alive(n)) {
+      // Dead before the service came up: it will never heartbeat, so the
+      // watchdog will declare it after suspect_after — no special case.
+      continue;
+    }
+    try {
+      k_.create_process(n, [this, n] { daemon_loop(n); },
+                        "hb-" + std::to_string(n));
+    } catch (const chrys::ThrowSignal& t) {
+      // The node died while its daemon was being built (creation charges
+      // real time, and kills land mid-charge).  Same story as dead-before-
+      // start: no heartbeat will ever come, the watchdog declares it.
+      if (t.code != chrys::kThrowNodeDead) throw;
+      continue;
+    }
+    // Process creation is expensive (a serialized pass over the global
+    // template): across a whole machine this loop holds the caller's CPU
+    // for tens of milliseconds.  Yield so an already-created daemon on this
+    // node can get its first heartbeat out before its grace expires.
+    k_.yield();
+  }
+  // The scan starts counting staleness from now, so nodes get a full
+  // suspect_after to produce their first heartbeat.
+  for (sim::NodeId n = 0; n < nodes; ++n) last_move_[n] = m_.now();
+  k_.create_process(cfg_.monitor_node, [this] { watchdog_loop(); },
+                    "hb-watchdog");
+}
+
+void Membership::stop() { stopping_ = true; }
+
+void Membership::daemon_loop(sim::NodeId n) {
+  // Stagger the daemons across the period so the monitor's memory is not
+  // hit by every node in the same simulated instant.
+  const sim::Time phase =
+      cfg_.heartbeat_period * n / std::max<std::uint32_t>(1, m_.nodes());
+  if (phase > 0) k_.delay(phase);
+  std::uint32_t seq = 0;
+  while (!stopping_) {
+    ++seq;
+    try {
+      // A remote write across the switch, charged like any application
+      // reference — heartbeat traffic costs simulated time.
+      m_.write<std::uint32_t>(hb_base_.plus(n * 8), seq);
+    } catch (const sim::NodeDeadError&) {
+      return;  // the monitor is gone; nobody is listening
+    } catch (const sim::MemoryFaultError&) {
+      // A dropped heartbeat is harmless — the next one supersedes it.
+    }
+    k_.delay(cfg_.heartbeat_period);
+  }
+}
+
+void Membership::watchdog_loop() {
+  while (!stopping_) {
+    k_.delay(cfg_.heartbeat_period);
+    if (stopping_) return;
+    for (sim::NodeId n = 0; n < m_.nodes(); ++n) {
+      if (!member_[n]) continue;
+      // Local charged read of the node's heartbeat word.
+      const auto seq = m_.read<std::uint32_t>(hb_base_.plus(n * 8));
+      if (seq != last_seq_[n]) {
+        last_seq_[n] = seq;
+        last_move_[n] = m_.now();
+        continue;
+      }
+      if (m_.now() - last_move_[n] <= cfg_.suspect_after) continue;
+      // Stale.  Check the accusation against ground truth: the detector
+      // may be wrong, and a false suspicion must never evict the living.
+      if (m_.node_alive(n)) {
+        ++m_.stats().false_suspects;
+        last_move_[n] = m_.now();  // give it a fresh grace period
+        continue;
+      }
+      declare_suspect(n);
+    }
+  }
+}
+
+void Membership::denounce(sim::NodeId n) {
+  if (n >= member_.size() || !member_[n]) return;
+  if (m_.node_alive(n)) {
+    ++m_.stats().false_suspects;
+    return;
+  }
+  declare_suspect(n);
+}
+
+void Membership::declare_suspect(sim::NodeId n) {
+  if (!member_[n]) return;
+  member_[n] = 0;
+  --members_alive_;
+  ++epoch_;
+  ++m_.stats().suspects_declared;
+  history_.push_back(Suspicion{n, m_.now(), epoch_});
+  // Publish the new view before notifying anyone, so a subscriber that
+  // polls epoch_cell() from a task sees a consistent picture.
+  m_.write<std::uint32_t>(epoch_cell_, static_cast<std::uint32_t>(epoch_));
+  for (const auto& s : subs_) s.fn(n);
+}
+
+std::uint64_t Membership::subscribe(std::function<void(sim::NodeId)> fn) {
+  subs_.push_back(Subscriber{next_sub_, std::move(fn)});
+  return next_sub_++;
+}
+
+void Membership::unsubscribe(std::uint64_t id) {
+  for (std::size_t i = 0; i < subs_.size(); ++i) {
+    if (subs_[i].id == id) {
+      subs_.erase(subs_.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+sim::Time Membership::suspected_at(sim::NodeId n) const {
+  for (const auto& s : history_)
+    if (s.node == n) return s.at;
+  return 0;
+}
+
+}  // namespace bfly::rescue

@@ -1,0 +1,132 @@
+// RESCUE — proactive failure detection for the simulated Butterfly.
+//
+// The paper's machines were "rarely fully operational": nodes died and the
+// software had to keep going.  The packages in this repo already tolerate
+// *loud* deaths (the machine-check broadcast fires their crash observers),
+// but a silently failed node — one that just stops responding — is only
+// noticed when somebody touches the corpse.  A Uniform System run whose
+// dead node held no data touched by any peer would block in wait_idle
+// forever.
+//
+// Membership closes that hole with the classic heartbeat/watchdog scheme,
+// built from the same Chrysalis primitives application code uses:
+//
+//   * one daemon process per node increments a per-node heartbeat word in
+//     the monitor node's memory every heartbeat_period (a remote write,
+//     charged across the simulated switch like any other reference);
+//   * a watchdog process on the monitor node scans the words every period
+//     (local charged reads); a node whose word has not moved for
+//     suspect_after simulated time is *suspected*;
+//   * a suspicion against a node that is in fact alive is counted as a
+//     false suspect and otherwise ignored — the detector may be wrong and
+//     must never disturb the living;
+//   * a confirmed suspicion bumps the membership epoch, appends to the
+//     suspicion history, publishes the new epoch to a shared-memory cell,
+//     and notifies subscribers (wire us::UniformSystem::excise_node,
+//     net::Mesh::excise_node and bridge::BridgeFs::excise_node here).
+//
+// Retry exhaustion is the complementary accusation path: when a bounded
+// RetryPolicy gives up on a node, denounce() turns that into an immediate
+// suspicion check instead of waiting out the heartbeat timeout.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "chrysalis/kernel.hpp"
+
+namespace bfly::rescue {
+
+struct RescueConfig {
+  /// How often each node's daemon refreshes its heartbeat word.
+  sim::Time heartbeat_period = 2 * sim::kMillisecond;
+  /// Staleness after which the watchdog suspects a node.  Must comfortably
+  /// exceed heartbeat_period or healthy nodes get (false-)suspected.
+  sim::Time suspect_after = 8 * sim::kMillisecond;
+  /// Node whose memory holds the heartbeat words and runs the watchdog.
+  /// Pick a lightly-loaded node: heartbeat reads queue at this node's
+  /// memory module like any other reference, so co-locating the monitor
+  /// with a contended structure (the US work queue lives on node 0)
+  /// delays detection by however deep that queue runs.
+  sim::NodeId monitor_node = 0;
+};
+
+/// One entry per declared suspicion, oldest first.
+struct Suspicion {
+  sim::NodeId node = 0;
+  sim::Time at = 0;          ///< simulated time of the declaration
+  std::uint64_t epoch = 0;   ///< membership epoch it created
+};
+
+class Membership {
+ public:
+  /// Allocates the heartbeat words.  Call start() from a Chrysalis process
+  /// to launch the daemons; a Membership that is never started charges
+  /// nothing (zero overhead when rescue is off).
+  Membership(chrys::Kernel& k, RescueConfig cfg = {});
+
+  Membership(const Membership&) = delete;
+  Membership& operator=(const Membership&) = delete;
+
+  /// Launch one heartbeat daemon per (live) node plus the watchdog.  Must
+  /// be called from a Chrysalis process.
+  void start();
+  /// Ask the daemons to exit at their next wakeup (host-side flag; call
+  /// before the main process returns or run() never drains).
+  void stop();
+
+  /// Register a callback run when a node is declared dead.  Runs in the
+  /// watchdog's process context (or the denouncer's), after the membership
+  /// state has been updated.  Returns an id for unsubscribe.
+  std::uint64_t subscribe(std::function<void(sim::NodeId)> fn);
+  void unsubscribe(std::uint64_t id);
+
+  /// Accuse a node directly (e.g. from a retry-exhaustion hook): checked
+  /// against ground truth immediately — a live accusee is a false suspect,
+  /// a dead one is declared without waiting for the heartbeat timeout.
+  void denounce(sim::NodeId n);
+
+  /// Is the node in the current membership view?
+  bool member(sim::NodeId n) const { return n < member_.size() && member_[n]; }
+  /// Members remaining in the current view.
+  std::uint32_t members_alive() const { return members_alive_; }
+  /// Bumped once per declared suspicion.
+  std::uint64_t epoch() const { return epoch_; }
+  const std::vector<Suspicion>& history() const { return history_; }
+  /// Shared-memory cell (on the monitor node) holding the current epoch:
+  /// application tasks can poll it cheaply to learn the view changed.
+  sim::PhysAddr epoch_cell() const { return epoch_cell_; }
+
+  /// First suspicion declared against `n`, or 0 if none (for benches
+  /// measuring time-to-detect).
+  sim::Time suspected_at(sim::NodeId n) const;
+
+ private:
+  void daemon_loop(sim::NodeId n);
+  void watchdog_loop();
+  void declare_suspect(sim::NodeId n);
+
+  chrys::Kernel& k_;
+  sim::Machine& m_;
+  RescueConfig cfg_;
+  sim::PhysAddr hb_base_{};    // nodes() heartbeat words on monitor_node
+  sim::PhysAddr epoch_cell_{}; // published epoch, on monitor_node
+  bool started_ = false;
+  bool stopping_ = false;
+  std::vector<std::uint8_t> member_;
+  std::uint32_t members_alive_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::vector<Suspicion> history_;
+  struct Subscriber {
+    std::uint64_t id;
+    std::function<void(sim::NodeId)> fn;
+  };
+  std::vector<Subscriber> subs_;
+  std::uint64_t next_sub_ = 1;
+  // Watchdog bookkeeping (host-side; the charged work is the word reads).
+  std::vector<std::uint32_t> last_seq_;
+  std::vector<sim::Time> last_move_;
+};
+
+}  // namespace bfly::rescue

@@ -61,12 +61,38 @@ class MemoryFaultError : public SimError {
   NodeId node_;
 };
 
+/// Bounded retry with exponential backoff for remote operations.  The real
+/// PNC retried failed transactions in microcode; the runtime layers retry a
+/// few more times in software before giving a node up for dead.  Exhaustion
+/// is how a transient-looking fault graduates into a membership accusation
+/// (see bfly::rescue::Membership::denounce).
+struct RetryPolicy {
+  /// Total tries (first attempt included).  Must be >= 1.
+  std::uint32_t attempts = 6;
+  /// Backoff charged before the second try; doubles per retry.
+  Time base = 50 * kMicrosecond;
+  /// Backoff ceiling.
+  Time cap = 5 * kMillisecond;
+
+  /// Backoff to charge after failed attempt number `attempt` (0-based).
+  Time backoff(std::uint32_t attempt) const {
+    Time b = base;
+    for (std::uint32_t i = 0; i < attempt && b < cap; ++i) b *= 2;
+    return b < cap ? b : cap;
+  }
+};
+
 /// A script of hardware failures, applied by Machine.  Reproducible: two
 /// machines built from the same (config, plan) observe identical faults.
 struct FaultPlan {
   struct NodeKill {
     NodeId node = 0;
     Time at = 0;
+    /// A silent kill leaves the node catatonic without the machine-check
+    /// broadcast peers normally observe: no crash observer fires, so the
+    /// death is only discoverable by touching the corpse or by a failure
+    /// detector noticing the missing heartbeats (bfly::rescue).
+    bool silent = false;
   };
 
   /// Nodes to kill and when.  Kills are permanent for the run.
@@ -89,14 +115,56 @@ struct FaultPlan {
   /// Seed for the plan's private RNG (never shared with Machine's RNG).
   std::uint64_t seed = 0xb1f7fa17ULL;
 
-  FaultPlan& kill(NodeId node, Time at) {
-    node_kills.push_back(NodeKill{node, at});
-    return *this;
+  FaultPlan& kill(NodeId node, Time at) { return add_kill(node, at, false); }
+
+  /// Kill without the machine-check broadcast: recovery layers hear nothing
+  /// until a heartbeat watchdog (or a reference into the corpse) notices.
+  FaultPlan& kill_silent(NodeId node, Time at) {
+    return add_kill(node, at, true);
+  }
+
+  /// Bringing a dead node back mid-run is not modelled yet: the Uniform
+  /// System pool, stream topology and Bridge stripes all assume kills are
+  /// permanent for the run.  Rejecting loudly beats silently ignoring it.
+  FaultPlan& heal(NodeId node, Time at) {
+    throw SimError("FaultPlan::heal(node " + std::to_string(node) + ", at " +
+                   std::to_string(at) + "): not yet supported — kills are "
+                   "permanent for the run");
+  }
+
+  /// Invariants every kill list must satisfy; Machine re-validates the whole
+  /// vector at construction so hand-built lists get the same errors as ones
+  /// assembled through kill()/kill_silent().
+  void validate() const {
+    for (std::size_t i = 0; i < node_kills.size(); ++i) {
+      const NodeKill& k = node_kills[i];
+      if (k.at == 0)
+        throw SimError("FaultPlan: kill of node " + std::to_string(k.node) +
+                       " at Time 0 — the machine must come up before it can "
+                       "fail; use any nonzero time");
+      for (std::size_t j = 0; j < i; ++j)
+        if (node_kills[j].node == k.node)
+          throw SimError("FaultPlan: duplicate kill of node " +
+                         std::to_string(k.node) + " (kills are permanent; "
+                         "a node can only die once)");
+    }
   }
 
   bool any() const {
     return !node_kills.empty() || mem_fault_prob > 0.0 ||
            packet_drop_prob > 0.0 || packet_delay_prob > 0.0;
+  }
+
+ private:
+  FaultPlan& add_kill(NodeId node, Time at, bool silent) {
+    node_kills.push_back(NodeKill{node, at, silent});
+    try {
+      validate();  // reject duplicate / Time-0 kills at the call site
+    } catch (...) {
+      node_kills.pop_back();  // a rejected kill must not linger in the plan
+      throw;
+    }
+    return *this;
   }
 };
 

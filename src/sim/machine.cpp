@@ -18,9 +18,14 @@ Machine::Machine(MachineConfig cfg, FaultPlan faults)
   if (faults_.any()) {
     fault_checks_ = true;
     fabric_.configure_faults(faults_, &fault_rng_);
+    // Re-validate the whole kill list: a plan assembled by hand (directly
+    // into node_kills) must hit the same duplicate / Time-0 checks as one
+    // built through kill().
+    faults_.validate();
     for (const FaultPlan::NodeKill& k : faults_.node_kills) {
       if (k.node >= cfg_.nodes) throw SimError("FaultPlan: bad node in kill");
-      engine_.post_at(k.at, [this, n = k.node] { do_kill(n); });
+      engine_.post_at(k.at,
+                      [this, n = k.node, s = k.silent] { do_kill(n, s); });
     }
   }
 }
@@ -162,10 +167,10 @@ void Machine::wakeup(Fiber* f, Time delay) {
 
 // --- Faults ---------------------------------------------------------------
 
-void Machine::kill_node(NodeId node, Time at) {
+void Machine::kill_node(NodeId node, Time at, bool silent) {
   if (node >= cfg_.nodes) throw SimError("kill_node: bad node");
   fault_checks_ = true;
-  engine_.post_at(at, [this, node] { do_kill(node); });
+  engine_.post_at(at, [this, node, silent] { do_kill(node, silent); });
 }
 
 std::uint64_t Machine::on_node_death(std::function<void(NodeId)> fn) {
@@ -179,7 +184,18 @@ void Machine::remove_death_observer(std::uint64_t id) {
                 [id](const DeathObserver& o) { return o.id == id; });
 }
 
-void Machine::do_kill(NodeId n) {
+std::uint64_t Machine::on_node_crash(std::function<void(NodeId)> fn) {
+  const std::uint64_t id = next_observer_id_++;
+  crash_observers_.push_back(DeathObserver{id, std::move(fn)});
+  return id;
+}
+
+void Machine::remove_crash_observer(std::uint64_t id) {
+  std::erase_if(crash_observers_,
+                [id](const DeathObserver& o) { return o.id == id; });
+}
+
+void Machine::do_kill(NodeId n, bool silent) {
   if (n >= cfg_.nodes || node_dead_[n]) return;
   node_dead_[n] = 1;
   ++dead_nodes_count_;
@@ -189,6 +205,12 @@ void Machine::do_kill(NodeId n) {
   // further observers but must not unregister others.
   for (std::size_t i = 0; i < death_observers_.size(); ++i)
     death_observers_[i].fn(n);
+  // The machine-check broadcast: skipped for a silent kill, so recovery
+  // layers stay oblivious until a failure detector or a doomed reference
+  // finds the corpse.
+  if (!silent)
+    for (std::size_t i = 0; i < crash_observers_.size(); ++i)
+      crash_observers_[i].fn(n);
   // Now tear down the node's fibers.
   std::vector<Fiber*> victims;
   for (Fiber* f : live_) {
@@ -413,6 +435,9 @@ void Machine::block_copy(PhysAddr dst, PhysAddr src, std::size_t bytes) {
   // Move the bytes at completion time.
   std::vector<std::uint8_t> tmp(bytes);
   charge(total);
+  // A parity error voids the whole transfer: time charged, no data moved
+  // (same contract as reference(); the PNC reports the block as failed).
+  if (fault_checks_) maybe_mem_fault(src.node);
   peek_bytes(tmp.data(), src, bytes);
   poke_bytes(dst, tmp.data(), bytes);
 }
@@ -438,6 +463,7 @@ void Machine::block_read(void* host_dst, PhysAddr src, std::size_t bytes) {
   const Time total = (head - engine_.now()) + stream;
   s.stall_ns += total;
   charge(total);
+  if (fault_checks_) maybe_mem_fault(src.node);
   peek_bytes(host_dst, src, bytes);
 }
 
@@ -463,6 +489,7 @@ void Machine::block_write(PhysAddr dst, const void* host_src,
   const Time total = (head - engine_.now()) + stream;
   s.stall_ns += total;
   charge(total);
+  if (fault_checks_) maybe_mem_fault(dst.node);
   poke_bytes(dst, host_src, bytes);
 }
 

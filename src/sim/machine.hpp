@@ -96,7 +96,8 @@ class Machine {
 
   /// Schedule `node` to die at absolute simulated time `at` (in addition to
   /// any kills in the plan).  Must be called before run() reaches `at`.
-  void kill_node(NodeId node, Time at);
+  /// A silent kill skips the crash broadcast (see on_node_crash).
+  void kill_node(NodeId node, Time at, bool silent = false);
 
   /// Register a callback invoked in engine context the moment a node dies,
   /// before the node's fibers unwind.  Observers run in registration order
@@ -104,8 +105,21 @@ class Machine {
   /// state).  They must not perform timed operations.  Returns a handle for
   /// remove_death_observer; holders that can die before the Machine must
   /// unregister in their destructor.
+  ///
+  /// Death observers model the simulator's own bookkeeping: they fire for
+  /// every kill, silent or not (the scheduler must stop dispatching a dead
+  /// node's processes regardless of who heard the crash).
   std::uint64_t on_node_death(std::function<void(NodeId)> fn);
   void remove_death_observer(std::uint64_t id);
+
+  /// Like on_node_death, but models the machine-check broadcast peers
+  /// observe: crash observers do NOT fire for silent kills.  Recovery
+  /// layers (Uniform System, net::Mesh, Bridge) subscribe here; a silent
+  /// death reaches them only through a failure detector (bfly::rescue) or a
+  /// reference that touches the corpse.  Crash observers run after every
+  /// death observer, still before the node's fibers unwind.
+  std::uint64_t on_node_crash(std::function<void(NodeId)> fn);
+  void remove_crash_observer(std::uint64_t id);
 
   // --- Time ------------------------------------------------------------------
 
@@ -271,7 +285,7 @@ class Machine {
   // state: a wild node id must raise SimError, not index off node_[].
   void check_node(NodeId home) const;
   void check_target(NodeId home);
-  void do_kill(NodeId n);
+  void do_kill(NodeId n, bool silent);
   void maybe_mem_fault(NodeId home);
 
   MachineConfig cfg_;
@@ -293,6 +307,7 @@ class Machine {
     std::function<void(NodeId)> fn;
   };
   std::vector<DeathObserver> death_observers_;
+  std::vector<DeathObserver> crash_observers_;
   std::uint64_t next_observer_id_ = 1;
   MemObserver* observer_ = nullptr;
 };

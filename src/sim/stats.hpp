@@ -6,6 +6,8 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -29,12 +31,39 @@ struct MachineStats {
   std::uint64_t mem_faults_injected = 0;  ///< transient faults raised
   std::uint64_t dead_node_refs = 0;       ///< references that hit a dead node
 
+  // Rescue-layer accounting (bfly::rescue; zero when no detector runs).
+  std::uint64_t suspects_declared = 0;   ///< dead nodes found by heartbeat loss
+  std::uint64_t false_suspects = 0;      ///< accusations of nodes still alive
+  std::uint64_t checkpoints_taken = 0;   ///< quiesced checkpoints written
+  std::uint64_t restart_count = 0;       ///< runs resumed from a checkpoint
+
   explicit MachineStats(std::size_t n = 0) : node(n) {}
 
   void reset() {
     for (auto& s : node) s = NodeStats{};
     mem_faults_injected = 0;
     dead_node_refs = 0;
+    suspects_declared = 0;
+    false_suspects = 0;
+    checkpoints_taken = 0;
+    restart_count = 0;
+  }
+
+  /// Fault + rescue counters as a JSON fragment (no braces), for benches
+  /// that emit one JSON object per configuration.
+  std::string fault_json() const {
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "\"mem_faults_injected\":%llu,\"dead_node_refs\":%llu,"
+                  "\"suspects_declared\":%llu,\"false_suspects\":%llu,"
+                  "\"checkpoints_taken\":%llu,\"restart_count\":%llu",
+                  static_cast<unsigned long long>(mem_faults_injected),
+                  static_cast<unsigned long long>(dead_node_refs),
+                  static_cast<unsigned long long>(suspects_declared),
+                  static_cast<unsigned long long>(false_suspects),
+                  static_cast<unsigned long long>(checkpoints_taken),
+                  static_cast<unsigned long long>(restart_count));
+    return buf;
   }
 
   std::uint64_t total_local_refs() const {

@@ -39,7 +39,7 @@ UniformSystem::UniformSystem(chrys::Kernel& k, UsConfig cfg)
 }
 
 UniformSystem::~UniformSystem() {
-  if (death_observer_ != 0) m_.remove_death_observer(death_observer_);
+  if (crash_observer_ != 0) m_.remove_crash_observer(crash_observer_);
 }
 
 sim::Time UniformSystem::run_main(std::function<void()> main) {
@@ -87,8 +87,11 @@ void UniformSystem::initialize() {
   decrementing_.assign(procs_, 0);
   manager_alive_.assign(procs_, 1);
   managers_alive_ = procs_;
-  death_observer_ =
-      m_.on_node_death([this](sim::NodeId n) { handle_node_death(n); });
+  // Crash tier, not death tier: the Uniform System only learns of deaths
+  // the hardware broadcasts.  A silent kill reaches handle_node_death via
+  // excise_node (a failure detector's verdict) instead.
+  crash_observer_ =
+      m_.on_node_crash([this](sim::NodeId n) { handle_node_death(n); });
   if (!cfg_.tree_init) {
     // Historical behaviour: the initializing process creates every manager
     // serially — startup is linear in P (the paper's Amdahl lesson; the
@@ -150,6 +153,11 @@ void UniformSystem::terminate() {
 void UniformSystem::manager_loop(std::uint32_t worker) {
   const sim::NodeId node = k_.self().node();
   while (true) {
+    // Task boundaries are the manager's only scheduling points, so give any
+    // co-resident process (a heartbeat daemon, the membership watchdog) its
+    // slice here: with nothing else ready this is free, and without it a
+    // long grind starves the detector until the whole run drains.
+    k_.yield();
     const std::uint32_t tid = k_.dq_dequeue(work_queue_);
     if (tid == kStopTid) break;
     // Record the claim before any further yield: if this node dies mid-task
@@ -196,21 +204,39 @@ void UniformSystem::enqueue_descriptor(std::uint32_t tid) {
 
 std::uint32_t UniformSystem::fetch_add_retry(sim::PhysAddr a,
                                              std::uint32_t d) {
-  for (;;) {
+  for (std::uint32_t attempt = 0;; ++attempt) {
     try {
       return m_.fetch_add_u32(a, d);
-    } catch (const sim::MemoryFaultError&) {
+    } catch (const sim::MemoryFaultError& e) {
+      if (attempt + 1 >= std::max(1u, cfg_.retry.attempts)) {
+        if (retry_exhausted_) retry_exhausted_(e.node());
+        throw;
+      }
+      m_.charge(cfg_.retry.backoff(attempt));
     }
   }
 }
 
 std::uint32_t UniformSystem::read_u32_retry(sim::PhysAddr a) {
-  for (;;) {
+  for (std::uint32_t attempt = 0;; ++attempt) {
     try {
       return m_.read<std::uint32_t>(a);
-    } catch (const sim::MemoryFaultError&) {
+    } catch (const sim::MemoryFaultError& e) {
+      if (attempt + 1 >= std::max(1u, cfg_.retry.attempts)) {
+        if (retry_exhausted_) retry_exhausted_(e.node());
+        throw;
+      }
+      m_.charge(cfg_.retry.backoff(attempt));
     }
   }
+}
+
+void UniformSystem::excise_node(sim::NodeId n) {
+  // A live node must never be excised: its manager is still running and
+  // would later double-apply every completion we faked here.  Membership
+  // filters false suspicions before calling, but stay defensive.
+  if (n >= m_.nodes() || m_.node_alive(n)) return;
+  handle_node_death(n);
 }
 
 void UniformSystem::handle_node_death(sim::NodeId n) {
@@ -263,6 +289,10 @@ void UniformSystem::gen_on_index(std::uint32_t lo, std::uint32_t hi,
   for (std::uint32_t i = lo; i < hi; ++i) {
     table_.push_back(TaskRec{fn, i});
     enqueue_descriptor(static_cast<std::uint32_t>(table_.size() - 1));
+    // A large generation holds this CPU for many milliseconds of charged
+    // enqueues; let co-resident processes run between descriptors (free
+    // when nothing is ready).
+    k_.yield();
   }
 }
 

@@ -58,6 +58,11 @@ struct UsConfig {
   /// Create managers through a fan-out tree instead of serially (the
   /// "faster initialization" Rochester contributed to the BBN release).
   bool tree_init = false;
+  /// Bounded retry for infrastructure accesses (completion counter, scatter
+  /// cursor): transient faults are retried with exponential backoff; after
+  /// retry.attempts tries the fault is treated as permanent (the exhaustion
+  /// hook fires, then the error propagates).
+  sim::RetryPolicy retry;
 };
 
 class UniformSystem {
@@ -149,6 +154,22 @@ class UniformSystem {
   /// Managers still serving the work queue.
   std::uint32_t managers_alive() const { return managers_alive_; }
 
+  /// Excise a node the caller knows to be dead (a failure detector's
+  /// verdict): re-issue its in-flight task, apply any owed completion
+  /// decrement, rescue a stranded wait_idle.  Loud kills arrive here
+  /// automatically through the machine's crash broadcast; silent kills
+  /// need this call — typically wired to rescue::Membership::subscribe.
+  /// No-op if the node is still alive (a false suspicion must not disturb
+  /// a running manager) or was already excised.
+  void excise_node(sim::NodeId n);
+
+  /// Called (with the faulting node) when an infrastructure access exhausts
+  /// its RetryPolicy, just before the error propagates.  Feed this to
+  /// rescue::Membership::denounce so retry exhaustion becomes an accusation.
+  void set_retry_exhausted_hook(std::function<void(sim::NodeId)> fn) {
+    retry_exhausted_ = std::move(fn);
+  }
+
  private:
   struct TaskRec {
     TaskFn fn;
@@ -197,7 +218,8 @@ class UniformSystem {
   std::uint64_t tasks_faulted_ = 0;
 
   // Fault recovery state (all host-side: zero cost on healthy runs).
-  std::uint64_t death_observer_ = 0;
+  std::uint64_t crash_observer_ = 0;
+  std::function<void(sim::NodeId)> retry_exhausted_;
   std::vector<std::uint32_t> inflight_;      // per worker: tid being run
   std::vector<std::uint8_t> decrementing_;   // per worker: task done, counter
                                              // decrement still in flight

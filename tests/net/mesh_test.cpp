@@ -207,6 +207,150 @@ TEST(MeshFaults, DeadWriterNodeBreaksTheStreamAndJoinCompletes) {
   EXPECT_FALSE(m.node_alive(1));
 }
 
+TEST(MeshFaults, KillLandingWhileTheReaderIsBlockedWakesIt) {
+  // Regression for the blocked-at-the-moment-of-death window: the reader
+  // is already parked inside read() when the writer's node dies.  The
+  // crash broadcast must wake exactly that parked reader with a
+  // broken-stream error on the next scheduler tick, not leave it hung.
+  sim::FaultPlan plan;
+  plan.kill(1, 20 * sim::kMillisecond);
+  Machine m(sim::butterfly1(4), plan);
+  chrys::Kernel k(m);
+  std::uint32_t err = 0;
+  sim::Time woke_at = 0;
+  k.create_process(0, [&] {
+    MeshOptions opt;
+    opt.base_node = 1;  // writer on node 1, reader on node 2
+    Mesh mesh(
+        k, 1, 2,
+        [&](Element& e) {
+          if (e.col() == 0) {
+            k.delay(100 * sim::kMillisecond);  // never writes; dies at 20 ms
+            e.out(Direction::kEast)->write_value<std::uint32_t>(1);
+          } else {
+            err = k.catch_block([&] {
+              std::uint32_t v =
+                  e.in(Direction::kWest)->read_value<std::uint32_t>();
+              (void)v;
+            });
+            woke_at = m.now();
+          }
+        },
+        opt);
+    mesh.join();
+    EXPECT_EQ(mesh.elements_lost(), 1u);
+  });
+  m.run();
+  ASSERT_FALSE(m.deadlocked());
+  EXPECT_EQ(err, chrys::kThrowBrokenStream);
+  // Woken by the kill itself (not some later event): within a tick of it.
+  EXPECT_GE(woke_at, 20 * sim::kMillisecond);
+  EXPECT_LT(woke_at, 21 * sim::kMillisecond);
+}
+
+TEST(MeshFaults, SilentDeathWithoutAReadTimeoutBlocksForever) {
+  // Control for the detector tests: a *silent* kill posts no EOF and fires
+  // no crash broadcast, so a reader with no read_timeout waits forever and
+  // the run ends deadlocked.  This is the hole rescue::Membership (or a
+  // read timeout) exists to close.
+  sim::FaultPlan plan;
+  plan.kill_silent(1, 20 * sim::kMillisecond);
+  Machine m(sim::butterfly1(4), plan);
+  chrys::Kernel k(m);
+  k.create_process(0, [&] {
+    MeshOptions opt;
+    opt.base_node = 1;
+    Mesh mesh(
+        k, 1, 2,
+        [&](Element& e) {
+          if (e.col() == 0) {
+            k.delay(100 * sim::kMillisecond);
+            e.out(Direction::kEast)->write_value<std::uint32_t>(1);
+          } else {
+            (void)e.in(Direction::kWest)->read_value<std::uint32_t>();
+          }
+        },
+        opt);
+    mesh.join();
+  });
+  m.run();
+  EXPECT_TRUE(m.deadlocked());
+}
+
+TEST(MeshFaults, ReadTimeoutDetectsASilentlyDeadWriter) {
+  // Same silent kill, but the reader re-checks the writer's liveness every
+  // read_timeout: its own failure detection turns the hang into a
+  // broken-stream error, and excising the corpse lets join() finish.
+  sim::FaultPlan plan;
+  plan.kill_silent(1, 20 * sim::kMillisecond);
+  Machine m(sim::butterfly1(4), plan);
+  chrys::Kernel k(m);
+  std::uint32_t first = 0, err = 0;
+  Mesh* meshp = nullptr;
+  k.create_process(0, [&] {
+    MeshOptions opt;
+    opt.base_node = 1;
+    opt.read_timeout = 5 * sim::kMillisecond;
+    Mesh mesh(
+        k, 1, 2,
+        [&](Element& e) {
+          if (e.col() == 0) {
+            e.out(Direction::kEast)->write_value<std::uint32_t>(7);
+            k.delay(100 * sim::kMillisecond);  // dies silently in here
+            e.out(Direction::kEast)->write_value<std::uint32_t>(8);
+          } else {
+            Stream* in = e.in(Direction::kWest);
+            first = in->read_value<std::uint32_t>();
+            err = k.catch_block(
+                [&] { (void)in->read_value<std::uint32_t>(); });
+            // The reader found the corpse itself; report it so the dead
+            // element's join token gets posted.
+            meshp->excise_node(1);
+          }
+        },
+        opt);
+    meshp = &mesh;
+    mesh.join();
+    EXPECT_EQ(mesh.elements_lost(), 1u);
+  });
+  m.run();
+  ASSERT_FALSE(m.deadlocked());
+  EXPECT_EQ(first, 7u);
+  EXPECT_EQ(err, chrys::kThrowBrokenStream);
+}
+
+TEST(MeshFaults, KillDuringConstructionCostsOnlyThatElement) {
+  // Node 1 dies while the mesh is still being built: the elements homed
+  // there are written off (their streams get EOF, join() gets their
+  // tokens) and construction completes for everyone else.
+  sim::FaultPlan plan;
+  plan.kill(1, 1);  // effectively before any element process can start
+  Machine m(sim::butterfly1(4), plan);
+  chrys::Kernel k(m);
+  std::uint32_t reader_err = 0;
+  k.create_process(0, [&] {
+    MeshOptions opt;
+    opt.base_node = 1;
+    Mesh mesh(
+        k, 1, 2,
+        [&](Element& e) {
+          if (e.col() == 0) {
+            e.out(Direction::kEast)->write_value<std::uint32_t>(1);
+          } else {
+            reader_err = k.catch_block([&] {
+              (void)e.in(Direction::kWest)->read_value<std::uint32_t>();
+            });
+          }
+        },
+        opt);
+    mesh.join();
+    EXPECT_EQ(mesh.elements_lost(), 1u);
+  });
+  m.run();
+  ASSERT_FALSE(m.deadlocked());
+  EXPECT_EQ(reader_err, chrys::kThrowBrokenStream);
+}
+
 TEST(MeshFaults, BytesBufferedBeforeTheBreakAreStillReadable) {
   Machine m(sim::butterfly1(4));
   chrys::Kernel k(m);

@@ -1,0 +1,217 @@
+// Deterministic checkpoint/restart through Bridge stable storage.
+#include "rescue/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace bfly::rescue {
+namespace {
+
+using sim::butterfly1;
+using sim::Machine;
+
+constexpr std::uint32_t kWords = 1500;  // ~6 KB: spans two disk blocks
+
+// The checkpointed workload: a deterministic per-step scramble of a shared
+// array.  Steps must land in order — skipping or repeating one from the
+// wrong state changes every word — which is exactly what makes the final
+// bytes a fingerprint of correct restart behaviour.
+void apply_step(Machine& m, sim::PhysAddr base, std::uint32_t step) {
+  for (std::uint32_t w = 0; w < kWords; ++w) {
+    const auto v = m.peek<std::uint32_t>(base.plus(w * 4));
+    m.poke<std::uint32_t>(base.plus(w * 4),
+                          v * 1664525u + step * 1013904223u + w);
+  }
+}
+
+void host_step(std::vector<std::uint32_t>& a, std::uint32_t step) {
+  for (std::uint32_t w = 0; w < kWords; ++w)
+    a[w] = a[w] * 1664525u + step * 1013904223u + w;
+}
+
+void init_region(Machine& m, sim::PhysAddr base) {
+  for (std::uint32_t w = 0; w < kWords; ++w)
+    m.poke<std::uint32_t>(base.plus(w * 4), w * 2654435761u);
+}
+
+std::vector<std::uint32_t> read_region(Machine& m, sim::PhysAddr base) {
+  std::vector<std::uint32_t> out(kWords);
+  for (std::uint32_t w = 0; w < kWords; ++w)
+    out[w] = m.peek<std::uint32_t>(base.plus(w * 4));
+  return out;
+}
+
+TEST(Checkpoint, RestartResumesFromTheLastCheckpointBitForBit) {
+  // Reference: all six steps applied in order, host-side.
+  std::vector<std::uint32_t> expect(kWords);
+  for (std::uint32_t w = 0; w < kWords; ++w) expect[w] = w * 2654435761u;
+  for (std::uint32_t s = 0; s < 6; ++s) host_step(expect, s);
+
+  bridge::StableStore store;
+  // First incarnation: checkpoint every 2 steps, "crash" after step 2 —
+  // the run simply stops with steps 0-2 done but only 0-1 checkpointed.
+  {
+    Machine m(butterfly1(8));
+    chrys::Kernel k(m);
+    k.create_process(7, [&] {
+      bridge::BridgeFs fs(k, 4, bridge::DiskParams{}, &store);
+      Checkpointer cp(k, fs, CheckpointConfig{2, "ckpt"});
+      const sim::PhysAddr base = m.alloc(1, kWords * 4);
+      init_region(m, base);
+      cp.protect(base, kWords * 4);
+      EXPECT_FALSE(cp.restore());  // fresh store: nothing to restore
+      cp.run_steps(3, [&](std::uint32_t s) { apply_step(m, base, s); });
+      fs.shutdown();
+    });
+    m.run();
+    ASSERT_FALSE(m.deadlocked());
+    EXPECT_EQ(m.stats().checkpoints_taken, 1u);  // at the step-2 boundary
+    EXPECT_EQ(m.stats().restart_count, 0u);
+  }
+  // Second incarnation: a fresh Machine under the same deterministic
+  // allocation sequence gets the same region address; restore rolls the
+  // memory back to the checkpoint and step 2 is *re-run* from the right
+  // state, so the final bytes match the uninterrupted reference exactly.
+  {
+    Machine m(butterfly1(8));
+    chrys::Kernel k(m);
+    std::vector<std::uint32_t> final_words;
+    k.create_process(7, [&] {
+      bridge::BridgeFs fs(k, 4, bridge::DiskParams{}, &store);
+      Checkpointer cp(k, fs, CheckpointConfig{2, "ckpt"});
+      const sim::PhysAddr base = m.alloc(1, kWords * 4);
+      cp.protect(base, kWords * 4);
+      ASSERT_TRUE(cp.restore());
+      EXPECT_EQ(cp.next_step(), 2u);
+      cp.run_steps(6, [&](std::uint32_t s) { apply_step(m, base, s); });
+      final_words = read_region(m, base);
+      fs.shutdown();
+    });
+    m.run();
+    ASSERT_FALSE(m.deadlocked());
+    EXPECT_EQ(m.stats().restart_count, 1u);
+    EXPECT_EQ(final_words, expect);
+  }
+}
+
+TEST(Checkpoint, TornCheckpointFallsBackToThePreviousBuffer) {
+  // Two checkpoints land in alternating buffers; the newer one is then
+  // torn (a data block rewritten while its header still describes the old
+  // bytes — what a crash between data and header writes leaves behind).
+  // restore() must reject the torn buffer by checksum and fall back.
+  bridge::StableStore store;
+  {
+    Machine m(butterfly1(8));
+    chrys::Kernel k(m);
+    k.create_process(7, [&] {
+      bridge::BridgeFs fs(k, 4, bridge::DiskParams{}, &store);
+      Checkpointer cp(k, fs, CheckpointConfig{1, "ckpt"});
+      const sim::PhysAddr base = m.alloc(1, kWords * 4);
+      cp.protect(base, kWords * 4);
+      for (std::uint32_t w = 0; w < kWords; ++w)
+        m.poke<std::uint32_t>(base.plus(w * 4), 0xA0000000u + w);
+      cp.take_checkpoint();  // seq 1 -> ckpt.a
+      for (std::uint32_t w = 0; w < kWords; ++w)
+        m.poke<std::uint32_t>(base.plus(w * 4), 0xB0000000u + w);
+      cp.take_checkpoint();  // seq 2 -> ckpt.b
+      bridge::FileId f = 0;
+      ASSERT_TRUE(fs.lookup("ckpt.b", &f));
+      std::vector<std::uint8_t> garbage(bridge::kBlockSize, 0x5A);
+      fs.write_block(f, 1, garbage.data());  // the tear
+      fs.shutdown();
+    });
+    m.run();
+    ASSERT_FALSE(m.deadlocked());
+  }
+  {
+    Machine m(butterfly1(8));
+    chrys::Kernel k(m);
+    std::vector<std::uint32_t> words;
+    k.create_process(7, [&] {
+      bridge::BridgeFs fs(k, 4, bridge::DiskParams{}, &store);
+      Checkpointer cp(k, fs, CheckpointConfig{1, "ckpt"});
+      const sim::PhysAddr base = m.alloc(1, kWords * 4);
+      cp.protect(base, kWords * 4);
+      ASSERT_TRUE(cp.restore());
+      words = read_region(m, base);
+      fs.shutdown();
+    });
+    m.run();
+    ASSERT_FALSE(m.deadlocked());
+    ASSERT_EQ(words.size(), kWords);
+    for (std::uint32_t w = 0; w < kWords; ++w)
+      ASSERT_EQ(words[w], 0xA0000000u + w) << "word " << w;
+  }
+}
+
+TEST(Checkpoint, RegionShapeMismatchInvalidatesTheImage) {
+  // A restart that protects different regions than the run that wrote the
+  // checkpoint must not scatter bytes into the wrong places.
+  bridge::StableStore store;
+  {
+    Machine m(butterfly1(8));
+    chrys::Kernel k(m);
+    k.create_process(7, [&] {
+      bridge::BridgeFs fs(k, 4, bridge::DiskParams{}, &store);
+      Checkpointer cp(k, fs, CheckpointConfig{1, "ckpt"});
+      const sim::PhysAddr base = m.alloc(1, kWords * 4);
+      cp.protect(base, kWords * 4);
+      cp.take_checkpoint();
+      fs.shutdown();
+    });
+    m.run();
+  }
+  {
+    Machine m(butterfly1(8));
+    chrys::Kernel k(m);
+    k.create_process(7, [&] {
+      bridge::BridgeFs fs(k, 4, bridge::DiskParams{}, &store);
+      Checkpointer cp(k, fs, CheckpointConfig{1, "ckpt"});
+      const sim::PhysAddr base = m.alloc(1, kWords * 4);
+      cp.protect(base, kWords * 2);  // half the region: not what was saved
+      EXPECT_FALSE(cp.restore());
+      fs.shutdown();
+    });
+    m.run();
+    EXPECT_EQ(m.stats().restart_count, 0u);
+  }
+}
+
+TEST(Checkpoint, CheckpointTruncatesTheAttachedReplayLog) {
+  // A restored run can never replay history from before the checkpoint, so
+  // the record log is cut there — events after the barrier still record.
+  Machine m(butterfly1(8));
+  chrys::Kernel k(m);
+  replay::Monitor mon(k, 1);
+  const std::uint32_t obj = mon.register_object(0, "cell");
+  mon.set_mode(replay::Mode::kRecord);
+  bridge::StableStore store;
+  std::size_t entries = 999;
+  k.create_process(7, [&] {
+    bridge::BridgeFs fs(k, 4, bridge::DiskParams{}, &store);
+    Checkpointer cp(k, fs, CheckpointConfig{1, "ckpt"});
+    cp.attach_replay(&mon);
+    const sim::PhysAddr base = m.alloc(1, 256);
+    cp.protect(base, 256);
+    for (int i = 0; i < 3; ++i) {
+      mon.begin_write(0, obj);
+      m.charge(100 * sim::kMicrosecond);
+      mon.end_write(0, obj);
+    }
+    cp.take_checkpoint();  // barrier: the three entries above are dropped
+    mon.begin_write(0, obj);
+    m.charge(100 * sim::kMicrosecond);
+    mon.end_write(0, obj);
+    entries = mon.take_log().total_entries();
+    fs.shutdown();
+  });
+  m.run();
+  ASSERT_FALSE(m.deadlocked());
+  EXPECT_EQ(entries, 1u);
+}
+
+}  // namespace
+}  // namespace bfly::rescue

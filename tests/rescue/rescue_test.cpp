@@ -1,0 +1,196 @@
+// Heartbeat/watchdog membership: surviving silent node deaths without ever
+// touching the corpse.
+#include "rescue/rescue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "us/uniform_system.hpp"
+
+namespace bfly::rescue {
+namespace {
+
+using sim::butterfly1;
+using sim::Machine;
+
+// A Uniform System grind sized so every worker is still busy when the kill
+// lands at 50 ms: 400 idempotent 1 ms tasks across 8 managers, each task
+// stamping its own result cell.  The killed node is a pure *worker* —
+// shared memory lives on nodes 0-3, node 5 holds no data any peer touches
+// — so nothing a survivor does ever references the corpse.
+struct GrindSetup {
+  static constexpr std::uint32_t kTasks = 400;
+  us::UsConfig cfg;
+  rescue::RescueConfig rc;
+  GrindSetup() {
+    cfg.memory_nodes = 4;
+    // Keep the watchdog off node 0: the US work queue and completion
+    // counter saturate that memory module during the grind, and heartbeat
+    // reads queued behind it would stall detection until the grind drains.
+    rc.monitor_node = 6;
+  }
+};
+
+TEST(Membership, SilentKillWithNoDetectorDeadlocksTheUniformSystem) {
+  // The control: node 5 goes catatonic at 50 ms with no machine-check
+  // broadcast.  Its in-flight task's completion decrement is never applied,
+  // no survivor ever touches node 5's memory, so wait_idle blocks forever.
+  sim::FaultPlan plan;
+  plan.kill_silent(5, 50 * sim::kMillisecond);
+  Machine m(butterfly1(8), plan);
+  chrys::Kernel k(m);
+  GrindSetup s;
+  us::UniformSystem us(k, s.cfg);
+  us.run_main([&] {
+    us.for_all(0, GrindSetup::kTasks,
+               [&](us::TaskCtx& c) { c.m.compute(2000); });
+  });
+  EXPECT_TRUE(m.deadlocked());
+}
+
+TEST(Membership, HeartbeatDetectionAloneCompletesTheStrandedRun) {
+  // Same machine, same silent kill — plus the membership service.  The
+  // watchdog notices node 5's heartbeat word stop moving, declares it, and
+  // the subscription excises it from the Uniform System pool: the stranded
+  // task is re-issued and the run completes.  Nobody ever referenced the
+  // dead node's memory; detection came from the heartbeat timeout alone.
+  sim::FaultPlan plan;
+  plan.kill_silent(5, 50 * sim::kMillisecond);
+  Machine m(butterfly1(8), plan);
+  chrys::Kernel k(m);
+  GrindSetup s;
+  us::UniformSystem us(k, s.cfg);
+  Membership mem(k, s.rc);  // 2 ms heartbeats, suspect after 8 ms stale
+  mem.subscribe([&](sim::NodeId n) { us.excise_node(n); });
+  std::vector<std::uint8_t> done(GrindSetup::kTasks, 0);
+  us.run_main([&] {
+    mem.start();
+    us.for_all(0, GrindSetup::kTasks, [&](us::TaskCtx& c) {
+      c.m.compute(2000);
+      done[c.arg] = 1;  // idempotent: a re-run stamps the same cell
+    });
+    mem.stop();
+  });
+  ASSERT_FALSE(m.deadlocked());
+  for (std::uint32_t i = 0; i < GrindSetup::kTasks; ++i)
+    EXPECT_TRUE(done[i]) << "task " << i << " never completed";
+  EXPECT_EQ(m.stats().suspects_declared, 1u);
+  EXPECT_EQ(m.stats().false_suspects, 0u);
+  ASSERT_EQ(mem.history().size(), 1u);
+  EXPECT_EQ(mem.history()[0].node, 5u);
+  EXPECT_FALSE(mem.member(5));
+  EXPECT_EQ(mem.members_alive(), 7u);
+  EXPECT_EQ(us.nodes_lost(), 1u);
+  // Detection happened after the kill but within a few staleness windows.
+  const sim::Time detect = mem.suspected_at(5);
+  EXPECT_GT(detect, 50 * sim::kMillisecond);
+  EXPECT_LT(detect, 80 * sim::kMillisecond);
+}
+
+TEST(Membership, FalseAccusationIsCountedAndChangesNothing) {
+  Machine m(butterfly1(8));
+  chrys::Kernel k(m);
+  us::UniformSystem us(k);
+  std::uint32_t notified = 0;
+  Membership mem(k);
+  mem.subscribe([&](sim::NodeId) { ++notified; });
+  us.run_main([&] {
+    mem.denounce(3);       // node 3 is perfectly healthy
+    us.excise_node(3);     // and a direct excision is refused too
+    us.for_all(0, 16, [](us::TaskCtx& c) { c.m.compute(500); });
+  });
+  ASSERT_FALSE(m.deadlocked());
+  EXPECT_EQ(m.stats().false_suspects, 1u);
+  EXPECT_EQ(m.stats().suspects_declared, 0u);
+  EXPECT_TRUE(mem.member(3));
+  EXPECT_EQ(mem.epoch(), 0u);
+  EXPECT_EQ(notified, 0u);
+  EXPECT_EQ(us.nodes_lost(), 0u);
+  EXPECT_EQ(us.managers_alive(), 0u);  // terminate() stopped all 8
+}
+
+TEST(Membership, DenounceOfAGenuinelyDeadNodeDeclaresImmediately) {
+  // The retry-exhaustion path: a layer that gave up on a node accuses it
+  // directly, skipping the heartbeat timeout.  The verdict is checked
+  // against ground truth and then published like any other suspicion.
+  sim::FaultPlan plan;
+  plan.kill_silent(2, 10 * sim::kMillisecond);
+  Machine m(butterfly1(8), plan);
+  chrys::Kernel k(m);
+  std::vector<sim::NodeId> notified;
+  Membership mem(k);  // never started: denounce alone drives it
+  mem.subscribe([&](sim::NodeId n) { notified.push_back(n); });
+  k.create_process(0, [&] {
+    k.delay(20 * sim::kMillisecond);
+    mem.denounce(2);
+    mem.denounce(2);  // double accusation: second is a no-op
+  });
+  m.run();
+  ASSERT_FALSE(m.deadlocked());
+  EXPECT_EQ(m.stats().suspects_declared, 1u);
+  EXPECT_EQ(mem.epoch(), 1u);
+  EXPECT_EQ(notified, (std::vector<sim::NodeId>{2}));
+  EXPECT_FALSE(mem.member(2));
+}
+
+TEST(Membership, UnsubscribedCallbackStopsFiring) {
+  sim::FaultPlan plan;
+  plan.kill_silent(1, 5 * sim::kMillisecond);
+  plan.kill_silent(2, 5 * sim::kMillisecond);
+  Machine m(butterfly1(4), plan);
+  chrys::Kernel k(m);
+  std::uint32_t calls = 0;
+  Membership mem(k);
+  const auto id = mem.subscribe([&](sim::NodeId) { ++calls; });
+  k.create_process(0, [&] {
+    k.delay(10 * sim::kMillisecond);
+    mem.denounce(1);
+    mem.unsubscribe(id);
+    mem.denounce(2);
+  });
+  m.run();
+  EXPECT_EQ(calls, 1u);
+  EXPECT_EQ(mem.epoch(), 2u);
+}
+
+TEST(Membership, ZeroFaultAnswerIsUnchangedByTheInstrumentation) {
+  // The membership service charges real simulated time (heartbeats cross
+  // the switch), so timing shifts — but on a healthy machine the *answer*
+  // of a deterministic workload must be byte-identical with rescue on.
+  auto run = [](bool with_rescue) {
+    Machine m(butterfly1(8));
+    chrys::Kernel k(m);
+    us::UniformSystem us(k);
+    Membership mem(k);
+    if (with_rescue) mem.subscribe([&](sim::NodeId n) { us.excise_node(n); });
+    std::vector<std::uint32_t> out(64, 0);
+    us.run_main([&] {
+      if (with_rescue) mem.start();
+      us.for_all(0, 64, [&](us::TaskCtx& c) {
+        c.m.compute(1000);
+        out[c.arg] = c.arg * 2654435761u;
+      });
+      if (with_rescue) mem.stop();
+    });
+    EXPECT_FALSE(m.deadlocked());
+    EXPECT_EQ(m.stats().suspects_declared, 0u);
+    EXPECT_EQ(m.stats().false_suspects, 0u);
+    return out;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(Membership, ConfigSanityIsEnforced) {
+  Machine m(butterfly1(4));
+  chrys::Kernel k(m);
+  RescueConfig bad;
+  bad.suspect_after = bad.heartbeat_period;  // would suspect the healthy
+  EXPECT_THROW(Membership(k, bad), sim::SimError);
+  RescueConfig off_machine;
+  off_machine.monitor_node = 99;
+  EXPECT_THROW(Membership(k, off_machine), sim::SimError);
+}
+
+}  // namespace
+}  // namespace bfly::rescue

@@ -169,14 +169,71 @@ TEST(FaultPlan, PacketDelaysAddLatencyDeterministically) {
   EXPECT_EQ(a, b);
 }
 
-TEST(FaultPlan, KillAtTimeZeroPreventsSpawns) {
+TEST(FaultPlan, KillAtTimeZeroIsRejected) {
+  // The machine must come up before it can fail: a Time-0 kill is a plan
+  // bug, not a fault scenario, and validation says so immediately.
   FaultPlan plan;
-  plan.kill(1, 0);
+  EXPECT_THROW(plan.kill(1, 0), SimError);
+  EXPECT_TRUE(plan.node_kills.empty());  // the bad entry was not kept
+}
+
+TEST(FaultPlan, KillJustAfterTimeZeroPreventsSpawns) {
+  FaultPlan plan;
+  plan.kill(1, 1);  // one nanosecond in: before anything can run
   Machine m(butterfly1(4), plan);
   m.spawn(0, [&] { m.charge(kMillisecond); });
   m.run();
   EXPECT_FALSE(m.node_alive(1));
   EXPECT_THROW(m.spawn(1, [] {}), NodeDeadError);
+}
+
+TEST(FaultPlan, DuplicateKillOfSameNodeIsRejected) {
+  FaultPlan plan;
+  plan.kill(2, kMillisecond);
+  EXPECT_THROW(plan.kill(2, 5 * kMillisecond), SimError);
+  EXPECT_EQ(plan.node_kills.size(), 1u);  // first kill survives
+}
+
+TEST(FaultPlan, HealIsRejectedAsUnsupported) {
+  FaultPlan plan;
+  plan.kill(1, kMillisecond);
+  EXPECT_THROW(plan.heal(1, 2 * kMillisecond), SimError);
+}
+
+TEST(FaultPlan, SilentKillSkipsCrashObserversButNotDeathObservers) {
+  FaultPlan plan;
+  plan.kill_silent(1, kMillisecond);
+  plan.kill(2, 2 * kMillisecond);
+  Machine m(butterfly1(4), plan);
+  std::vector<NodeId> deaths, crashes;
+  (void)m.on_node_death([&](NodeId n) { deaths.push_back(n); });
+  const auto cid = m.on_node_crash([&](NodeId n) { crashes.push_back(n); });
+  m.spawn(0, [&] { m.charge(10 * kMillisecond); });
+  m.run();
+  // The simulator always knows (death tier); the machine-check broadcast
+  // (crash tier) fires only for the loud kill — node 1 died silently.
+  EXPECT_EQ(deaths, (std::vector<NodeId>{1, 2}));
+  EXPECT_EQ(crashes, (std::vector<NodeId>{2}));
+  EXPECT_FALSE(m.node_alive(1));
+  EXPECT_FALSE(m.node_alive(2));
+  m.remove_crash_observer(cid);
+}
+
+TEST(FaultPlan, SilentKillStillUnwindsFibers) {
+  FaultPlan plan;
+  plan.kill_silent(1, 5 * kMillisecond);
+  Machine m(butterfly1(4), plan);
+  int victim_steps = 0;
+  m.spawn(1, [&] {
+    for (int i = 0; i < 100; ++i) {
+      m.charge(kMillisecond);
+      ++victim_steps;
+    }
+  });
+  m.run();
+  EXPECT_FALSE(m.deadlocked());
+  EXPECT_LT(victim_steps, 100);
+  EXPECT_FALSE(m.node_alive(1));
 }
 
 TEST(FaultPlan, RuntimeKillNodeMatchesPlannedKill) {

@@ -192,7 +192,7 @@ TEST(UsFaults, TreeInitAdoptsTheSubtreeOfADeadNode) {
   // manager starts, so its parent must create the grandchildren directly
   // or half the pool never comes up.
   sim::FaultPlan plan;
-  plan.kill(1, 0);
+  plan.kill(1, 1);  // one nanosecond in: manager creation takes milliseconds
   Machine m(butterfly1(8), plan);
   chrys::Kernel k(m);
   UsConfig cfg;
