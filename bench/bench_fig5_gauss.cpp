@@ -11,15 +11,24 @@
 //     doubles the communication — while the Uniform System's volume,
 //     (N^2-N)+P(N-1), grows only weakly with P.
 
+// Set BFLY_TRACE=<path> to also run the 8-processor US configuration under
+// a scope::Tracer: the Chrome trace lands at <path> and the critical-path /
+// Amdahl report prints after the table.  Tracing is uncharged, so the
+// traced run's timings match the table's 8-processor row exactly.
+
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 
 #include "apps/gauss.hpp"
 #include "bench_common.hpp"
+#include "scope/scope.hpp"
 #include "sim/machine.hpp"
 
 int main() {
   using namespace bfly;
   const std::uint32_t n = bench::fast_mode() ? 96 : 384;
+  const char* trace_path = std::getenv("BFLY_TRACE");
   bench::header("FIG5", "Gaussian elimination, shared memory vs message passing",
                 "SMP wins < 64 procs; US flat beyond 64; SMP rises past 64");
   std::printf("matrix N=%u, machine: 128-node Butterfly-I\n\n", n);
@@ -38,7 +47,20 @@ int main() {
     mc.memory_per_node = 4u << 20;
 
     sim::Machine mu(mc);
+    // Trace the smallest US configuration (uncharged: same elapsed either
+    // way), and hold the report until after the table prints.
+    std::unique_ptr<scope::Tracer> tracer;
+    if (trace_path != nullptr && p == 8)
+      tracer = std::make_unique<scope::Tracer>(mu);
     const apps::GaussResult ru = apps::gauss_us(mu, cfg);
+    if (tracer != nullptr) {
+      std::FILE* f = std::fopen(trace_path, "w");
+      if (f != nullptr) {
+        const std::string trace = tracer->chrome_trace();
+        std::fwrite(trace.data(), 1, trace.size(), f);
+        std::fclose(f);
+      }
+    }
 
     sim::Machine ms(mc);
     const apps::GaussResult rs = apps::gauss_smp(ms, cfg);
@@ -47,6 +69,11 @@ int main() {
                 bench::seconds(ru.elapsed), bench::seconds(rs.elapsed),
                 static_cast<unsigned long long>(ru.remote_refs),
                 static_cast<unsigned long long>(rs.messages));
+    if (tracer != nullptr) {
+      std::printf("\n-- scope report for the traced 8-processor US run "
+                  "(trace: %s) --\n%s\n", trace_path,
+                  tracer->report().c_str());
+    }
   }
   std::printf(
       "\nshape check: min of msg-pass column should sit near 64 procs and\n"

@@ -16,6 +16,7 @@
 
 #include "apps/gauss.hpp"
 #include "bench_common.hpp"
+#include "sim/json.hpp"
 #include "sim/machine.hpp"
 
 int main() {
@@ -59,12 +60,19 @@ int main() {
                            static_cast<double>(r.elapsed);
     std::printf("%8u %12.3f %10.2f %12.2e %8s\n", kills,
                 bench::seconds(r.elapsed), speedup, err, ok ? "yes" : "NO");
-    std::printf("{\"bench\":\"tfault_degradation\",\"n\":%u,\"procs\":%u,"
-                "\"nodes_killed\":%u,\"kill_at_s\":%.3f,\"elapsed_s\":%.3f,"
-                "\"speedup\":%.3f,\"max_err\":%.3e,\"correct\":%s}\n",
-                n, procs, kills, bench::seconds(kill_at),
-                bench::seconds(r.elapsed), speedup, err,
-                ok ? "true" : "false");
+    sim::json::Writer jw;
+    jw.begin_object()
+        .kv("bench", "tfault_degradation")
+        .kv("n", n)
+        .kv("procs", procs)
+        .kv("nodes_killed", kills)
+        .kv("kill_at_s", bench::seconds(kill_at))
+        .kv("elapsed_s", bench::seconds(r.elapsed))
+        .kv("speedup", speedup)
+        .kv("max_err", err)
+        .kv("correct", ok)
+        .end_object();
+    std::printf("%s\n", jw.str().c_str());
   }
   std::printf(
       "\nshape check: every row must say ok=yes (dead processors lose work,\n"

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "sim/json.hpp"
 #include "rescue/checkpoint.hpp"
 #include "rescue/rescue.hpp"
 #include "us/uniform_system.hpp"
@@ -279,18 +280,22 @@ int main() {
                   bench::seconds(r.mean_detect) * 1e3,
                   bench::seconds(r.max_detect) * 1e3, bench::seconds(r.elapsed),
                   over_col);
-      std::printf("{\"bench\":\"trecovery\",\"part\":\"detect\","
-                  "\"hb_period_ms\":%.0f,\"kills\":%u,\"declared\":%llu,"
-                  "\"mean_detect_ms\":%.3f,\"max_detect_ms\":%.3f,"
-                  "\"elapsed_s\":%.4f,\"grind_s\":%.4f,\"startup_ms\":%.2f,"
-                  "\"overhead_pct\":%.2f,\"false_suspects\":%llu}\n",
-                  bench::seconds(p) * 1e3, kills,
-                  static_cast<unsigned long long>(r.declared),
-                  bench::seconds(r.mean_detect) * 1e3,
-                  bench::seconds(r.max_detect) * 1e3,
-                  bench::seconds(r.elapsed), bench::seconds(r.grind),
-                  bench::seconds(r.startup) * 1e3, over * 100.0,
-                  static_cast<unsigned long long>(r.false_suspects));
+      sim::json::Writer jw;
+      jw.begin_object()
+          .kv("bench", "trecovery")
+          .kv("part", "detect")
+          .kv("hb_period_ms", bench::seconds(p) * 1e3)
+          .kv("kills", kills)
+          .kv("declared", r.declared)
+          .kv("mean_detect_ms", bench::seconds(r.mean_detect) * 1e3)
+          .kv("max_detect_ms", bench::seconds(r.max_detect) * 1e3)
+          .kv("elapsed_s", bench::seconds(r.elapsed))
+          .kv("grind_s", bench::seconds(r.grind))
+          .kv("startup_ms", bench::seconds(r.startup) * 1e3)
+          .kv("overhead_pct", over * 100.0)
+          .kv("false_suspects", r.false_suspects)
+          .end_object();
+      std::printf("%s\n", jw.str().c_str());
     }
   }
 
@@ -313,11 +318,18 @@ int main() {
                   r.redo_steps, bench::seconds(r.recover),
                   static_cast<unsigned long long>(r.checkpoints),
                   r.match ? "yes" : "NO");
-      std::printf("{\"bench\":\"trecovery\",\"part\":\"recovery\","
-                  "\"workload\":\"%s\",\"ckpt_every\":%u,\"redo_steps\":%u,"
-                  "\"recover_s\":%.5f,\"match\":%s,%s}\n",
-                  w.name, every, r.redo_steps, bench::seconds(r.recover),
-                  r.match ? "true" : "false", r.fault_json.c_str());
+      sim::json::Writer jw;
+      jw.begin_object()
+          .kv("bench", "trecovery")
+          .kv("part", "recovery")
+          .kv("workload", w.name)
+          .kv("ckpt_every", every)
+          .kv("redo_steps", r.redo_steps)
+          .kv("recover_s", bench::seconds(r.recover))
+          .kv("match", r.match)
+          .raw(r.fault_json)
+          .end_object();
+      std::printf("%s\n", jw.str().c_str());
     }
   }
   std::printf(

@@ -7,8 +7,11 @@
 #   2. fault smoke     — the fault-injection and recovery benches (fast
 #                        mode, fixed seeds) rerun verbosely so a hang or
 #                        crash in the kill/restart paths is easy to read
-#   3. asan preset     — ASan+UBSan build, full ctest suite
-#   4. lint            — clang-tidy over src/ against the compile database
+#   3. scope smoke     — a traced Gauss run exports a Chrome trace, then
+#                        the standalone validator re-checks the file on
+#                        disk (parses, monotone timestamps, balanced B/E)
+#   4. asan preset     — ASan+UBSan build, full ctest suite
+#   5. lint            — clang-tidy over src/ against the compile database
 #                        (skips with a notice when clang-tidy isn't installed;
 #                        the `lint` target handles that itself)
 #
@@ -29,6 +32,10 @@ ctest --preset default -j "$JOBS"
 
 step "fault-heavy smoke (tfault + trecovery benches, fast mode)"
 ctest --preset default -L fault-smoke --output-on-failure --verbose
+
+step "scope smoke (traced Gauss -> Chrome trace -> validator)"
+./build/tools/trace_gauss build/scope_ci_trace.json build/scope_ci_metrics.json
+./build/tools/trace_validate build/scope_ci_trace.json
 
 step "configure + build (asan preset)"
 cmake --preset asan

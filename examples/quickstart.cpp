@@ -6,21 +6,38 @@
 // This is the 30-second tour: a machine, an operating system, a shared
 // memory, a crowd of tasks, and the NUMA facts of life (local 0.8us, remote
 // 4us, contention real).
+//
+// Pass `--trace out.json` to record the whole run with bfly::scope and
+// write a Chrome trace-event file: open it at https://ui.perfetto.dev or
+// chrome://tracing to see one track per simulated node.  Tracing charges
+// no simulated time, so the printed timings are identical either way.
 
 #include <cstdio>
+#include <cstring>
+#include <memory>
 
 #include "chrysalis/kernel.hpp"
+#include "scope/scope.hpp"
 #include "sim/machine.hpp"
 #include "us/uniform_system.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bfly;
+
+  const char* trace_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc)
+      trace_path = argv[++i];
+  }
 
   // 1. A 128-node Butterfly-I: 8 MHz 68000s, 1 MB memory per node, 4-ary
   //    switching network, remote references ~5x local.
   sim::Machine m(sim::butterfly1(128));
   chrys::Kernel kernel(m);
   us::UniformSystem us(kernel);
+
+  std::unique_ptr<scope::Tracer> tracer;
+  if (trace_path != nullptr) tracer = std::make_unique<scope::Tracer>(m);
 
   std::printf("Butterfly-I: %u nodes, %u switch stages\n", m.nodes(),
               m.fabric().stages());
@@ -55,6 +72,21 @@ int main() {
                 kCells, us.get<std::uint32_t>(primes),
                 sim::format_duration(elapsed).c_str());
   });
+
+  if (tracer != nullptr) {
+    std::FILE* f = std::fopen(trace_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "quickstart: cannot write %s\n", trace_path);
+      return 1;
+    }
+    const std::string trace = tracer->chrome_trace();
+    std::fwrite(trace.data(), 1, trace.size(), f);
+    std::fclose(f);
+    std::printf("trace: %llu spans on %zu tracks -> %s "
+                "(open in https://ui.perfetto.dev)\n",
+                static_cast<unsigned long long>(tracer->spans_begun()),
+                tracer->tracks(), trace_path);
+  }
 
   // 3. The NUMA facts of life, measured on the same machine.
   sim::Machine probe(sim::butterfly1(128));

@@ -131,6 +131,8 @@ void BridgeFs::server_loop(std::uint32_t s) {
     // mid-service, the death observer fail-replies exactly this rid.
     sv.current_rid = rid;
     Request& rq = reqs_[rid];
+    sim::TraceSpan span(m_, "bridge", "serve",
+                        static_cast<std::uint64_t>(rq.op));
     bool stop = false;
     switch (rq.op) {
       case Request::kRead: {
@@ -227,6 +229,7 @@ void BridgeFs::write_block(FileId f, std::uint32_t index, const void* data) {
   if (!servers_[s]->alive)
     throw chrys::ThrowSignal{chrys::kThrowNodeDead, servers_[s]->node};
   files_[f].nblocks = std::max(files_[f].nblocks, index + 1);
+  sim::TraceSpan span(m_, "bridge", "write_block", index);
   m_.charge(kRequestOverhead);
   // The block travels to the server's node across the switch.
   m_.access_words(sim::PhysAddr{servers_[s]->node, 0}, kBlockSize / 4 / 8);
@@ -254,6 +257,7 @@ void BridgeFs::read_block(FileId f, std::uint32_t index, void* out) {
   const std::uint32_t s = index % nservers_;
   if (!servers_[s]->alive)
     throw chrys::ThrowSignal{chrys::kThrowNodeDead, servers_[s]->node};
+  sim::TraceSpan span(m_, "bridge", "read_block", index);
   m_.charge(kRequestOverhead);
   const chrys::Oid reply = k_.make_dual_queue();
   Request rq;
@@ -291,6 +295,7 @@ void BridgeFs::release_request(std::uint32_t rid) { req_free_.push_back(rid); }
 
 std::uint64_t BridgeFs::ship_to_all(Request::Op op, FileId f, FileId f2,
                                     std::uint8_t needle) {
+  sim::TraceSpan span(m_, "bridge", "tool", static_cast<std::uint64_t>(op));
   const chrys::Oid reply = k_.make_dual_queue();
   std::uint32_t shipped = 0;
   for (std::uint32_t s = 0; s < nservers_; ++s) {

@@ -295,6 +295,9 @@ Oid Kernel::create_process(sim::NodeId node, std::function<void()> main,
   p->state_ = Process::State::kReady;
 
   p->fiber_ = m_.spawn_parked(node, [this, p, body = std::move(main)] {
+    // Lifetime span for the whole process; RAII so a FiberKill unwind
+    // closes it too.
+    sim::TraceSpan span(m_, "chrys", "process", p->oid_);
     // Top-level fault barrier: an uncaught throw terminates the process,
     // as when Chrysalis unwinds to the outermost handler.  Machine faults
     // (dead-node references, parity errors) terminate it the same way.
@@ -318,6 +321,7 @@ Oid Kernel::create_process(sim::NodeId node, std::function<void()> main,
   by_fiber_[p->fiber_] = p;
   rec(oid).u = std::move(pp);
   ++live_processes_;
+  m_.trace_instant("chrys", "create_process", oid);
   make_ready(*p);
   return oid;
 }
@@ -538,6 +542,7 @@ Oid Kernel::make_event(Oid owner_process) {
 }
 
 void Kernel::event_post(Oid ev, std::uint32_t datum) {
+  m_.trace_instant("chrys", "event_post", ev);
   charge_if_on_fiber(m_.config().event_post_ns);
   m_.observe_release(sim::chan_of_oid(ev));
   EventObj& e = std::get<EventObj>(rec(ev).u);
@@ -556,6 +561,7 @@ void Kernel::event_post(Oid ev, std::uint32_t datum) {
 
 std::uint32_t Kernel::event_wait(Oid ev) {
   Process& p = self();
+  sim::TraceSpan span(m_, "chrys", "event_wait", ev);
   m_.charge(m_.config().event_wait_ns);
   EventObj& e = std::get<EventObj>(rec(ev).u);
   if (e.owner != p.oid()) throw ThrowSignal{kThrowNotOwner, ev};
@@ -617,6 +623,7 @@ void Kernel::dq_enqueue_uncharged(Oid dq, std::uint32_t datum) {
 
 std::uint32_t Kernel::dq_dequeue(Oid dq) {
   Process& p = self();
+  sim::TraceSpan span(m_, "chrys", "dq_wait", dq);
   m_.charge(m_.config().dq_dequeue_ns);
   DualQueueObj& q = std::get<DualQueueObj>(rec(dq).u);
   if (!q.data.empty()) {
@@ -635,6 +642,7 @@ std::uint32_t Kernel::dq_dequeue(Oid dq) {
 
 bool Kernel::dq_dequeue_for(Oid dq, sim::Time timeout, std::uint32_t* out) {
   Process& p = self();
+  sim::TraceSpan span(m_, "chrys", "dq_wait", dq);
   m_.charge(m_.config().dq_dequeue_ns);
   DualQueueObj& q = std::get<DualQueueObj>(rec(dq).u);
   if (!q.data.empty()) {

@@ -21,6 +21,7 @@ void Stream::write(const void* data, std::size_t n) {
   if (n == 0) return;
   sim::Machine& m = mesh_.m_;
   chrys::Kernel& k = mesh_.k_;
+  sim::TraceSpan span(m, "net", "stream_write", n);
   m.charge(kWriteOverhead);
   // Release before the chunk body is published: everything the writer did
   // up to here is visible to whoever reads this stream.  (The dual-queue
@@ -47,6 +48,7 @@ void Stream::write(const void* data, std::size_t n) {
 void Stream::read(void* out, std::size_t n) {
   sim::Machine& m = mesh_.m_;
   chrys::Kernel& k = mesh_.k_;
+  sim::TraceSpan span(m, "net", "stream_read", n);
   m.charge(kReadOverhead);
   auto* dst = static_cast<std::uint8_t*>(out);
   std::size_t got = 0;

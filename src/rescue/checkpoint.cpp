@@ -55,6 +55,7 @@ std::size_t Checkpointer::total_bytes() const {
 void Checkpointer::take_checkpoint() {
   if (regions_.empty()) return;
   ++seq_;
+  sim::TraceSpan span(m_, "rescue", "checkpoint", seq_);
   const std::string name =
       cfg_.file_prefix + ((seq_ % 2) != 0 ? ".a" : ".b");
   bridge::FileId f;
@@ -125,6 +126,7 @@ bool Checkpointer::validate(bridge::FileId f, std::uint32_t* seq,
 }
 
 bool Checkpointer::restore() {
+  sim::TraceSpan span(m_, "rescue", "restore");
   std::uint32_t best_seq = 0, best_step = 0;
   std::vector<std::uint8_t> best;
   for (const char* suffix : {".a", ".b"}) {

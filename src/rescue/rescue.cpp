@@ -65,6 +65,7 @@ void Membership::daemon_loop(sim::NodeId n) {
   std::uint32_t seq = 0;
   while (!stopping_) {
     ++seq;
+    m_.trace_instant("rescue", "heartbeat", seq);
     try {
       // A remote write across the switch, charged like any application
       // reference — heartbeat traffic costs simulated time.
@@ -115,6 +116,7 @@ void Membership::denounce(sim::NodeId n) {
 
 void Membership::declare_suspect(sim::NodeId n) {
   if (!member_[n]) return;
+  m_.trace_instant("rescue", "suspect", n);
   member_[n] = 0;
   --members_alive_;
   ++epoch_;

@@ -77,6 +77,13 @@ NodeId Machine::node_of(Fiber* f) const {
   return it->second.node;
 }
 
+NodeId Machine::trace_node() const {
+  Fiber* f = Fiber::current();
+  if (f == nullptr) return kTraceHostNode;
+  auto it = fibers_.find(f);
+  return it == fibers_.end() ? kTraceHostNode : it->second.node;
+}
+
 void Machine::schedule_resume(FiberCtl* c, Time at) {
   assert(!c->resume_pending);
   c->resume_pending = true;
@@ -364,6 +371,7 @@ void Machine::reference(PhysAddr a, std::uint32_t words, MemOp op) {
     ++stats_.node[a.node].serviced_remote;
   }
   s.queue_ns += q;
+  trace_reference(req, a.node, words, q, op);
   const Time d = finish - engine_.now();
   s.stall_ns += d;
   charge(d);
@@ -429,6 +437,8 @@ void Machine::block_copy(PhysAddr dst, PhysAddr src, std::size_t bytes) {
   s.queue_ns += q;
   if (src.node != req || dst.node != req) ++s.remote_refs;
   else ++s.local_refs;
+  trace_reference(req, src.node, words, q, MemOp::kRead);
+  trace_reference(req, dst.node, words, 0, MemOp::kWrite);
 
   const Time total = (head - engine_.now()) + stream;
   s.stall_ns += total;
@@ -460,6 +470,7 @@ void Machine::block_read(void* host_dst, PhysAddr src, std::size_t bytes) {
   s.queue_ns += q;
   if (src.node != req) ++s.remote_refs;
   else ++s.local_refs;
+  trace_reference(req, src.node, words, q, MemOp::kRead);
   const Time total = (head - engine_.now()) + stream;
   s.stall_ns += total;
   charge(total);
@@ -486,6 +497,7 @@ void Machine::block_write(PhysAddr dst, const void* host_src,
   s.queue_ns += q;
   if (dst.node != req) ++s.remote_refs;
   else ++s.local_refs;
+  trace_reference(req, dst.node, words, q, MemOp::kWrite);
   const Time total = (head - engine_.now()) + stream;
   s.stall_ns += total;
   charge(total);
@@ -517,6 +529,7 @@ void Machine::access_words(PhysAddr a, std::uint32_t n, bool write) {
     stats_.node[a.node].serviced_remote += n;
   }
   s.queue_ns += q;
+  trace_reference(req, a.node, n, q, MemOp::kAggregate);
   const Time total = q + static_cast<Time>(n) * per;
   s.stall_ns += total;
   charge(total);

@@ -214,6 +214,32 @@ class Machine {
     if (observer_) observer_->on_label(a, bytes, std::move(name));
   }
 
+  // --- Tracing (observability; see sim/observe.hpp and src/scope) -------------
+  // Same uncharged contract as the observer hooks.  Annotation sites pass
+  // string literals and integers only, so an untraced run does no work
+  // beyond the pointer test and allocates nothing.
+
+  void set_trace_sink(TraceSink* s) { trace_ = s; }
+  TraceSink* trace_sink() const { return trace_; }
+
+  /// Open a span on the calling context's track.
+  void trace_begin(const char* cat, const char* name, std::uint64_t arg = 0) {
+    if (trace_) {
+      trace_->on_span_begin(Fiber::current(), trace_node(), cat, name, arg);
+    }
+  }
+  /// Close the innermost open span on the calling context's track.
+  void trace_end() {
+    if (trace_) trace_->on_span_end(Fiber::current(), trace_node());
+  }
+  /// A point event on the calling context's track.
+  void trace_instant(const char* cat, const char* name,
+                     std::uint64_t arg = 0) {
+    if (trace_) {
+      trace_->on_instant(Fiber::current(), trace_node(), cat, name, arg);
+    }
+  }
+
   // --- Untimed backdoor (tests, tooling, result extraction) -------------------
   template <typename T>
   T peek(PhysAddr a) const {
@@ -267,6 +293,16 @@ class Machine {
   /// occupancy and stats but does not charge.
   Time reference_finish(NodeId requester, NodeId home, std::uint32_t words,
                         Time* queue_ns);
+  /// Report one finished reference with its contention share to the trace
+  /// sink (uncharged; MemObserver::on_access cannot see queue time).
+  void trace_reference(NodeId requester, NodeId home, std::uint32_t words,
+                       Time queue_ns, MemOp op) {
+    if (trace_) trace_->on_reference(requester, home, words, queue_ns, op,
+                                     engine_.now());
+  }
+  /// Node of the calling context for trace events (kTraceHostNode when no
+  /// fiber is running).
+  NodeId trace_node() const;
 
   std::uint8_t* raw(PhysAddr a, std::size_t n);
   std::uint8_t* raw_mut(PhysAddr a, std::size_t n);
@@ -310,6 +346,25 @@ class Machine {
   std::vector<DeathObserver> crash_observers_;
   std::uint64_t next_observer_id_ = 1;
   MemObserver* observer_ = nullptr;
+  TraceSink* trace_ = nullptr;
+};
+
+/// RAII span: begins on construction, ends on destruction — so spans close
+/// correctly across early returns, NodeDeadError, and FiberKill unwinds.
+class TraceSpan {
+ public:
+  TraceSpan(Machine& m, const char* cat, const char* name,
+            std::uint64_t arg = 0)
+      : m_(m) {
+    m_.trace_begin(cat, name, arg);
+  }
+  ~TraceSpan() { m_.trace_end(); }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  Machine& m_;
 };
 
 }  // namespace bfly::sim

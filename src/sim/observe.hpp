@@ -99,4 +99,40 @@ class MemObserver {
   virtual void on_label(PhysAddr a, std::size_t bytes, std::string name) = 0;
 };
 
+/// Pseudo-node id for trace events emitted from engine/host context (no
+/// fiber running).  Real nodes are dense from 0, so the sentinel is safe.
+inline constexpr NodeId kTraceHostNode = 0xffffffffu;
+
+/// Host-side sink for the tracing annotations scattered through the
+/// runtimes (the bfly::scope layer).  Same contract as MemObserver: every
+/// callback runs in the context that performed the operation, charges
+/// nothing, and costs one pointer test when no sink is registered.
+///
+/// `cat` and `name` are borrowed, not copied: annotation sites pass string
+/// literals so that tracing allocates nothing on the simulated path.  A
+/// sink that outlives the literal-owning TU (none do today) would need to
+/// copy.  Dynamic payloads travel in `arg`.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// Open a nested span on the calling track (`f`, or host when nullptr).
+  virtual void on_span_begin(Fiber* f, NodeId node, const char* cat,
+                             const char* name, std::uint64_t arg) = 0;
+  /// Close the innermost open span on the calling track.  Unmatched ends
+  /// must be ignored by the sink (kill-unwinding can skip begins).
+  virtual void on_span_end(Fiber* f, NodeId node) = 0;
+  /// A point event on the calling track.
+  virtual void on_instant(Fiber* f, NodeId node, const char* cat,
+                          const char* name, std::uint64_t arg) = 0;
+  /// One timed reference completed: `words` serviced by `home`'s memory
+  /// module for a fiber on `requester`, of which `queue_ns` was spent
+  /// queued behind other traffic at the module.  Richer than
+  /// MemObserver::on_access (which cannot see contention) — this is what
+  /// feeds the occupancy / contention / locality time series.
+  virtual void on_reference(NodeId requester, NodeId home,
+                            std::uint32_t words, Time queue_ns, MemOp op,
+                            Time at) = 0;
+};
+
 }  // namespace bfly::sim

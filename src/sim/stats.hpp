@@ -6,10 +6,10 @@
 #pragma once
 
 #include <cstdint>
-#include <cstdio>
 #include <string>
 #include <vector>
 
+#include "sim/json.hpp"
 #include "sim/time.hpp"
 
 namespace bfly::sim {
@@ -52,18 +52,14 @@ struct MachineStats {
   /// Fault + rescue counters as a JSON fragment (no braces), for benches
   /// that emit one JSON object per configuration.
   std::string fault_json() const {
-    char buf[256];
-    std::snprintf(buf, sizeof buf,
-                  "\"mem_faults_injected\":%llu,\"dead_node_refs\":%llu,"
-                  "\"suspects_declared\":%llu,\"false_suspects\":%llu,"
-                  "\"checkpoints_taken\":%llu,\"restart_count\":%llu",
-                  static_cast<unsigned long long>(mem_faults_injected),
-                  static_cast<unsigned long long>(dead_node_refs),
-                  static_cast<unsigned long long>(suspects_declared),
-                  static_cast<unsigned long long>(false_suspects),
-                  static_cast<unsigned long long>(checkpoints_taken),
-                  static_cast<unsigned long long>(restart_count));
-    return buf;
+    json::Writer w(json::Writer::kFragment);
+    w.kv("mem_faults_injected", mem_faults_injected)
+        .kv("dead_node_refs", dead_node_refs)
+        .kv("suspects_declared", suspects_declared)
+        .kv("false_suspects", false_suspects)
+        .kv("checkpoints_taken", checkpoints_taken)
+        .kv("restart_count", restart_count);
+    return w.take();
   }
 
   std::uint64_t total_local_refs() const {

@@ -37,6 +37,7 @@ void Member::send(std::uint32_t dest, std::uint32_t tag, const void* data,
     throw chrys::ThrowSignal{chrys::kThrowNotConnected, dest};
   chrys::Kernel& k = fam_.k_;
   sim::Machine& m = fam_.m_;
+  sim::TraceSpan span(m, "smp", "send", dest);
 
   // Map the channel buffer (SAR cache decides the real cost).
   cache_.access((static_cast<std::uint64_t>(index_) << 32) | dest);
@@ -64,6 +65,7 @@ void Member::send(std::uint32_t dest, std::uint32_t tag, const void* data,
 Message Member::receive() {
   chrys::Kernel& k = fam_.k_;
   sim::Machine& m = fam_.m_;
+  sim::TraceSpan span(m, "smp", "recv", index_);
   const std::uint32_t id = k.dq_dequeue(mailbox_);
   Family::MsgRec rec = fam_.take_record(id);
   m.charge(kReceiveOverhead);

@@ -57,6 +57,7 @@ sim::Time UniformSystem::run_main(std::function<void()> main) {
 void UniformSystem::initialize() {
   assert(!initialized_);
   initialized_ = true;
+  sim::TraceSpan span(m_, "us", "initialize", procs_);
   work_queue_ = k_.make_dual_queue();
   k_.give_to_system(work_queue_);  // shared by all managers
 
@@ -147,6 +148,7 @@ void UniformSystem::mark_manager_dead(std::uint32_t w) {
 }
 
 void UniformSystem::terminate() {
+  m_.trace_instant("us", "terminate", procs_);
   for (std::uint32_t w = 0; w < procs_; ++w) k_.dq_enqueue(work_queue_, kStopTid);
 }
 
@@ -163,19 +165,22 @@ void UniformSystem::manager_loop(std::uint32_t worker) {
     // Record the claim before any further yield: if this node dies mid-task
     // the death observer re-issues exactly this descriptor.
     inflight_[worker] = tid;
-    m_.charge(kDispatchOverhead);
-    TaskCtx ctx{*this, k_, m_, worker, node, table_[tid].arg};
-    // A task that throws — or hits a machine fault — must not take its
-    // manager down with it: the processor would silently drop out of the
-    // crowd.  Trap, count, move on.
-    try {
-      table_[tid].fn(ctx);
-    } catch (const chrys::ThrowSignal&) {
-      ++tasks_faulted_;
-    } catch (const sim::NodeDeadError&) {
-      ++tasks_faulted_;
-    } catch (const sim::MemoryFaultError&) {
-      ++tasks_faulted_;
+    {
+      sim::TraceSpan span(m_, "us", "task", table_[tid].arg);
+      m_.charge(kDispatchOverhead);
+      TaskCtx ctx{*this, k_, m_, worker, node, table_[tid].arg};
+      // A task that throws — or hits a machine fault — must not take its
+      // manager down with it: the processor would silently drop out of the
+      // crowd.  Trap, count, move on.
+      try {
+        table_[tid].fn(ctx);
+      } catch (const chrys::ThrowSignal&) {
+        ++tasks_faulted_;
+      } catch (const sim::NodeDeadError&) {
+        ++tasks_faulted_;
+      } catch (const sim::MemoryFaultError&) {
+        ++tasks_faulted_;
+      }
     }
     ++tasks_run_;
     // The task body is done: from here the descriptor must not be re-run,
@@ -275,6 +280,7 @@ void UniformSystem::handle_node_death(sim::NodeId n) {
 void UniformSystem::gen_task(TaskFn fn, std::uint32_t arg) {
   table_.push_back(TaskRec{std::move(fn), arg});
   const auto tid = static_cast<std::uint32_t>(table_.size() - 1);
+  m_.trace_instant("us", "gen_task", tid);
   (void)fetch_add_retry(outstanding_, 1);
   enqueue_descriptor(tid);
 }
@@ -282,6 +288,7 @@ void UniformSystem::gen_task(TaskFn fn, std::uint32_t arg) {
 void UniformSystem::gen_on_index(std::uint32_t lo, std::uint32_t hi,
                                  TaskFn fn) {
   if (lo >= hi) return;
+  m_.trace_instant("us", "gen_on_index", hi - lo);
   // One shared TaskRec; the per-index argument rides in the descriptor's
   // low bits via distinct records (kept simple: one record per index, the
   // closure is shared).
@@ -297,6 +304,9 @@ void UniformSystem::gen_on_index(std::uint32_t lo, std::uint32_t hi,
 }
 
 void UniformSystem::wait_idle() {
+  // The span's *end* is what matters downstream: scope::Tracer treats it as
+  // a phase barrier in the critical-path report.
+  sim::TraceSpan span(m_, "us", "wait_idle");
   chrys::Process& p = k_.self();
   if (read_u32_retry(outstanding_) == 0) return;
   // Whole pool dead: the queued tasks will never run, and nobody is left to

@@ -1,0 +1,44 @@
+// trace_validate <trace.json> — the CI gate for exported Chrome traces.
+//
+// Exit 0 iff the file parses as JSON, its timestamps are monotone, and
+// every B event balances with an E on the same (pid, tid) track; prints
+// what it found either way.  See src/scope/trace_check.hpp.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "scope/trace_check.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: trace_validate <trace.json>\n");
+    return 2;
+  }
+  std::ifstream in(argv[1], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "trace_validate: cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+
+  std::vector<std::string> errors;
+  bfly::scope::TraceCheckStats stats;
+  const bool ok = bfly::scope::validate_chrome_trace(text, &errors, &stats);
+  std::printf(
+      "%s: %zu events (%zu B / %zu E, %zu instants, %zu counters, "
+      "%zu metadata)\n",
+      argv[1], stats.events, stats.begins, stats.ends, stats.instants,
+      stats.counters, stats.metadata);
+  if (!ok) {
+    for (const std::string& e : errors)
+      std::fprintf(stderr, "trace_validate: %s\n", e.c_str());
+    std::fprintf(stderr, "trace_validate: FAILED\n");
+    return 1;
+  }
+  std::printf("trace_validate: OK\n");
+  return 0;
+}
