@@ -10,8 +10,12 @@
 #   3. scope smoke     — a traced Gauss run exports a Chrome trace, then
 #                        the standalone validator re-checks the file on
 #                        disk (parses, monotone timestamps, balanced B/E)
-#   4. asan preset     — ASan+UBSan build, full ctest suite
-#   5. lint            — clang-tidy over src/ against the compile database
+#   4. perf smoke      — the host-simulator microbenchmarks at a tiny
+#                        min-time, printing the BENCH_host_sim.json row.
+#                        NON-GATING: CI machines have wildly variable
+#                        throughput, so a slow run only warns
+#   5. asan preset     — ASan+UBSan build, full ctest suite
+#   6. lint            — clang-tidy over src/ against the compile database
 #                        (skips with a notice when clang-tidy isn't installed;
 #                        the `lint` target handles that itself)
 #
@@ -36,6 +40,16 @@ ctest --preset default -L fault-smoke --output-on-failure --verbose
 step "scope smoke (traced Gauss -> Chrome trace -> validator)"
 ./build/tools/trace_gauss build/scope_ci_trace.json build/scope_ci_metrics.json
 ./build/tools/trace_validate build/scope_ci_trace.json
+
+step "perf smoke (host simulator microbenchmarks, non-gating)"
+# Note: this google-benchmark takes --benchmark_min_time as a plain double
+# (seconds); the "0.05s" suffix form is a newer addition it rejects.
+if BFLY_HOST_SIM_OUT=build/BENCH_host_sim_ci.json \
+    ./build/bench/bench_host_simulator --benchmark_min_time=0.05; then
+  :
+else
+  echo "perf smoke failed (non-gating; host throughput varies in CI)"
+fi
 
 step "configure + build (asan preset)"
 cmake --preset asan

@@ -94,6 +94,14 @@ struct MachineConfig {
   /// Fiber stack size for simulated processes (host resource, not modelled).
   std::size_t fiber_stack_bytes = 192 * 1024;
 
+  /// Host-side fast path in Machine::charge(): when no pending event could
+  /// observably interleave, warp the clock instead of context-switching
+  /// through the engine (see DESIGN.md "Host performance model").  Purely a
+  /// host optimization — simulated behaviour is bit-for-bit identical, which
+  /// the fast-path determinism suite asserts.  BFLY_NO_FASTPATH=1 in the
+  /// environment forces it off regardless, for A/B comparison runs.
+  bool host_fastpath = true;
+
   /// RNG seed for any randomized machine behaviour (fully deterministic).
   std::uint64_t seed = 0x5eed5eedULL;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <exception>
 
 namespace bfly::sim {
@@ -15,6 +16,12 @@ Machine::Machine(MachineConfig cfg, FaultPlan faults)
       stats_(cfg.nodes),
       node_(cfg.nodes),
       node_dead_(cfg.nodes, 0) {
+  engine_.set_fiber_handler(&Machine::fiber_event, this);
+  fastpath_ = cfg_.host_fastpath;
+  if (const char* v = std::getenv("BFLY_NO_FASTPATH");
+      v != nullptr && v[0] != '\0' && v[0] != '0') {
+    fastpath_ = false;
+  }
   if (faults_.any()) {
     fault_checks_ = true;
     fabric_.configure_faults(faults_, &fault_rng_);
@@ -55,7 +62,7 @@ Fiber* Machine::spawn_parked(NodeId node, std::function<void()> body,
   auto [it, ok] = fibers_.emplace(f, std::move(c));
   assert(ok);
   (void)ok;
-  live_.push_back(f);
+  live_link(&it->second);
   if (observer_) observer_->on_spawn(Fiber::current(), f);
   return f;
 }
@@ -66,46 +73,84 @@ Machine::FiberCtl* Machine::ctl(Fiber* f) {
 }
 
 NodeId Machine::current_node() const {
-  Fiber* f = Fiber::current();
-  if (f == nullptr) throw SimError("current_node: not on a fiber");
-  return node_of(f);
+  FiberCtl* c = current_ctl();
+  if (c == nullptr) throw SimError("current_node: not on a fiber");
+  return c->node;
 }
 
 NodeId Machine::node_of(Fiber* f) const {
+  if (cur_ctl_ != nullptr && cur_ctl_->fiber.get() == f) return cur_ctl_->node;
   auto it = fibers_.find(f);
   if (it == fibers_.end()) throw SimError("node_of: unknown fiber");
   return it->second.node;
 }
 
 NodeId Machine::trace_node() const {
-  Fiber* f = Fiber::current();
-  if (f == nullptr) return kTraceHostNode;
-  auto it = fibers_.find(f);
-  return it == fibers_.end() ? kTraceHostNode : it->second.node;
+  FiberCtl* c = current_ctl();
+  return c == nullptr ? kTraceHostNode : c->node;
+}
+
+void Machine::live_link(FiberCtl* c) {
+  c->live_prev = live_tail_;
+  c->live_next = nullptr;
+  if (live_tail_ != nullptr) {
+    live_tail_->live_next = c;
+  } else {
+    live_head_ = c;
+  }
+  live_tail_ = c;
+  ++live_count_;
+}
+
+void Machine::live_unlink(FiberCtl* c) {
+  if (c->live_prev != nullptr) {
+    c->live_prev->live_next = c->live_next;
+  } else {
+    live_head_ = c->live_next;
+  }
+  if (c->live_next != nullptr) {
+    c->live_next->live_prev = c->live_prev;
+  } else {
+    live_tail_ = c->live_prev;
+  }
+  --live_count_;
+}
+
+void Machine::reap(FiberCtl* c) {
+  live_unlink(c);
+  fibers_.erase(c->fiber.get());  // destroys c and frees the stack
+}
+
+void Machine::fiber_event(void* machine, void* payload) {
+  static_cast<Machine*>(machine)->do_resume(static_cast<FiberCtl*>(payload));
+}
+
+void Machine::do_resume(FiberCtl* c) {
+  // A FiberCtl with a pending resume is never reaped (do_kill defers to the
+  // pending event, abandon() forbids it), so `c` is always alive here.
+  assert(c->resume_pending);
+  c->resume_pending = false;
+  Fiber* f = c->fiber.get();
+  ++fiber_resumes_;
+  cur_ctl_ = c;
+  f->resume();
+  cur_ctl_ = nullptr;
+  if (f->finished()) reap(c);
 }
 
 void Machine::schedule_resume(FiberCtl* c, Time at) {
   assert(!c->resume_pending);
   c->resume_pending = true;
-  Fiber* f = c->fiber.get();
-  engine_.post_at(at, [this, f] {
-    auto it = fibers_.find(f);
-    if (it == fibers_.end()) return;  // fiber was reaped
-    it->second.resume_pending = false;
-    f->resume();
-    if (f->finished()) {
-      live_.erase(std::find(live_.begin(), live_.end(), f));
-      fibers_.erase(f);  // frees the stack
-    }
-  });
+  engine_.post_fiber_at(at, c);
 }
 
 Time Machine::run() { return engine_.run(); }
 
 std::vector<Fiber*> Machine::blocked_fibers() const {
   std::vector<Fiber*> out;
-  for (Fiber* f : live_)
-    if (f->state() == Fiber::State::kBlocked) out.push_back(f);
+  for (FiberCtl* c = live_head_; c != nullptr; c = c->live_next)
+    if (c->fiber->state() == Fiber::State::kBlocked)
+      out.push_back(c->fiber.get());
   return out;
 }
 
@@ -121,14 +166,34 @@ void Machine::check_kill(FiberCtl* c) {
 }
 
 void Machine::charge(Time ns) {
-  Fiber* f = Fiber::current();
-  if (f == nullptr) throw SimError("charge: not on a fiber");
-  FiberCtl* c = ctl(f);
+  FiberCtl* c = current_ctl();
+  if (c == nullptr) throw SimError("charge: not on a fiber");
   if (fault_checks_ && c->killed) {
     check_kill(c);
     return;  // in-flight exception: complete instantly, do not yield
   }
-  schedule_resume(c, engine_.now() + ns);
+  const Time at = engine_.now() + ns;
+  // Switch-free fast path: when this fiber's resume would be *strictly*
+  // earlier than every pending event, the slow path's yield provably hands
+  // control straight back — the engine would pop our fresh resume event
+  // first (strictly earlier beats every pending time; a tie would lose on
+  // sequence number, hence "strictly") and no other fiber, fault, or
+  // observer-visible action can run in between.  So warp the clock and keep
+  // going: no heap traffic, no context switch.  Disabled whenever anything
+  // could legitimately interleave or watch: pending kills/faults
+  // (fault_checks_), a requested engine stop, or attached instrumentation
+  // (observers/trace sinks deliberately ride the battle-tested slow path;
+  // the uncharged harnesses then cross-check the two).  The skipped
+  // post_fiber_at also never burns an engine sequence number, which is
+  // unobservable: relative order among the *other* events is unchanged.
+  if (fastpath_ && !fault_checks_ && observer_ == nullptr &&
+      trace_ == nullptr && !engine_.stop_requested() &&
+      (engine_.empty() || at < engine_.next_time())) {
+    engine_.warp_to(at);
+    ++fastpath_charges_;
+    return;
+  }
+  schedule_resume(c, at);
   Fiber::yield_to_engine();
   if (fault_checks_) check_kill(c);
 }
@@ -144,10 +209,9 @@ void Machine::sleep_until(Time t) {
 }
 
 void Machine::park() {
-  Fiber* f = Fiber::current();
-  if (f == nullptr) throw SimError("park: not on a fiber");
+  FiberCtl* c = current_ctl();
+  if (c == nullptr) throw SimError("park: not on a fiber");
   if (fault_checks_) {
-    FiberCtl* c = ctl(f);
     if (c->killed) {
       check_kill(c);
       return;
@@ -218,33 +282,31 @@ void Machine::do_kill(NodeId n, bool silent) {
   if (!silent)
     for (std::size_t i = 0; i < crash_observers_.size(); ++i)
       crash_observers_[i].fn(n);
-  // Now tear down the node's fibers.
+  // Now tear down the node's fibers, in spawn order.  Victims are collected
+  // as Fiber* and re-validated through the map: one victim's unwind may
+  // reap another (a destructor calling abandon()).
   std::vector<Fiber*> victims;
-  for (Fiber* f : live_) {
-    auto it = fibers_.find(f);
-    if (it != fibers_.end() && it->second.node == n) victims.push_back(f);
-  }
+  for (FiberCtl* c = live_head_; c != nullptr; c = c->live_next)
+    if (c->node == n) victims.push_back(c->fiber.get());
   for (Fiber* f : victims) {
-    auto it = fibers_.find(f);
-    if (it == fibers_.end()) continue;
-    FiberCtl& c = it->second;
-    c.killed = true;
+    FiberCtl* c = ctl(f);
+    if (c == nullptr) continue;
+    c->killed = true;
     // A fiber with a resume already queued unwinds when that event fires
     // (charge() re-checks killed on wakeup).
-    if (c.resume_pending) continue;
+    if (c->resume_pending) continue;
     if (f->state() == Fiber::State::kRunnable) {
       // Never ran: nothing on its stack to unwind, drop it outright.
-      live_.erase(std::find(live_.begin(), live_.end(), f));
-      fibers_.erase(it);
+      reap(c);
       continue;
     }
     // Parked: resume it so park() raises FiberKill and the stack unwinds
     // through run_body, running destructors along the way.
+    ++fiber_resumes_;
+    cur_ctl_ = c;
     f->resume();
-    if (f->finished()) {
-      live_.erase(std::find(live_.begin(), live_.end(), f));
-      fibers_.erase(f);
-    }
+    cur_ctl_ = nullptr;
+    if (f->finished()) reap(c);
   }
 }
 
@@ -272,8 +334,7 @@ void Machine::abandon(Fiber* f) {
   FiberCtl* c = ctl(f);
   if (c == nullptr) return;  // already finished
   assert(!c->resume_pending && f->state() != Fiber::State::kRunning);
-  live_.erase(std::find(live_.begin(), live_.end(), f));
-  fibers_.erase(f);
+  reap(c);
 }
 
 // --- Memory --------------------------------------------------------------
@@ -334,8 +395,32 @@ void Machine::free(PhysAddr addr, std::size_t bytes) {
   if (observer_) observer_->on_free(addr, bytes);
   const auto size = static_cast<std::uint32_t>((bytes + 7) & ~std::size_t{7});
   Node& nd = node_[addr.node];
-  nd.free_list.push_back(FreeBlock{addr.offset, size});
   nd.allocated -= std::min<std::size_t>(nd.allocated, size);
+  // The free list is kept sorted by offset so adjacent blocks coalesce on
+  // insert — alloc/free churn at one size can never grow it without bound.
+  // (Offsets never influence timing — only the home *node* does — so the
+  // address-ordered first fit this implies is simulation-neutral.)
+  auto it = std::lower_bound(
+      nd.free_list.begin(), nd.free_list.end(), addr.offset,
+      [](const FreeBlock& fb, std::uint32_t off) { return fb.offset < off; });
+  if (it != nd.free_list.begin()) {
+    auto prev = it - 1;
+    if (prev->offset + prev->size == addr.offset) {
+      prev->size += size;
+      if (it != nd.free_list.end() &&
+          prev->offset + prev->size == it->offset) {
+        prev->size += it->size;
+        nd.free_list.erase(it);
+      }
+      return;
+    }
+  }
+  if (it != nd.free_list.end() && addr.offset + size == it->offset) {
+    it->offset = addr.offset;
+    it->size += size;
+    return;
+  }
+  nd.free_list.insert(it, FreeBlock{addr.offset, size});
 }
 
 std::size_t Machine::allocated_on(NodeId node) const {

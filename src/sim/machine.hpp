@@ -80,8 +80,18 @@ class Machine {
   /// True when the last run() ended with live-but-blocked fibers: the
   /// simulated program deadlocked.  Moviola uses this plus the wait-for
   /// edges recorded by the synchronization layers.
-  bool deadlocked() const { return !live_.empty(); }
+  bool deadlocked() const { return live_count_ != 0; }
   std::vector<Fiber*> blocked_fibers() const;
+
+  /// Host-side substrate cost of the run so far (events, switches,
+  /// switch-free charges).  Observational; see sim/stats.hpp.
+  HostPerf host_perf() const {
+    return HostPerf{engine_.events_dispatched(), fiber_resumes_,
+                    fastpath_charges_, fastpath_};
+  }
+  /// True when charge() may take the switch-free fast path this run
+  /// (config flag minus the BFLY_NO_FASTPATH environment override).
+  bool fastpath_enabled() const { return fastpath_; }
 
   // --- Faults ----------------------------------------------------------------
 
@@ -152,6 +162,11 @@ class Machine {
   void free(PhysAddr addr, std::size_t bytes);
   /// Bytes currently allocated on a node.
   std::size_t allocated_on(NodeId node) const;
+  /// Blocks on a node's free list (allocator introspection for tests:
+  /// coalescing must keep this bounded under alloc/free churn).
+  std::size_t free_blocks_on(NodeId node) const {
+    return node_[node].free_list.size();
+  }
 
   /// Timed single reference.  sizeof(T) must be <= 8.
   template <typename T>
@@ -264,6 +279,11 @@ class Machine {
     NodeId node = 0;
     bool resume_pending = false;
     bool killed = false;  // node died; unwind via FiberKill at next yield
+    // Intrusive links for the live list (spawned and not yet finished), in
+    // spawn order.  O(1) reap instead of the O(live) vector erase; order is
+    // part of the deterministic contract (do_kill unwinds in spawn order).
+    FiberCtl* live_prev = nullptr;
+    FiberCtl* live_next = nullptr;
   };
   struct FreeBlock {
     std::uint32_t offset;
@@ -310,7 +330,28 @@ class Machine {
   void ensure_backing(Node& nd, std::size_t end) const;
 
   FiberCtl* ctl(Fiber* f);
+  /// Control block of the currently executing fiber, or nullptr from engine
+  /// context.  One pointer compare on the hot path: cur_ctl_ is maintained
+  /// around every resume, and the map lookup only backstops foreign fibers
+  /// (a fiber of another Machine, or one driven outside this engine).
+  FiberCtl* current_ctl() const {
+    Fiber* f = Fiber::current();
+    if (f == nullptr) return nullptr;
+    if (cur_ctl_ != nullptr && cur_ctl_->fiber.get() == f) return cur_ctl_;
+    auto it = fibers_.find(f);
+    return it == fibers_.end() ? nullptr
+                               : const_cast<FiberCtl*>(&it->second);
+  }
   void schedule_resume(FiberCtl* c, Time at);
+  /// Trampoline for the engine's typed fiber events (see Engine::
+  /// set_fiber_handler): `payload` is the FiberCtl* scheduled by
+  /// schedule_resume.
+  static void fiber_event(void* machine, void* payload);
+  /// Resume `c` now, maintaining cur_ctl_, and reap it if it finished.
+  void do_resume(FiberCtl* c);
+  void reap(FiberCtl* c);
+  void live_link(FiberCtl* c);
+  void live_unlink(FiberCtl* c);
 
   /// Unwind the calling fiber if its node died.  No-op while an exception
   /// is already in flight (yielding mid-unwind would corrupt the fiber).
@@ -332,8 +373,18 @@ class Machine {
   Rng fault_rng_;
   MachineStats stats_;
   mutable std::vector<Node> node_;
+  // Fiber* -> control block.  unordered_map gives the pointer stability the
+  // engine's typed events and cur_ctl_ rely on; the hot paths never touch
+  // it (current_ctl() caches, typed events carry the FiberCtl* directly).
   std::unordered_map<Fiber*, FiberCtl> fibers_;
-  std::vector<Fiber*> live_;  // spawned and not yet finished
+  FiberCtl* live_head_ = nullptr;  // live fibers, intrusive, spawn order
+  FiberCtl* live_tail_ = nullptr;
+  std::size_t live_count_ = 0;
+  FiberCtl* cur_ctl_ = nullptr;  // control block of the running fiber
+
+  bool fastpath_ = true;  // cfg.host_fastpath minus BFLY_NO_FASTPATH
+  std::uint64_t fiber_resumes_ = 0;
+  std::uint64_t fastpath_charges_ = 0;
 
   bool fault_checks_ = false;  // any fault possible this run
   std::vector<std::uint8_t> node_dead_;

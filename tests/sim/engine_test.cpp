@@ -2,7 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <utility>
 #include <vector>
+
+#include "sim/rng.hpp"
 
 namespace bfly::sim {
 namespace {
@@ -54,6 +60,112 @@ TEST(Engine, StopHaltsTheLoop) {
   e.run();
   EXPECT_EQ(ran, 1);
   EXPECT_FALSE(e.empty());
+}
+
+// Regression for the hand-rolled heap replacing std::priority_queue (whose
+// top() had to be const_cast-moved): equal-time events must dispatch in
+// sequence order even when new same-time events are posted *while* the tie
+// group is already being drained — the pop/push interleaving exercises
+// sift-down immediately followed by sift-up through the same subtree.
+TEST(Engine, EqualTimePostsDuringDispatchKeepSeqOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    e.post_at(5, [&e, &order, i] {
+      order.push_back(i);
+      // Same-time follow-ons, posted mid-drain: they must run after every
+      // earlier-posted t=5 event and in their own posting order.
+      e.post_at(5, [&order, i] { order.push_back(100 + i); });
+    });
+  }
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 100, 101, 102, 103}));
+}
+
+TEST(Engine, HeapOrdersRandomizedTimesDeterministically) {
+  // Shuffled posting times: the heap must replay them in (time, seq) order.
+  Engine e;
+  Rng rng(1234);
+  std::vector<std::pair<Time, int>> posted;
+  std::vector<std::pair<Time, int>> ran;
+  for (int i = 0; i < 500; ++i) {
+    const Time t = rng.below(64);  // heavy tie traffic on purpose
+    posted.emplace_back(t, i);
+    e.post_at(t, [&ran, t, i] { ran.emplace_back(t, i); });
+  }
+  e.run();
+  std::stable_sort(posted.begin(), posted.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  EXPECT_EQ(ran, posted);
+}
+
+TEST(Engine, TypedFiberEventsInterleaveWithClosuresInSeqOrder) {
+  // Fiber events (opaque payload, zero-allocation) and closure events posted
+  // at the same time share one total (time, seq) order.
+  Engine e;
+  std::vector<int> order;
+  e.set_fiber_handler(
+      [](void* ctx, void* payload) {
+        static_cast<std::vector<int>*>(ctx)->push_back(
+            static_cast<int>(reinterpret_cast<std::intptr_t>(payload)));
+      },
+      &order);
+  e.post_fiber_at(7, reinterpret_cast<void*>(std::intptr_t{1}));
+  e.post_at(7, [&order] { order.push_back(2); });
+  e.post_fiber_at(7, reinterpret_cast<void*>(std::intptr_t{3}));
+  e.post_at(3, [&order] { order.push_back(0); });
+  EXPECT_EQ(e.run(), 7u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Engine, NextTimeTracksEarliestPendingEvent) {
+  Engine e;
+  e.post_at(30, [] {});
+  EXPECT_EQ(e.next_time(), 30u);
+  e.post_at(10, [] {});
+  EXPECT_EQ(e.next_time(), 10u);
+  e.post_at(20, [] {});
+  EXPECT_EQ(e.next_time(), 10u);
+  e.run();
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(Engine, StopRequestedVisibleDuringRun) {
+  Engine e;
+  bool seen = false;
+  e.post_at(1, [&] {
+    e.stop();
+    seen = e.stop_requested();
+  });
+  e.run();
+  EXPECT_TRUE(seen);
+  EXPECT_TRUE(e.stop_requested());  // stays set until the next run() starts
+  int ran = 0;
+  e.post_at(2, [&] { ++ran; });
+  e.run();  // clears the flag on entry and dispatches normally
+  EXPECT_EQ(ran, 1);
+  EXPECT_FALSE(e.stop_requested());
+}
+
+TEST(Engine, OutsizedClosuresStillDispatch) {
+  // Captures beyond SmallFn's inline buffer take the heap fallback; the
+  // engine contract (order, values) must not change.
+  Engine e;
+  std::array<std::uint64_t, 16> big{};
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = i + 1;
+  std::uint64_t sum = 0;
+  e.post_at(1, [big, &sum] {
+    for (std::uint64_t v : big) sum += v;
+  });
+  e.run();
+  EXPECT_EQ(sum, 136u);
+}
+
+TEST(Engine, CountsDispatchedEvents) {
+  Engine e;
+  for (int i = 0; i < 5; ++i) e.post_at(i, [] {});
+  e.run();
+  EXPECT_EQ(e.events_dispatched(), 5u);
 }
 
 TEST(Engine, WarpToAdvancesClock) {

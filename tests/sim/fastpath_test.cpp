@@ -1,0 +1,173 @@
+// The charge() switch-free fast path: legality and A/B equivalence at the
+// raw-machine level.  (The app-level determinism suite — Gauss, sorts, SMP,
+// Instant Replay log equality — lives in tests/integration.)
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <tuple>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace bfly::sim {
+namespace {
+
+MachineConfig cfg_fast(std::uint32_t nodes, bool fast) {
+  MachineConfig c = butterfly1(nodes);
+  c.host_fastpath = fast;
+  return c;
+}
+
+TEST(Fastpath, SoloFiberChargesWithoutContextSwitches) {
+  Machine m(cfg_fast(4, true));
+  m.spawn(0, [&] {
+    for (int i = 0; i < 100; ++i) m.charge(10);
+  });
+  m.run();
+  EXPECT_EQ(m.now(), 1000u);
+  const HostPerf hp = m.host_perf();
+  EXPECT_TRUE(hp.fastpath_enabled);
+  EXPECT_EQ(hp.fastpath_charges, 100u);
+  EXPECT_EQ(hp.fiber_resumes, 1u);       // the initial spawn resume only
+  EXPECT_EQ(hp.events_dispatched, 1u);
+}
+
+TEST(Fastpath, DisabledByConfigTakesSlowPath) {
+  Machine m(cfg_fast(4, false));
+  m.spawn(0, [&] {
+    for (int i = 0; i < 100; ++i) m.charge(10);
+  });
+  m.run();
+  EXPECT_EQ(m.now(), 1000u);  // simulated outcome identical
+  const HostPerf hp = m.host_perf();
+  EXPECT_FALSE(hp.fastpath_enabled);
+  EXPECT_EQ(hp.fastpath_charges, 0u);
+  EXPECT_EQ(hp.fiber_resumes, 101u);  // spawn + one per charge
+}
+
+TEST(Fastpath, EnvVarForcesOff) {
+  ASSERT_EQ(setenv("BFLY_NO_FASTPATH", "1", 1), 0);
+  Machine m(cfg_fast(4, true));
+  unsetenv("BFLY_NO_FASTPATH");
+  EXPECT_FALSE(m.fastpath_enabled());
+  m.spawn(0, [&] { m.charge(10); });
+  m.run();
+  EXPECT_EQ(m.host_perf().fastpath_charges, 0u);
+}
+
+TEST(Fastpath, EnvVarZeroMeansOn) {
+  ASSERT_EQ(setenv("BFLY_NO_FASTPATH", "0", 1), 0);
+  Machine m(cfg_fast(4, true));
+  unsetenv("BFLY_NO_FASTPATH");
+  EXPECT_TRUE(m.fastpath_enabled());
+}
+
+TEST(Fastpath, StrictlyEarlierRequired_TiedEventRunsFirst) {
+  // A pending event at exactly the fiber's resume time must win (it holds
+  // the older sequence number), so charge() may not warp over it.
+  Machine m(cfg_fast(4, true));
+  std::vector<int> order;
+  m.engine().post_at(10, [&] { order.push_back(1); });
+  m.spawn(0, [&] {
+    m.charge(10);  // resume would tie with the t=10 closure: slow path
+    order.push_back(2);
+  });
+  m.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(m.host_perf().fastpath_charges, 0u);
+}
+
+TEST(Fastpath, EarlierResumeWarpsOverLaterEvent) {
+  Machine m(cfg_fast(4, true));
+  std::vector<int> order;
+  m.engine().post_at(100, [&] { order.push_back(2); });
+  m.spawn(0, [&] {
+    m.charge(10);  // strictly earlier than t=100: warp, no yield
+    order.push_back(1);
+  });
+  m.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_GE(m.host_perf().fastpath_charges, 1u);
+}
+
+TEST(Fastpath, StopRequestForcesSlowPath) {
+  // A fiber that stops the engine and then charges must actually stop: the
+  // fast path may not warp past a requested stop.
+  auto run_one = [](bool fast) {
+    Machine m(cfg_fast(4, fast));
+    bool resumed_after_stop = false;
+    Fiber* f = m.spawn(0, [&] {
+      m.engine().stop();
+      m.charge(10);
+      resumed_after_stop = true;
+    });
+    m.run();
+    EXPECT_FALSE(resumed_after_stop);
+    EXPECT_FALSE(f->finished());
+    return m.engine().pending();
+  };
+  EXPECT_EQ(run_one(true), run_one(false));
+}
+
+TEST(Fastpath, ObserverAttachDisablesFastPath) {
+  struct NullObserver : MemObserver {
+    void on_access(Fiber*, NodeId, PhysAddr, std::uint32_t, MemOp) override {}
+    void on_spawn(Fiber*, Fiber*) override {}
+    void on_free(PhysAddr, std::size_t) override {}
+    void on_release(Fiber*, std::uint64_t) override {}
+    void on_acquire(Fiber*, std::uint64_t) override {}
+    void on_lock_acquire(Fiber*, std::uint64_t) override {}
+    void on_lock_release(Fiber*, std::uint64_t) override {}
+    void on_label(PhysAddr, std::size_t, std::string) override {}
+  };
+  Machine m(cfg_fast(4, true));
+  NullObserver obs;
+  m.set_observer(&obs);
+  m.spawn(0, [&] { m.charge(10); });
+  m.run();
+  EXPECT_EQ(m.host_perf().fastpath_charges, 0u);
+}
+
+TEST(Fastpath, ContendedWorkloadIdenticalOnAndOff) {
+  // Many fibers hammering one module: interleavings, stats, and final time
+  // must be bit-identical with the fast path on and off.
+  auto run_one = [](bool fast) {
+    Machine m(cfg_fast(16, fast));
+    PhysAddr a = m.alloc(3, 64);
+    for (NodeId n = 0; n < 16; ++n) {
+      m.spawn(n, [&m, a] {
+        for (int i = 0; i < 20; ++i) {
+          (void)m.fetch_add_u32(a, 1);
+          m.charge(700);
+        }
+      });
+    }
+    const Time end = m.run();
+    return std::tuple{end, m.peek<std::uint32_t>(a),
+                      m.stats().total_queue_ns(),
+                      m.stats().total_remote_refs()};
+  };
+  EXPECT_EQ(run_one(true), run_one(false));
+}
+
+TEST(Fastpath, DeadlockDetectionUnaffected) {
+  Machine m(cfg_fast(4, true));
+  m.spawn(0, [&] {
+    m.charge(100);  // fast path
+    m.park();       // nobody will wake us
+  });
+  m.run();
+  EXPECT_TRUE(m.deadlocked());
+  ASSERT_EQ(m.blocked_fibers().size(), 1u);
+}
+
+TEST(Fastpath, SleepUntilUsesFastPath) {
+  Machine m(cfg_fast(4, true));
+  m.spawn(0, [&] { m.sleep_until(5000); });
+  m.run();
+  EXPECT_EQ(m.now(), 5000u);
+  EXPECT_EQ(m.host_perf().fastpath_charges, 1u);
+}
+
+}  // namespace
+}  // namespace bfly::sim

@@ -139,6 +139,46 @@ TEST(Memory, AllocatorReusesFreedBlocks) {
   EXPECT_EQ(a, b);  // first fit re-uses the freed block
 }
 
+TEST(Memory, FreeListChurnStaysBounded) {
+  // Regression: free() used to append blocks without coalescing, so
+  // alloc/free churn at one size grew the free list without bound.
+  Machine m(butterfly1(2));
+  for (int i = 0; i < 1000; ++i) {
+    PhysAddr a = m.alloc(0, 48);
+    m.free(a, 48);
+    ASSERT_LE(m.free_blocks_on(0), 1u) << "iteration " << i;
+  }
+  EXPECT_EQ(m.allocated_on(0), 0u);
+}
+
+TEST(Memory, AdjacentFreeBlocksCoalesce) {
+  Machine m(butterfly1(2));
+  PhysAddr a = m.alloc(0, 64);
+  PhysAddr b = m.alloc(0, 64);
+  PhysAddr c = m.alloc(0, 64);
+  // Free out of order: middle, then both neighbours — every merge direction
+  // (with predecessor, with successor, bridging) is exercised.
+  m.free(b, 64);
+  EXPECT_EQ(m.free_blocks_on(0), 1u);
+  m.free(a, 64);
+  EXPECT_EQ(m.free_blocks_on(0), 1u);  // a merged in front of b
+  m.free(c, 64);
+  EXPECT_EQ(m.free_blocks_on(0), 1u);  // c merged behind a+b
+  // The coalesced block serves an allocation none of the fragments could.
+  PhysAddr big = m.alloc(0, 192);
+  EXPECT_EQ(big, a);
+  EXPECT_EQ(m.free_blocks_on(0), 0u);
+}
+
+TEST(Memory, InterleavedSizesCoalesceAcrossFrees) {
+  Machine m(butterfly1(2));
+  std::vector<PhysAddr> blocks;
+  for (int i = 0; i < 16; ++i) blocks.push_back(m.alloc(0, 32));
+  for (int i = 15; i >= 0; --i) m.free(blocks[i], 32);  // reverse order
+  EXPECT_EQ(m.free_blocks_on(0), 1u);
+  EXPECT_EQ(m.alloc(0, 16 * 32), blocks[0]);
+}
+
 TEST(Memory, AllocatorExhaustionThrows) {
   MachineConfig cfg = butterfly1(2);
   cfg.memory_per_node = 4096;
