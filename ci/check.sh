@@ -37,6 +37,9 @@ ctest --preset default -j "$JOBS"
 step "fault-heavy smoke (tfault + trecovery benches, fast mode)"
 ctest --preset default -L fault-smoke --output-on-failure --verbose
 
+step "chaos smoke (tserving bench: kills + gray failure gates, fast mode)"
+ctest --preset default -L chaos-smoke --output-on-failure --verbose
+
 step "scope smoke (traced Gauss -> Chrome trace -> validator)"
 ./build/tools/trace_gauss build/scope_ci_trace.json build/scope_ci_metrics.json
 ./build/tools/trace_validate build/scope_ci_trace.json

@@ -69,8 +69,14 @@ void BridgeFs::excise_node(sim::NodeId n) {
 void BridgeFs::fail_abandoned(std::uint32_t s) {
   std::uint32_t rid;
   while (k_.dq_try_dequeue_uncharged(servers_[s]->req_dq, &rid)) {
-    reqs_[rid].failed = true;
-    k_.dq_enqueue_uncharged(reqs_[rid].reply_dq, rid);
+    Request& rq = reqs_[rid];
+    if (rq.abandoned) {
+      complete_abandoned(rid);  // nobody is waiting; just reclaim
+      continue;
+    }
+    rq.failed = true;
+    rq.replied = true;
+    k_.dq_enqueue_uncharged(rq.reply_dq, rid);
   }
 }
 
@@ -84,8 +90,14 @@ void BridgeFs::handle_node_death(sim::NodeId n) {
     // Every client is owed exactly one reply per request.  Fail-reply the
     // one being served when the node died, then everything still queued.
     if (sv.current_rid != kNoRid) {
-      reqs_[sv.current_rid].failed = true;
-      k_.dq_enqueue_uncharged(reqs_[sv.current_rid].reply_dq, sv.current_rid);
+      Request& rq = reqs_[sv.current_rid];
+      if (rq.abandoned) {
+        complete_abandoned(sv.current_rid);
+      } else {
+        rq.failed = true;
+        rq.replied = true;
+        k_.dq_enqueue_uncharged(rq.reply_dq, sv.current_rid);
+      }
       sv.current_rid = kNoRid;
     }
     fail_abandoned(s);
@@ -119,7 +131,10 @@ std::vector<std::uint8_t>& BridgeFs::block_ref(std::uint32_t s, FileId f,
 }
 
 void BridgeFs::charge_disk(Server& sv, std::uint32_t lbn) {
-  const sim::Time done = sv.disk.access(m_.now(), lbn);
+  // A gray-failed node is slow all the way down: its disk controller shares
+  // the stretched service window (sim::FaultPlan::slow).
+  const sim::Time done =
+      sv.disk.access(m_.now(), lbn, m_.slow_factor(sv.node));
   m_.charge(done - m_.now());
 }
 
@@ -131,6 +146,13 @@ void BridgeFs::server_loop(std::uint32_t s) {
     // mid-service, the death observer fail-replies exactly this rid.
     sv.current_rid = rid;
     Request& rq = reqs_[rid];
+    if (rq.abandoned) {
+      // Cancelled while queued: the client is gone, skip the disk entirely
+      // (this is what makes a hedge's losing arm cheap).
+      complete_abandoned(rid);
+      sv.current_rid = kNoRid;
+      continue;
+    }
     sim::TraceSpan span(m_, "bridge", "serve",
                         static_cast<std::uint64_t>(rq.op));
     bool stop = false;
@@ -139,14 +161,18 @@ void BridgeFs::server_loop(std::uint32_t s) {
         const std::uint32_t local = rq.index / nservers_;
         charge_disk(sv, rq.file * 65536 + local);
         const auto& blk = block_ref(s, rq.file, local);
-        std::memcpy(rq.rdata, blk.data(), kBlockSize);
+        // The client may have abandoned us during the disk charge and its
+        // buffer may be gone: re-check before every data move.
+        if (!rq.abandoned) std::memcpy(rq.rdata, blk.data(), kBlockSize);
         break;
       }
       case Request::kWrite: {
         const std::uint32_t local = rq.index / nservers_;
         charge_disk(sv, rq.file * 65536 + local);
         auto& blk = block_ref(s, rq.file, local);
-        std::memcpy(blk.data(), rq.wdata, kBlockSize);
+        // An abandoned write does not commit — the deadline passed, the
+        // caller counts it failed, and the replica is repaired by resync.
+        if (!rq.abandoned) std::memcpy(blk.data(), rq.wdata, kBlockSize);
         break;
       }
       case Request::kToolCopy: {
@@ -210,7 +236,17 @@ void BridgeFs::server_loop(std::uint32_t s) {
         stop = true;
         break;
     }
+    if (rq.abandoned) {
+      complete_abandoned(rid);
+      sv.current_rid = kNoRid;
+      if (stop) break;
+      continue;
+    }
     k_.dq_enqueue(rq.reply_dq, rid);
+    // Mark replied only after the charged enqueue completes: if the node
+    // dies mid-enqueue the token was not delivered, and the death observer
+    // must still fail-reply this rid.
+    rq.replied = true;
     sv.current_rid = kNoRid;
     if (stop) break;
   }
@@ -225,14 +261,30 @@ std::uint32_t BridgeFs::local_count(FileId f, std::uint32_t s) const {
 }
 
 void BridgeFs::write_block(FileId f, std::uint32_t index, const void* data) {
+  (void)write_block_for(f, index, data, 0);
+}
+
+void BridgeFs::read_block(FileId f, std::uint32_t index, void* out) {
+  (void)read_block_for(f, index, out, 0);
+}
+
+bool BridgeFs::write_block_for(FileId f, std::uint32_t index, const void* data,
+                               sim::Time budget) {
   const std::uint32_t s = index % nservers_;
   if (!servers_[s]->alive)
     throw chrys::ThrowSignal{chrys::kThrowNodeDead, servers_[s]->node};
   files_[f].nblocks = std::max(files_[f].nblocks, index + 1);
   sim::TraceSpan span(m_, "bridge", "write_block", index);
   m_.charge(kRequestOverhead);
-  // The block travels to the server's node across the switch.
-  m_.access_words(sim::PhysAddr{servers_[s]->node, 0}, kBlockSize / 4 / 8);
+  try {
+    // The block travels to the server's node across the switch.
+    m_.access_words(sim::PhysAddr{servers_[s]->node, 0}, kBlockSize / 4 / 8);
+  } catch (const sim::NodeDeadError&) {
+    // Touching the corpse revealed a silent death; keep the documented
+    // contract (dead stripe throws the Chrysalis signal, not a raw
+    // machine error).
+    throw chrys::ThrowSignal{chrys::kThrowNodeDead, servers_[s]->node};
+  }
   const chrys::Oid reply = k_.make_dual_queue();
   Request rq;
   rq.op = Request::kWrite;
@@ -245,15 +297,27 @@ void BridgeFs::write_block(FileId f, std::uint32_t index, const void* data) {
   // The server may have died while we shipped the request, after its death
   // observer drained the queue; fail-reply our own stranded rid.
   if (!servers_[s]->alive) fail_abandoned(s);
-  (void)k_.dq_dequeue(reply);
+  std::uint32_t tok;
+  if (budget == 0) {
+    (void)k_.dq_dequeue(reply);
+  } else if (!k_.dq_dequeue_for(reply, budget, &tok)) {
+    if (!abandon_request(rid)) {
+      // Still in flight: the bridge owns the slot now, we walk away.
+      release_reply_queue(reply);
+      return false;
+    }
+    (void)k_.dq_try_dequeue_uncharged(reply, &tok);  // reply raced us in
+  }
   const bool failed = reqs_[rid].failed;
   release_request(rid);
   k_.delete_object(reply);
   if (failed)
     throw chrys::ThrowSignal{chrys::kThrowNodeDead, servers_[s]->node};
+  return true;
 }
 
-void BridgeFs::read_block(FileId f, std::uint32_t index, void* out) {
+bool BridgeFs::read_block_for(FileId f, std::uint32_t index, void* out,
+                              sim::Time budget) {
   const std::uint32_t s = index % nservers_;
   if (!servers_[s]->alive)
     throw chrys::ThrowSignal{chrys::kThrowNodeDead, servers_[s]->node};
@@ -269,15 +333,119 @@ void BridgeFs::read_block(FileId f, std::uint32_t index, void* out) {
   const std::uint32_t rid = put_request(std::move(rq));
   k_.dq_enqueue(servers_[s]->req_dq, rid);
   if (!servers_[s]->alive) fail_abandoned(s);
-  (void)k_.dq_dequeue(reply);
+  std::uint32_t tok;
+  if (budget == 0) {
+    (void)k_.dq_dequeue(reply);
+  } else if (!k_.dq_dequeue_for(reply, budget, &tok)) {
+    if (!abandon_request(rid)) {
+      release_reply_queue(reply);
+      return false;
+    }
+    (void)k_.dq_try_dequeue_uncharged(reply, &tok);
+  }
   const bool failed = reqs_[rid].failed;
   release_request(rid);
   if (failed) {
     k_.delete_object(reply);
     throw chrys::ThrowSignal{chrys::kThrowNodeDead, servers_[s]->node};
   }
-  m_.access_words(sim::PhysAddr{servers_[s]->node, 0}, kBlockSize / 4 / 8);
+  try {
+    // The block travels back across the switch.
+    m_.access_words(sim::PhysAddr{servers_[s]->node, 0}, kBlockSize / 4 / 8);
+  } catch (const sim::NodeDeadError&) {
+    // The server died between its reply and our data pull: the block is
+    // gone with the node.  Same documented signal as a dead-at-entry
+    // stripe.
+    k_.delete_object(reply);
+    throw chrys::ThrowSignal{chrys::kThrowNodeDead, servers_[s]->node};
+  }
   k_.delete_object(reply);
+  return true;
+}
+
+std::uint32_t BridgeFs::put_failed(Request rq, chrys::Oid reply_dq) {
+  rq.failed = true;
+  rq.replied = true;
+  rq.reply_dq = reply_dq;
+  const std::uint32_t rid = put_request(std::move(rq));
+  k_.dq_enqueue_uncharged(reply_dq, rid);
+  return rid;
+}
+
+std::uint32_t BridgeFs::submit_read(FileId f, std::uint32_t index, void* out,
+                                    chrys::Oid reply_dq) {
+  const std::uint32_t s = index % nservers_;
+  sim::TraceSpan span(m_, "bridge", "submit_read", index);
+  Request rq;
+  rq.op = Request::kRead;
+  rq.file = f;
+  rq.index = index;
+  rq.rdata = out;
+  rq.reply_dq = reply_dq;
+  m_.charge(kRequestOverhead);
+  if (!servers_[s]->alive) return put_failed(std::move(rq), reply_dq);
+  const std::uint32_t rid = put_request(std::move(rq));
+  k_.dq_enqueue(servers_[s]->req_dq, rid);
+  if (!servers_[s]->alive) fail_abandoned(s);
+  return rid;
+}
+
+std::uint32_t BridgeFs::submit_write(FileId f, std::uint32_t index,
+                                     const void* data, chrys::Oid reply_dq) {
+  const std::uint32_t s = index % nservers_;
+  sim::TraceSpan span(m_, "bridge", "submit_write", index);
+  Request rq;
+  rq.op = Request::kWrite;
+  rq.file = f;
+  rq.index = index;
+  rq.wdata = data;
+  rq.reply_dq = reply_dq;
+  m_.charge(kRequestOverhead);
+  if (!servers_[s]->alive) return put_failed(std::move(rq), reply_dq);
+  files_[f].nblocks = std::max(files_[f].nblocks, index + 1);
+  try {
+    // The block travels to the server's node across the switch.
+    m_.access_words(sim::PhysAddr{servers_[s]->node, 0}, kBlockSize / 4 / 8);
+  } catch (const sim::NodeDeadError&) {
+    // Touching the corpse revealed a silent death before any detector did.
+    return put_failed(std::move(rq), reply_dq);
+  }
+  const std::uint32_t rid = put_request(std::move(rq));
+  k_.dq_enqueue(servers_[s]->req_dq, rid);
+  if (!servers_[s]->alive) fail_abandoned(s);
+  return rid;
+}
+
+bool BridgeFs::abandon_request(std::uint32_t rid) {
+  Request& rq = reqs_[rid];
+  if (rq.replied) return true;  // too late; the token is already out
+  rq.abandoned = true;
+  ++abandoned_on_dq_[rq.reply_dq];
+  return false;
+}
+
+void BridgeFs::release_reply_queue(chrys::Oid dq) {
+  if (abandoned_on_dq_.count(dq) > 0) {
+    dq_deferred_.insert(dq);  // last abandoned completion deletes it
+    return;
+  }
+  k_.delete_object(dq);
+}
+
+void BridgeFs::complete_abandoned(std::uint32_t rid) {
+  const chrys::Oid dq = reqs_[rid].reply_dq;
+  release_request(rid);
+  auto it = abandoned_on_dq_.find(dq);
+  if (it == abandoned_on_dq_.end()) return;
+  if (--it->second == 0) {
+    abandoned_on_dq_.erase(it);
+    if (dq_deferred_.erase(dq) > 0) k_.delete_object(dq);
+  }
+}
+
+std::size_t BridgeFs::queue_depth(std::uint32_t s) const {
+  return k_.dq_depth(servers_[s]->req_dq) +
+         (servers_[s]->current_rid != kNoRid ? 1 : 0);
 }
 
 std::uint32_t BridgeFs::put_request(Request rq) {

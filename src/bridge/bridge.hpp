@@ -20,6 +20,8 @@
 #include <deque>
 #include <functional>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "chrysalis/kernel.hpp"
@@ -40,10 +42,15 @@ class Disk {
   explicit Disk(DiskParams p) : p_(p) {}
 
   /// Completion time of an access to logical block `lbn` issued at `now`.
-  sim::Time access(sim::Time now, std::uint32_t lbn) {
+  /// `stretch` models a gray-failed controller (sim::FaultPlan slow-node
+  /// windows): the whole access takes that many times longer.  Exactly 1.0
+  /// keeps the integer-only arithmetic of a healthy run.
+  sim::Time access(sim::Time now, std::uint32_t lbn, double stretch = 1.0) {
     sim::Time start = std::max(now, busy_until_);
     sim::Time cost = p_.block_transfer_ns;
     if (!(has_pos_ && lbn == last_ + 1)) cost += p_.seek_ns;
+    if (stretch != 1.0)
+      cost = static_cast<sim::Time>(static_cast<double>(cost) * stretch);
     busy_until_ = start + cost;
     last_ = lbn;
     has_pos_ = true;
@@ -108,6 +115,55 @@ class BridgeFs {
   void write_block(FileId f, std::uint32_t index, const void* data);
   void read_block(FileId f, std::uint32_t index, void* out);
 
+  // --- Deadline interface -------------------------------------------------
+  // Same operations with a per-request time budget: when the reply has not
+  // arrived within `budget` the call abandons the request and returns false
+  // instead of blocking forever (today a lost reply could only be rescued
+  // by a node-death suspicion).  budget 0 means wait forever — identical
+  // charge sequence to the plain calls.  A dead-stripe failure still throws
+  // chrys::ThrowSignal{kThrowNodeDead}, exactly like the plain calls.
+  bool write_block_for(FileId f, std::uint32_t index, const void* data,
+                       sim::Time budget);
+  bool read_block_for(FileId f, std::uint32_t index, void* out,
+                      sim::Time budget);
+
+  // --- Asynchronous interface (the serve layer's building block) ----------
+  // submit_* ships the request and returns immediately; the request id is
+  // enqueued on `reply_dq` when served (or fail-replied).  The caller owns
+  // `reply_dq` and the rid slot: after dequeuing the token, inspect
+  // request_failed(rid) and call finish_request(rid).
+  //
+  // A caller that stops waiting calls abandon_request(rid).  If the reply
+  // already arrived it returns true and the caller consumes the token as
+  // usual.  Otherwise the bridge takes ownership of the slot: the server
+  // skips the data transfer when it eventually reaches the request (its
+  // buffers may be gone) and the slot is reclaimed internally.  When the
+  // caller is done with a reply queue it calls release_reply_queue instead
+  // of deleting the Oid directly, so a queue with abandoned requests still
+  // in flight survives until the last one drains.
+
+  /// Submit a block read.  No data-return transfer is charged here; the
+  /// caller charges it after a successful reply (see read_block_for).
+  std::uint32_t submit_read(FileId f, std::uint32_t index, void* out,
+                            chrys::Oid reply_dq);
+  /// Submit a block write (the data ships with the request, charged here).
+  std::uint32_t submit_write(FileId f, std::uint32_t index, const void* data,
+                             chrys::Oid reply_dq);
+  bool request_failed(std::uint32_t rid) const { return reqs_[rid].failed; }
+  void finish_request(std::uint32_t rid) { release_request(rid); }
+  bool abandon_request(std::uint32_t rid);
+  void release_reply_queue(chrys::Oid dq);
+
+  /// Admission-control visibility: requests queued at server `s` plus the
+  /// one being served, host-side and uncharged.
+  std::size_t queue_depth(std::uint32_t s) const;
+  bool server_alive(std::uint32_t s) const { return servers_[s]->alive; }
+  /// Server that stripe `index` of every interleaved file lives on.
+  std::uint32_t server_of(std::uint32_t index) const {
+    return index % nservers_;
+  }
+  sim::NodeId server_node(std::uint32_t s) const { return servers_[s]->node; }
+
   // --- Tool interface: the operation runs on every server in parallel -----
   /// Copy src into dst (same interleaving: entirely server-local).
   void tool_copy(FileId src, FileId dst);
@@ -166,6 +222,8 @@ class BridgeFs {
     void* rdata = nullptr;        // read
     std::uint64_t result = 0;     // tool results
     bool failed = false;          // server died before serving it
+    bool abandoned = false;       // client stopped waiting; skip data moves
+    bool replied = false;         // reply token enqueued (or fail-replied)
     chrys::Oid reply_dq = chrys::kNoObject;
   };
   struct FileMeta {
@@ -198,6 +256,13 @@ class BridgeFs {
   std::uint32_t local_count(FileId f, std::uint32_t s) const;
   std::uint32_t put_request(Request rq);
   void release_request(std::uint32_t rid);
+  /// Reclaim an abandoned request the moment its server-side story ends;
+  /// deletes the reply queue too once the caller released it and no other
+  /// abandoned request still points there.
+  void complete_abandoned(std::uint32_t rid);
+  /// Immediately fail-reply a request whose stripe server is dead, without
+  /// shipping anything (uncharged token so the client loop stays uniform).
+  std::uint32_t put_failed(Request rq, chrys::Oid reply_dq);
 
   chrys::Kernel& k_;
   sim::Machine& m_;
@@ -207,6 +272,10 @@ class BridgeFs {
   std::vector<FileMeta> files_;
   std::deque<Request> reqs_;            // host-side request slots (stable refs)
   std::vector<std::uint32_t> req_free_;
+  // Abandoned-request bookkeeping: in-flight abandoned rids per reply
+  // queue, and queues whose deletion waits on that count reaching zero.
+  std::unordered_map<chrys::Oid, std::uint32_t> abandoned_on_dq_;
+  std::unordered_set<chrys::Oid> dq_deferred_;
   chrys::Oid done_dq_ = chrys::kNoObject;
   std::uint32_t servers_alive_ = 0;
   std::uint32_t servers_lost_ = 0;

@@ -512,19 +512,31 @@ void Kernel::yield() {
 }
 
 void Kernel::delay(sim::Time ns) {
-  // A real delay releases the CPU: other ready processes run meanwhile.
+  // A real delay releases the CPU unconditionally.  Charging the interval
+  // instead when the ready queue happens to be empty looks equivalent but
+  // is not: charges are non-preemptible, so a process that becomes ready
+  // mid-delay (a server woken by an arriving request, a client woken by a
+  // reply) would wait out the sleeper's whole charge.  Periodic sleepers —
+  // heartbeat daemons, open-loop load generators — would make every node
+  // look permanently busy.
   Process& p = self();
-  NodeSched& sc = sched_[p.node_];
-  if (sc.ready.empty()) {
-    m_.charge(ns);
-    return;
-  }
   const sim::Time wake_at = m_.now() + ns;
   p.state_ = Process::State::kBlocked;
   dispatch_next(p.node_);
   // Self-wakeup via a timer event; make_ready handles CPU availability.
-  m_.engine().post_at(wake_at, [this, pp = &p] {
-    if (pp->state_ == Process::State::kBlocked) make_ready(*pp);
+  // Lifetime: look the process up by oid at fire time — it may have exited
+  // (or died with its node) and been reclaimed while the timer was armed.
+  const Oid poid = p.oid();
+  m_.engine().post_at(wake_at, [this, poid] {
+    auto it = objects_.find(poid);
+    if (it == objects_.end()) return;
+    Process& w = *std::get<std::unique_ptr<Process>>(it->second.u);
+    if (w.killed_ || w.state_ != Process::State::kBlocked) return;
+    // A delaying process waits on nothing; if it is blocked on an object,
+    // this timer is stale (the process was woken by a kill/unwind path and
+    // has moved on to a different wait).
+    if (w.waiting_on_ != kNoObject) return;
+    make_ready(w);
   });
   m_.park();
 }

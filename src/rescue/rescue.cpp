@@ -12,6 +12,7 @@ Membership::Membership(chrys::Kernel& k, RescueConfig cfg)
         "nodes get suspected");
   const std::uint32_t n = m_.nodes();
   member_.assign(n, 1);
+  daemon_up_.assign(n, 0);
   members_alive_ = n;
   last_seq_.assign(n, 0);
   last_move_.assign(n, 0);
@@ -54,9 +55,27 @@ void Membership::start() {
                     "hb-watchdog");
 }
 
-void Membership::stop() { stopping_ = true; }
+void Membership::stop() {
+  stopping_ = true;
+  if (!started_) return;
+  // Join the daemons: each one holds a pointer to this object (and the
+  // fibers themselves may outlive the caller's stack frame), so returning
+  // while any can still wake is a use-after-free waiting for a scheduler
+  // slot.  A daemon sleeps at most one period before it sees the flag; a
+  // daemon on a killed node never wakes and must not be waited for.  The
+  // iteration bound turns a join regression into a loud test failure
+  // (leaked daemon) instead of a hang.
+  for (int i = 0; i < 1000; ++i) {
+    bool busy = watchdog_up_ && m_.node_alive(cfg_.monitor_node);
+    for (sim::NodeId n = 0; n < m_.nodes() && !busy; ++n)
+      busy = daemon_up_[n] != 0 && m_.node_alive(n);
+    if (!busy) return;
+    k_.delay(cfg_.heartbeat_period);
+  }
+}
 
 void Membership::daemon_loop(sim::NodeId n) {
+  daemon_up_[n] = 1;
   // Stagger the daemons across the period so the monitor's memory is not
   // hit by every node in the same simulated instant.
   const sim::Time phase =
@@ -71,18 +90,20 @@ void Membership::daemon_loop(sim::NodeId n) {
       // reference — heartbeat traffic costs simulated time.
       m_.write<std::uint32_t>(hb_base_.plus(n * 8), seq);
     } catch (const sim::NodeDeadError&) {
-      return;  // the monitor is gone; nobody is listening
+      break;  // the monitor is gone; nobody is listening
     } catch (const sim::MemoryFaultError&) {
       // A dropped heartbeat is harmless — the next one supersedes it.
     }
     k_.delay(cfg_.heartbeat_period);
   }
+  daemon_up_[n] = 0;
 }
 
 void Membership::watchdog_loop() {
+  watchdog_up_ = true;
   while (!stopping_) {
     k_.delay(cfg_.heartbeat_period);
-    if (stopping_) return;
+    if (stopping_) break;
     for (sim::NodeId n = 0; n < m_.nodes(); ++n) {
       if (!member_[n]) continue;
       // Local charged read of the node's heartbeat word.
@@ -103,6 +124,7 @@ void Membership::watchdog_loop() {
       declare_suspect(n);
     }
   }
+  watchdog_up_ = false;
 }
 
 void Membership::denounce(sim::NodeId n) {

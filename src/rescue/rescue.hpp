@@ -38,6 +38,13 @@
 
 namespace bfly::rescue {
 
+/// The rescue layer's retry engine is the simulator's RetryPolicy (see
+/// sim/fault.hpp): bounded exponential backoff with optional deterministic
+/// jitter.  Aliased here because retry exhaustion is a rescue-layer concept
+/// — it is what graduates into a denounce() — and callers (bfly::serve)
+/// reach it through this namespace.
+using RetryPolicy = sim::RetryPolicy;
+
 struct RescueConfig {
   /// How often each node's daemon refreshes its heartbeat word.
   sim::Time heartbeat_period = 2 * sim::kMillisecond;
@@ -72,8 +79,12 @@ class Membership {
   /// Launch one heartbeat daemon per (live) node plus the watchdog.  Must
   /// be called from a Chrysalis process.
   void start();
-  /// Ask the daemons to exit at their next wakeup (host-side flag; call
-  /// before the main process returns or run() never drains).
+  /// Stop the service and *join* it: flags the daemons, then blocks (must
+  /// be on a Chrysalis process) until every daemon on a live node has
+  /// exited, so no heartbeat fiber can run after this object — or the
+  /// caller's stack frame — is gone.  Daemons on killed nodes never wake
+  /// and are not waited for.  Call before the main process returns or
+  /// run() never drains.
   void stop();
 
   /// Register a callback run when a node is declared dead.  Runs in the
@@ -114,6 +125,8 @@ class Membership {
   sim::PhysAddr epoch_cell_{}; // published epoch, on monitor_node
   bool started_ = false;
   bool stopping_ = false;
+  std::vector<std::uint8_t> daemon_up_;  ///< per-node daemon still running
+  bool watchdog_up_ = false;
   std::vector<std::uint8_t> member_;
   std::uint32_t members_alive_ = 0;
   std::uint64_t epoch_ = 0;

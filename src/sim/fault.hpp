@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "sim/config.hpp"
+#include "sim/rng.hpp"
 #include "sim/time.hpp"
 
 namespace bfly::sim {
@@ -73,12 +74,30 @@ struct RetryPolicy {
   Time base = 50 * kMicrosecond;
   /// Backoff ceiling.
   Time cap = 5 * kMillisecond;
+  /// Jitter fraction in [0, 1): each backoff is drawn uniformly from
+  /// [b*(1-jitter), b] where b is the deterministic schedule.  Zero keeps
+  /// the legacy fixed schedule and draws nothing from the caller's RNG, so
+  /// existing users stay byte-identical.
+  double jitter = 0.0;
+
+  std::uint32_t max_attempts() const { return attempts; }
+  Time backoff_cap() const { return cap; }
 
   /// Backoff to charge after failed attempt number `attempt` (0-based).
   Time backoff(std::uint32_t attempt) const {
     Time b = base;
     for (std::uint32_t i = 0; i < attempt && b < cap; ++i) b *= 2;
     return b < cap ? b : cap;
+  }
+
+  /// Jittered backoff: the fixed schedule spread downward by up to
+  /// `jitter` so concurrent retriers decorrelate instead of stampeding in
+  /// lockstep.  Deterministic given the caller's seeded RNG state.
+  Time backoff_jittered(std::uint32_t attempt, Rng& rng) const {
+    const Time b = backoff(attempt);
+    if (jitter <= 0.0) return b;
+    const double spread = static_cast<double>(b) * jitter;
+    return b - static_cast<Time>(spread * rng.uniform());
   }
 };
 
@@ -95,8 +114,24 @@ struct FaultPlan {
     bool silent = false;
   };
 
+  /// Gray failure: the node answers, but slowly.  Within [from, until) every
+  /// memory-module service on the node (and Bridge's disk service, which
+  /// shares the controller) is stretched by `factor`.  This is the failure
+  /// mode heartbeats cannot see — the node still acks — so it is what
+  /// hedged reads exist to beat.
+  struct SlowNode {
+    NodeId node = 0;
+    Time from = 0;
+    Time until = 0;
+    double factor = 1.0;
+  };
+
   /// Nodes to kill and when.  Kills are permanent for the run.
   std::vector<NodeKill> node_kills;
+
+  /// Slow-node windows.  Validated like kills; windows on the same node
+  /// must not overlap (two factors at one instant would be ambiguous).
+  std::vector<SlowNode> slow_nodes;
 
   /// Probability that one timed single-word reference suffers a transient
   /// memory fault (MemoryFaultError after the time is charged).
@@ -132,6 +167,19 @@ struct FaultPlan {
                    "permanent for the run");
   }
 
+  /// Degrade `node` for [from, until): every module service there takes
+  /// `factor` times as long.  Validated immediately, like kill().
+  FaultPlan& slow(NodeId node, Time from, Time until, double factor) {
+    slow_nodes.push_back(SlowNode{node, from, until, factor});
+    try {
+      validate();
+    } catch (...) {
+      slow_nodes.pop_back();
+      throw;
+    }
+    return *this;
+  }
+
   /// Invariants every kill list must satisfy; Machine re-validates the whole
   /// vector at construction so hand-built lists get the same errors as ones
   /// assembled through kill()/kill_silent().
@@ -148,11 +196,35 @@ struct FaultPlan {
                          std::to_string(k.node) + " (kills are permanent; "
                          "a node can only die once)");
     }
+    for (std::size_t i = 0; i < slow_nodes.size(); ++i) {
+      const SlowNode& s = slow_nodes[i];
+      if (s.factor < 1.0)
+        throw SimError("FaultPlan: slow-node factor " +
+                       std::to_string(s.factor) + " on node " +
+                       std::to_string(s.node) +
+                       " — a gray failure slows a node down, factor >= 1");
+      if (s.from == 0)
+        throw SimError("FaultPlan: slow window on node " +
+                       std::to_string(s.node) +
+                       " starting at Time 0 — the machine must come up "
+                       "healthy; use any nonzero time");
+      if (s.until <= s.from)
+        throw SimError("FaultPlan: empty slow window on node " +
+                       std::to_string(s.node) + " (until must exceed from)");
+      for (std::size_t j = 0; j < i; ++j) {
+        const SlowNode& o = slow_nodes[j];
+        if (o.node == s.node && s.from < o.until && o.from < s.until)
+          throw SimError("FaultPlan: overlapping slow windows on node " +
+                         std::to_string(s.node) +
+                         " — one factor at a time per node");
+      }
+    }
   }
 
   bool any() const {
-    return !node_kills.empty() || mem_fault_prob > 0.0 ||
-           packet_drop_prob > 0.0 || packet_delay_prob > 0.0;
+    return !node_kills.empty() || !slow_nodes.empty() ||
+           mem_fault_prob > 0.0 || packet_drop_prob > 0.0 ||
+           packet_delay_prob > 0.0;
   }
 
  private:

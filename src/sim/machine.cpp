@@ -34,6 +34,11 @@ Machine::Machine(MachineConfig cfg, FaultPlan faults)
       engine_.post_at(k.at,
                       [this, n = k.node, s = k.silent] { do_kill(n, s); });
     }
+    for (const FaultPlan::SlowNode& s : faults_.slow_nodes) {
+      if (s.node >= cfg_.nodes)
+        throw SimError("FaultPlan: bad node in slow window");
+    }
+    has_slow_ = !faults_.slow_nodes.empty();
   }
 }
 
@@ -434,11 +439,24 @@ Time Machine::reference_finish(NodeId req, NodeId home, std::uint32_t words,
   Node& h = node_[home];
   const Time start = std::max(arrive, h.module_busy_until);
   if (queue_ns) *queue_ns = start - arrive;
-  const Time service = static_cast<Time>(words) * cfg_.module_service_ns;
+  Time service = static_cast<Time>(words) * cfg_.module_service_ns;
+  if (has_slow_) {
+    const double f = slow_factor(home);
+    if (f != 1.0)
+      service = static_cast<Time>(static_cast<double>(service) * f);
+  }
   h.module_busy_until = start + service;
   Time finish = start + service;
   if (req != home) finish += fabric_.traversal_ns();  // reply path
   return finish;
+}
+
+double Machine::slow_factor(NodeId n) const {
+  if (!has_slow_) return 1.0;
+  const Time now = engine_.now();
+  for (const FaultPlan::SlowNode& s : faults_.slow_nodes)
+    if (s.node == n && now >= s.from && now < s.until) return s.factor;
+  return 1.0;
 }
 
 void Machine::reference(PhysAddr a, std::uint32_t words, MemOp op) {

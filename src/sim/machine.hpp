@@ -104,6 +104,14 @@ class Machine {
   bool node_alive(NodeId n) const { return !node_dead_[n]; }
   std::uint32_t dead_nodes() const { return dead_nodes_count_; }
 
+  /// Gray-failure stretch for `n`'s memory module at the current simulated
+  /// time: 1.0 when healthy, the plan's factor inside a slow window.  Layers
+  /// that model their own service stages off the memory path (Bridge's disk
+  /// controller) multiply their charges by this so a slow node is slow all
+  /// the way down.  Exact 1.0 (and zero float math) when the plan has no
+  /// slow windows.
+  double slow_factor(NodeId n) const;
+
   /// Schedule `node` to die at absolute simulated time `at` (in addition to
   /// any kills in the plan).  Must be called before run() reaches `at`.
   /// A silent kill skips the crash broadcast (see on_node_crash).
@@ -387,6 +395,7 @@ class Machine {
   std::uint64_t fastpath_charges_ = 0;
 
   bool fault_checks_ = false;  // any fault possible this run
+  bool has_slow_ = false;      // plan carries slow-node windows
   std::vector<std::uint8_t> node_dead_;
   std::uint32_t dead_nodes_count_ = 0;
   struct DeathObserver {

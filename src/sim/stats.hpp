@@ -59,6 +59,14 @@ struct MachineStats {
   std::uint64_t checkpoints_taken = 0;   ///< quiesced checkpoints written
   std::uint64_t restart_count = 0;       ///< runs resumed from a checkpoint
 
+  // Serving-layer accounting (bfly::serve; zero when no ReplicatedFs runs).
+  std::uint64_t serve_retries = 0;         ///< per-request retry attempts
+  std::uint64_t serve_hedges = 0;          ///< hedged second reads issued
+  std::uint64_t serve_hedge_wins = 0;      ///< hedges that beat the primary
+  std::uint64_t serve_sheds = 0;           ///< requests rejected by admission
+  std::uint64_t serve_timeouts = 0;        ///< requests that ran out of budget
+  std::uint64_t serve_rereplications = 0;  ///< blocks re-replicated after loss
+
   explicit MachineStats(std::size_t n = 0) : node(n) {}
 
   void reset() {
@@ -69,6 +77,12 @@ struct MachineStats {
     false_suspects = 0;
     checkpoints_taken = 0;
     restart_count = 0;
+    serve_retries = 0;
+    serve_hedges = 0;
+    serve_hedge_wins = 0;
+    serve_sheds = 0;
+    serve_timeouts = 0;
+    serve_rereplications = 0;
   }
 
   /// Fault + rescue counters as a JSON fragment (no braces), for benches
@@ -80,7 +94,13 @@ struct MachineStats {
         .kv("suspects_declared", suspects_declared)
         .kv("false_suspects", false_suspects)
         .kv("checkpoints_taken", checkpoints_taken)
-        .kv("restart_count", restart_count);
+        .kv("restart_count", restart_count)
+        .kv("serve_retries", serve_retries)
+        .kv("serve_hedges", serve_hedges)
+        .kv("serve_hedge_wins", serve_hedge_wins)
+        .kv("serve_sheds", serve_sheds)
+        .kv("serve_timeouts", serve_timeouts)
+        .kv("serve_rereplications", serve_rereplications);
     return w.take();
   }
 

@@ -402,5 +402,98 @@ TEST(Bridge, StableStoreSurvivesAMachineReboot) {
   }
 }
 
+TEST(BridgeDeadline, BudgetedCallsRoundTripOnAHealthyFs) {
+  with_fs(8, 4, [](chrys::Kernel&, BridgeFs& fs) {
+    const FileId f = fs.create("data");
+    std::vector<std::uint8_t> blk, back(kBlockSize);
+    for (std::uint32_t b = 0; b < 8; ++b) {
+      fill_block(blk, b);
+      ASSERT_TRUE(fs.write_block_for(f, b, blk.data(), sim::kSecond));
+    }
+    for (std::uint32_t b = 0; b < 8; ++b) {
+      ASSERT_TRUE(fs.read_block_for(f, b, back.data(), sim::kSecond));
+      fill_block(blk, b);
+      EXPECT_EQ(back, blk) << "block " << b;
+    }
+  });
+}
+
+TEST(BridgeDeadline, ReadTimesOutOnASilentlyDeadServerInsteadOfHanging) {
+  // Silent kill: no crash broadcast, nobody fail-replies the queue.  Before
+  // the deadline interface this read could only hang until a failure
+  // detector spoke up; now it abandons the request and returns false within
+  // its budget.
+  sim::FaultPlan plan;
+  plan.kill_silent(0, 100 * sim::kMillisecond);
+  Machine m(butterfly1(4), plan);
+  chrys::Kernel k(m);
+  k.create_process(3, [&] {
+    BridgeFs fs(k, 2);
+    const FileId f = fs.create("data");
+    std::vector<std::uint8_t> blk(kBlockSize, 3), back(kBlockSize);
+    fs.write_block(f, 1, blk.data());  // survivor's stripe, for later
+    // A budgeted write train against server 0: the request in flight when
+    // the node goes catatonic at 100 ms gets no reply and no broadcast —
+    // the budget is all that brings the client back.
+    const Time budget = 150 * sim::kMillisecond;
+    bool timed_out = false;
+    Time worst = 0;
+    for (std::uint32_t i = 0; i < 40 && !timed_out; ++i) {
+      const Time t0 = m.now();
+      const int err = k.catch_block([&] {
+        if (!fs.write_block_for(f, (i % 4) * 2, blk.data(), budget))
+          timed_out = true;
+      });
+      worst = std::max(worst, m.now() - t0);
+      // A *new* request against the corpse discovers the death by touching
+      // its memory; only the in-flight one needed the deadline.
+      if (err == chrys::kThrowNodeDead) break;
+    }
+    EXPECT_TRUE(timed_out);
+    EXPECT_LE(worst, budget + 50 * sim::kMillisecond) << "bounded by budget";
+    // The survivor's stripe still answers inside any reasonable budget.
+    EXPECT_TRUE(fs.read_block_for(f, 1, back.data(), sim::kSecond));
+    EXPECT_EQ(back, blk);
+    // A detector's verdict finally lands: the abandoned request parked on
+    // the corpse is reclaimed and shutdown no longer waits on it.
+    fs.excise_node(0);
+    fs.shutdown();
+  });
+  m.run();
+  ASSERT_FALSE(m.deadlocked());
+}
+
+TEST(BridgeDeadline, AbandonedRequestsDoNotStrandTheServerOrTheSlots) {
+  // Time out against a *live but busy* server: the abandoned request is
+  // eventually claimed by the server, which must skip the client's (gone)
+  // buffers, reclaim the slot, and keep serving later requests normally.
+  with_fs(8, 2, [](chrys::Kernel& k, BridgeFs& fs) {
+    const FileId f = fs.create("data");
+    std::vector<std::uint8_t> blk(kBlockSize, 5), back(kBlockSize);
+    for (std::uint32_t b = 0; b < 6; ++b) fs.write_block(f, b, blk.data());
+    // Pile asynchronous reads onto server 0 so a later budgeted read
+    // cannot be served in time.
+    const chrys::Oid dq = k.make_dual_queue();
+    std::vector<std::uint32_t> rids;
+    std::vector<std::vector<std::uint8_t>> bufs(6);
+    for (std::uint32_t i = 0; i < 6; ++i) {
+      bufs[i].assign(kBlockSize, 0);
+      rids.push_back(fs.submit_read(f, 0, bufs[i].data(), dq));
+    }
+    // Seek+transfer is ~26 ms per access: a 1 ms budget must lose.
+    EXPECT_FALSE(fs.read_block_for(f, 0, back.data(), sim::kMillisecond));
+    // Drain the pile; every queued read completes fine.
+    for (std::uint32_t i = 0; i < 6; ++i) {
+      const std::uint32_t rid = k.dq_dequeue(dq);
+      EXPECT_FALSE(fs.request_failed(rid));
+      fs.finish_request(rid);
+    }
+    fs.release_reply_queue(dq);
+    // The abandoned request was served meanwhile without touching `back`.
+    fs.read_block(f, 2, back.data());
+    EXPECT_EQ(back, blk);
+  });
+}
+
 }  // namespace
 }  // namespace bfly::bridge

@@ -157,5 +157,32 @@ TEST(Process, DelayReleasesCpuToOtherProcesses) {
   EXPECT_EQ(order, (std::vector<int>{1, 2}));
 }
 
+TEST(Process, SleeperOnIdleNodeDoesNotDelayMidSleepWakeups) {
+  // A delay taken while the node's ready queue happens to be empty must
+  // still release the CPU: a server woken by a request arriving mid-sleep
+  // runs immediately, it does not wait out the sleeper's nap.  (This was
+  // once a real bug — delay charged the interval on an idle node, and any
+  // periodic sleeper made every mid-sleep wakeup late by up to a period.)
+  Machine m(butterfly1(2));
+  Kernel k(m);
+  const Oid dq = k.make_dual_queue();
+  Time served_at = 0;
+  k.create_process(0, [&] {
+    (void)k.dq_dequeue(dq);  // blocks: not in the ready queue
+    served_at = m.now();
+  });
+  k.create_process(0, [&] {
+    k.delay(50 * sim::kMillisecond);  // ready queue is empty at this point
+  });
+  k.create_process(1, [&] {
+    k.delay(5 * sim::kMillisecond);
+    k.dq_enqueue(dq, 7);  // lands mid-sleep on node 0
+  });
+  m.run();
+  EXPECT_GE(served_at, 5 * sim::kMillisecond);
+  EXPECT_LT(served_at, 10 * sim::kMillisecond);  // not 50: sleeper can't block it
+  EXPECT_FALSE(m.deadlocked());
+}
+
 }  // namespace
 }  // namespace bfly::chrys

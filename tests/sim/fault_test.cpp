@@ -277,5 +277,113 @@ TEST(FaultPlan, BadKillTargetIsRejected) {
   EXPECT_THROW(Machine(butterfly1(4), plan), SimError);
 }
 
+TEST(FaultPlan, SlowWindowsAreValidatedLikeKills) {
+  FaultPlan plan;
+  // Speed-ups, Time-0 starts, empty and overlapping windows are rejected;
+  // the rejected window must not linger in the plan.
+  EXPECT_THROW(plan.slow(1, kMillisecond, 2 * kMillisecond, 0.5), SimError);
+  EXPECT_THROW(plan.slow(1, 0, kMillisecond, 2.0), SimError);
+  EXPECT_THROW(plan.slow(1, 2 * kMillisecond, kMillisecond, 2.0), SimError);
+  EXPECT_TRUE(plan.slow_nodes.empty());
+  plan.slow(1, kMillisecond, 5 * kMillisecond, 4.0);
+  EXPECT_THROW(plan.slow(1, 4 * kMillisecond, 6 * kMillisecond, 2.0),
+               SimError);
+  EXPECT_EQ(plan.slow_nodes.size(), 1u);
+  // Back-to-back windows and other nodes are fine.
+  plan.slow(1, 5 * kMillisecond, 6 * kMillisecond, 2.0);
+  plan.slow(2, kMillisecond, 2 * kMillisecond, 8.0);
+  EXPECT_TRUE(plan.any());
+  // A slow target beyond the machine's node count is caught at build time.
+  FaultPlan bad;
+  bad.slow(9, kMillisecond, 2 * kMillisecond, 2.0);
+  EXPECT_THROW(Machine(butterfly1(4), bad), SimError);
+}
+
+TEST(FaultPlan, SlowNodeStretchesItsMemoryServiceInWindow) {
+  // A remote read against the slowed node's module takes longer inside the
+  // window and reverts to the healthy cost after it closes.
+  auto timed_read = [](FaultPlan plan, Time start) {
+    Machine m(butterfly1(4), plan);
+    const PhysAddr a = m.alloc(1, 64);
+    Time cost = 0;
+    m.spawn(0, [&] {
+      m.charge(start);
+      const Time t0 = m.now();
+      for (int i = 0; i < 32; ++i) (void)m.read<std::uint32_t>(a);
+      cost = m.now() - t0;
+    });
+    m.run();
+    return cost;
+  };
+  FaultPlan slow;
+  slow.slow(1, kMillisecond, 100 * kMillisecond, 16.0);
+  const Time healthy = timed_read(FaultPlan{}, 2 * kMillisecond);
+  const Time in_window = timed_read(slow, 2 * kMillisecond);
+  const Time after = timed_read(slow, 200 * kMillisecond);
+  EXPECT_GT(in_window, healthy);
+  EXPECT_EQ(after, healthy) << "window closed: healthy service again";
+}
+
+TEST(FaultPlan, SlowNodeIsDeterministic) {
+  auto run_once = [] {
+    FaultPlan plan;
+    plan.slow(1, kMillisecond, 50 * kMillisecond, 8.0);
+    Machine m(butterfly1(4), plan);
+    const PhysAddr a = m.alloc(1, 64);
+    m.spawn(0, [&] {
+      for (int i = 0; i < 64; ++i) (void)m.read<std::uint32_t>(a);
+    });
+    return m.run();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(RetryPolicy, FixedScheduleDoublesToCap) {
+  const RetryPolicy p{4, 100, 350, 0.0};
+  EXPECT_EQ(p.max_attempts(), 4u);
+  EXPECT_EQ(p.backoff_cap(), 350);
+  EXPECT_EQ(p.backoff(0), 100);
+  EXPECT_EQ(p.backoff(1), 200);
+  EXPECT_EQ(p.backoff(2), 350);  // capped
+  EXPECT_EQ(p.backoff(3), 350);
+}
+
+TEST(RetryPolicy, ZeroJitterDrawsNothingFromTheRng) {
+  const RetryPolicy p{4, 100, 350, 0.0};
+  Rng rng(42);
+  const std::uint64_t before = rng.next();
+  Rng again(42);
+  EXPECT_EQ(p.backoff_jittered(1, again), p.backoff(1));
+  // The RNG state is untouched: the next draw matches the fresh sequence.
+  EXPECT_EQ(again.next(), before);
+}
+
+TEST(RetryPolicy, JitterSpreadsDownwardWithinBounds) {
+  const RetryPolicy p{6, 1000, 100000, 0.5};
+  Rng rng(7);
+  for (std::uint32_t a = 0; a < 6; ++a) {
+    const Time b = p.backoff(a);
+    for (int i = 0; i < 20; ++i) {
+      const Time j = p.backoff_jittered(a, rng);
+      EXPECT_LE(j, b);
+      EXPECT_GE(j, b - static_cast<Time>(static_cast<double>(b) * 0.5));
+    }
+  }
+}
+
+TEST(RetryPolicy, JitteredScheduleIsReproducibleFromTheSeed) {
+  const RetryPolicy p{6, 1000, 100000, 0.25};
+  Rng a(1234), b(1234);
+  for (std::uint32_t i = 0; i < 6; ++i)
+    EXPECT_EQ(p.backoff_jittered(i, a), p.backoff_jittered(i, b));
+  // A different seed gives a different (but still in-bounds) schedule.
+  Rng c(9999);
+  bool any_diff = false;
+  Rng d(1234);
+  for (std::uint32_t i = 0; i < 6; ++i)
+    if (p.backoff_jittered(i, c) != p.backoff_jittered(i, d)) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
 }  // namespace
 }  // namespace bfly::sim
