@@ -7,17 +7,21 @@
 #   2. fault smoke     — the fault-injection and recovery benches (fast
 #                        mode, fixed seeds) rerun verbosely so a hang or
 #                        crash in the kill/restart paths is easy to read
-#   3. scope smoke     — a traced Gauss run exports a Chrome trace, then
+#   3. sched-fuzz smoke— the moviola deadlock detector rides a reduced
+#                        PCT schedule sweep (10 seeds x 4 workloads); any
+#                        finding, lint or wedge on any seed is a failure
+#   4. scope smoke     — a traced Gauss run exports a Chrome trace, then
 #                        the standalone validator re-checks the file on
 #                        disk (parses, monotone timestamps, balanced B/E)
-#   4. perf smoke      — the host-simulator microbenchmarks at a tiny
+#   5. perf smoke      — the host-simulator microbenchmarks at a tiny
 #                        min-time, printing the BENCH_host_sim.json row.
 #                        NON-GATING: CI machines have wildly variable
 #                        throughput, so a slow run only warns
-#   5. asan preset     — ASan+UBSan build, full ctest suite
-#   6. lint            — clang-tidy over src/ against the compile database
+#   6. asan preset     — ASan+UBSan build, full ctest suite
+#   7. lint            — clang-tidy over src/ against the compile database
 #                        (skips with a notice when clang-tidy isn't installed;
-#                        the `lint` target handles that itself)
+#                        the `lint` target handles that itself); concurrency-*
+#                        findings are promoted to errors via WarningsAsErrors
 #
 # Usage: ci/check.sh [jobs]        (default: nproc)
 set -euo pipefail
@@ -39,6 +43,9 @@ ctest --preset default -L fault-smoke --output-on-failure --verbose
 
 step "chaos smoke (tserving bench: kills + gray failure gates, fast mode)"
 ctest --preset default -L chaos-smoke --output-on-failure --verbose
+
+step "sched-fuzz smoke (moviola detector over PCT schedule seeds)"
+ctest --preset default -L sched-fuzz-smoke --output-on-failure --verbose
 
 step "scope smoke (traced Gauss -> Chrome trace -> validator)"
 ./build/tools/trace_gauss build/scope_ci_trace.json build/scope_ci_metrics.json

@@ -282,6 +282,8 @@ Oid Kernel::create_process(sim::NodeId node, std::function<void()> main,
 
   auto pp = std::make_unique<Process>();
   Process* p = pp.get();
+  if (explore_)
+    p->explore_prio_ = static_cast<std::uint32_t>(explore_rng_.next());
   // A live process holds a reference to itself: it is not reclaimed when
   // its creator is deleted (only its exit releases it).
   const Oid oid = new_object(ObjKind::kProcess, kNoObject);
@@ -326,6 +328,62 @@ Oid Kernel::create_process(sim::NodeId node, std::function<void()> main,
   return oid;
 }
 
+Oid Kernel::process_of(sim::Fiber* f) const {
+  auto it = by_fiber_.find(f);
+  return it == by_fiber_.end() ? kNoObject : it->second->oid();
+}
+
+// --- Schedule exploration -----------------------------------------------------
+
+void Kernel::set_schedule_exploration(std::uint64_t seed,
+                                      std::uint32_t change_points,
+                                      std::uint64_t horizon_steps) {
+  explore_ = true;
+  explore_rng_.reseed(seed);
+  change_steps_.clear();
+  change_cursor_ = 0;
+  for (std::uint32_t i = 0; i < change_points; ++i)
+    change_steps_.push_back(1 + explore_rng_.below(std::max<std::uint64_t>(
+                                    horizon_steps, 1)));
+  std::sort(change_steps_.begin(), change_steps_.end());
+  // Processes created before exploration was enabled keep priority 0 (the
+  // lowest); new processes draw on creation.
+}
+
+void Kernel::maybe_change_priority(Process& p) {
+  ++dispatch_steps_;
+  while (change_cursor_ < change_steps_.size() &&
+         dispatch_steps_ >= change_steps_[change_cursor_]) {
+    p.explore_prio_ = static_cast<std::uint32_t>(explore_rng_.next());
+    ++change_cursor_;
+  }
+}
+
+Oid Kernel::pick_waiter(DualQueueObj& q) {
+  while (!q.waiters.empty()) {
+    std::size_t best = 0;
+    if (explore_) {
+      for (std::size_t i = 1; i < q.waiters.size(); ++i) {
+        // Live waiters only influence the pick; corpses are skipped below
+        // either way.  Ties go to the oldest waiter, like FIFO.
+        if (proc(q.waiters[i]).explore_prio_ >
+            proc(q.waiters[best]).explore_prio_)
+          best = i;
+      }
+    }
+    const Oid w = q.waiters[best];
+    q.waiters.erase(q.waiters.begin() +
+                    static_cast<std::ptrdiff_t>(best));
+    Process& p = proc(w);
+    if (p.killed_ || p.state_ == Process::State::kExited) continue;
+    // A handoff pick is a scheduling decision: it advances the PCT step
+    // counter and can consume a priority-change point, like a dispatch.
+    if (explore_) maybe_change_priority(p);
+    return w;
+  }
+  return kNoObject;
+}
+
 std::vector<Kernel::BlockedInfo> Kernel::blocked_processes() const {
   std::vector<BlockedInfo> out;
   for (const auto& [oid, r] : objects_) {
@@ -333,6 +391,19 @@ std::vector<Kernel::BlockedInfo> Kernel::blocked_processes() const {
     const Process& p = *std::get<std::unique_ptr<Process>>(r.u);
     if (p.state() == Process::State::kBlocked)
       out.push_back(BlockedInfo{p.name(), oid, p.waiting_on()});
+  }
+  return out;
+}
+
+std::string Kernel::sched_snapshot() const {
+  std::string out;
+  for (std::size_t n = 0; n < sched_.size(); ++n) {
+    const NodeSched& ns = sched_[n];
+    if (ns.current == nullptr && ns.ready.empty()) continue;
+    out += "node " + std::to_string(n) + ": current=";
+    out += ns.current != nullptr ? ns.current->name() : std::string("-");
+    for (const Process* p : ns.ready) out += " ready:" + p->name();
+    out += '\n';
   }
   return out;
 }
@@ -377,10 +448,17 @@ void Kernel::dispatch_next(sim::NodeId node) {
     ns.current = nullptr;
     return;
   }
-  ns.current = ns.ready.front();
-  ns.ready.pop_front();
+  std::size_t pick = 0;
+  if (explore_) {
+    // PCT dispatch: highest priority wins, ties to the oldest (FIFO).
+    for (std::size_t i = 1; i < ns.ready.size(); ++i)
+      if (ns.ready[i]->explore_prio_ > ns.ready[pick]->explore_prio_) pick = i;
+  }
+  ns.current = ns.ready[pick];
+  ns.ready.erase(ns.ready.begin() + static_cast<std::ptrdiff_t>(pick));
   ns.current->state_ = Process::State::kRunning;
   ns.current->wakeup_pending_ = false;
+  if (explore_) maybe_change_priority(*ns.current);
   m_.wakeup(ns.current->fiber_);
 }
 
@@ -483,20 +561,17 @@ void Kernel::handle_node_death(sim::NodeId n) {
 
 void Kernel::deliver_or_queue(Oid dq, std::uint32_t datum) {
   DualQueueObj& q = std::get<DualQueueObj>(rec(dq).u);
-  while (!q.waiters.empty()) {
-    Process& w = proc(q.waiters.front());
-    if (w.killed_ || w.state_ == Process::State::kExited) {
-      q.waiters.pop_front();
-      continue;
-    }
-    q.waiters.pop_front();
+  if (const Oid woid = pick_waiter(q); woid != kNoObject) {
+    Process& w = proc(woid);
     w.wait_datum_ = datum;
     w.waiting_on_ = kNoObject;
     w.dq_handoff_from_ = dq;
+    m_.observe_post(sim::chan_of_oid(dq), sim::PostOutcome::kHandoff);
     make_ready(w);
     return;
   }
   // Head, not tail: the datum was logically already dequeued once.
+  m_.observe_post(sim::chan_of_oid(dq), sim::PostOutcome::kQueued);
   q.data.push_front(datum);
 }
 
@@ -508,6 +583,14 @@ void Kernel::yield() {
   p.state_ = Process::State::kReady;
   ns.ready.push_back(&p);
   dispatch_next(p.node_);
+  // Under schedule exploration the dispatcher picks by priority and may
+  // re-pick the yielder itself (FIFO always picks the other process: the
+  // yielder joined at the back).  Its wakeup was dropped — machine wakeups
+  // on a still-running fiber are no-ops — so parking here would sleep
+  // forever on a wakeup that already happened.  Found by sched_fuzz: the
+  // first wedged seed parked Membership::start()'s creation loop this way
+  // and stranded every process behind it.
+  if (ns.current == &p) return;
   m_.park();
 }
 
@@ -561,12 +644,22 @@ void Kernel::event_post(Oid ev, std::uint32_t datum) {
   if (e.waiting) {
     e.waiting = false;
     Process& owner = proc(e.owner);
-    if (owner.killed_) return;  // the waiter died with its node: drop
+    if (owner.killed_) {  // the waiter died with its node: drop
+      m_.observe_post(sim::chan_of_oid(ev), sim::PostOutcome::kDroppedDead);
+      return;
+    }
     owner.wait_datum_ = datum;
     owner.waiting_on_ = kNoObject;
+    m_.observe_post(sim::chan_of_oid(ev), sim::PostOutcome::kHandoff);
     make_ready(owner);
   } else {
-    e.pending = true;  // a second post overwrites: binary semantics
+    // A second post overwrites: binary semantics.  The overwritten datum —
+    // and the wakeup it represented — is gone; moviola classifies a waiter
+    // stuck on an event with overwrite history as a lost wakeup.
+    m_.observe_post(sim::chan_of_oid(ev), e.pending
+                                              ? sim::PostOutcome::kOverwrote
+                                              : sim::PostOutcome::kQueued);
+    e.pending = true;
     e.datum = datum;
   }
 }
@@ -584,7 +677,9 @@ std::uint32_t Kernel::event_wait(Oid ev) {
   }
   e.waiting = true;
   p.waiting_on_ = ev;
+  m_.observe_block(sim::chan_of_oid(ev), sim::WaitKind::kEvent);
   block_self();
+  m_.observe_wake(sim::chan_of_oid(ev), sim::WakeReason::kServed);
   m_.observe_acquire(sim::chan_of_oid(ev));
   return p.wait_datum_;
 }
@@ -613,23 +708,18 @@ void Kernel::dq_enqueue(Oid dq, std::uint32_t datum) {
 void Kernel::dq_enqueue_uncharged(Oid dq, std::uint32_t datum) {
   m_.observe_release(sim::chan_of_oid(dq));
   DualQueueObj& q = std::get<DualQueueObj>(rec(dq).u);
-  while (!q.waiters.empty()) {
-    Process& w = proc(q.waiters.front());
-    if (w.killed_ || w.state_ == Process::State::kExited) {
-      // The waiter died between its node's death and its unwind; skip it
-      // so the datum is not lost on a corpse.
-      q.waiters.pop_front();
-      continue;
-    }
-    q.waiters.pop_front();
+  if (const Oid woid = pick_waiter(q); woid != kNoObject) {
+    Process& w = proc(woid);
     w.wait_datum_ = datum;
     w.waiting_on_ = kNoObject;
     w.dq_handoff_from_ = dq;  // in flight until the dequeue call consumes it
+    m_.observe_post(sim::chan_of_oid(dq), sim::PostOutcome::kHandoff);
     make_ready(w);
     return;
   }
   if (q.capacity != 0 && q.data.size() >= q.capacity)
     throw ThrowSignal{kThrowQueueFull, dq};
+  m_.observe_post(sim::chan_of_oid(dq), sim::PostOutcome::kQueued);
   q.data.push_back(datum);
 }
 
@@ -646,7 +736,9 @@ std::uint32_t Kernel::dq_dequeue(Oid dq) {
   }
   q.waiters.push_back(p.oid());
   p.waiting_on_ = dq;
+  m_.observe_block(sim::chan_of_oid(dq), sim::WaitKind::kDualQueue);
   block_self();
+  m_.observe_wake(sim::chan_of_oid(dq), sim::WakeReason::kServed);
   p.dq_handoff_from_ = kNoObject;  // datum safely in our hands
   m_.observe_acquire(sim::chan_of_oid(dq));
   return p.wait_datum_;
@@ -687,7 +779,10 @@ bool Kernel::dq_dequeue_for(Oid dq, sim::Time timeout, std::uint32_t* out) {
     w.waiting_on_ = kNoObject;
     make_ready(w);
   });
+  m_.observe_block(sim::chan_of_oid(dq), sim::WaitKind::kDualQueue);
   block_self();
+  m_.observe_wake(sim::chan_of_oid(dq), p.timed_out_ ? sim::WakeReason::kTimeout
+                                                     : sim::WakeReason::kServed);
   if (p.timed_out_) return false;
   p.dq_handoff_from_ = kNoObject;  // datum safely in our hands
   m_.observe_acquire(sim::chan_of_oid(dq));

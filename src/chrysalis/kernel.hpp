@@ -70,6 +70,7 @@ class Process {
   bool killed_ = false;          // node died under this process
   bool timed_out_ = false;       // last timed wait expired without data
   std::uint64_t wait_seq_ = 0;   // blocking-wait generation (stale-timer guard)
+  std::uint32_t explore_prio_ = 0;  // PCT priority (schedule exploration)
   std::uint32_t partition_ = 0xffffffffu;  // kWholeMachine
   std::uint32_t sar_block_ = 0;
   std::vector<Oid> segments_;      // segment index -> memory object (or 0)
@@ -126,6 +127,39 @@ class Kernel {
     Oid waiting_on;
   };
   std::vector<BlockedInfo> blocked_processes() const;
+  /// One line per node with a non-idle scheduler: the running process and
+  /// the ready queue, in dispatch order.  Diagnostic companion to
+  /// blocked_processes(): a wedged run is explained by who is blocked plus
+  /// who is ready-but-never-dispatched.
+  std::string sched_snapshot() const;
+  /// The process running `f`'s code, or kNoObject for a non-process fiber
+  /// (moviola maps wait-observer fibers back to kernel objects with this).
+  Oid process_of(sim::Fiber* f) const;
+
+  // --- Schedule exploration (PCT-style; see src/moviola) ---------------------
+  // One seed = one deterministic alternative schedule.  Every process gets
+  // a random priority from a dedicated PRNG; the per-node dispatcher runs
+  // the highest-priority ready process (instead of FIFO) and a dual queue
+  // hands its datum to the highest-priority waiter (instead of the oldest);
+  // at `change_points` pre-drawn dispatch steps the chosen process's
+  // priority is re-drawn, so a single unlucky priority assignment cannot
+  // hide bugs that need a mid-run inversion (the PCT insight: most
+  // order-dependent bugs have small depth d, and k = d-1 change points
+  // suffice).  Exploration never invents schedules the kernel could not
+  // produce — it only re-orders choices that were already untimed ties —
+  // and it draws from its own PRNG, so the machine's seeded behaviour and
+  // Instant Replay recording are unaffected.  Off (the default) leaves
+  // dispatch byte-identical to a kernel built before this hook existed.
+
+  /// Enable perturbed dispatch for this kernel's whole lifetime.
+  /// `horizon_steps` spreads the change points over the expected number of
+  /// dispatch decisions (they are drawn uniformly below it).
+  void set_schedule_exploration(std::uint64_t seed,
+                                std::uint32_t change_points = 8,
+                                std::uint64_t horizon_steps = 1 << 14);
+  bool exploring() const { return explore_; }
+  /// Dispatch decisions taken so far under exploration (diagnostics).
+  std::uint64_t dispatch_steps() const { return dispatch_steps_; }
 
   // --- Software partitioning (Section 3.3: "a local facility for software
   // partitioning (to subdivide a Butterfly into smaller virtual machines)
@@ -293,6 +327,12 @@ class Kernel {
 
   void make_ready(Process& p);
   void dispatch_next(sim::NodeId node);
+  /// Highest-priority live waiter of `q` (exploration), or the oldest
+  /// (FIFO) when exploration is off; kNoObject when none is live.  Pops the
+  /// chosen waiter from q.waiters.
+  Oid pick_waiter(DualQueueObj& q);
+  /// Re-draw `p`'s priority if the current dispatch step is a change point.
+  void maybe_change_priority(Process& p);
   /// Block the calling process; returns when made ready and dispatched.
   void block_self();
   void exit_self();
@@ -315,6 +355,12 @@ class Kernel {
   std::vector<NodeSched> sched_;
   std::vector<std::uint32_t> sars_free_;
   sim::Time template_busy_until_ = 0;  // serialized process-template resource
+  // Schedule exploration (all state untouched when explore_ is false).
+  bool explore_ = false;
+  sim::Rng explore_rng_{0};
+  std::vector<std::uint64_t> change_steps_;  // sorted dispatch-step indices
+  std::size_t change_cursor_ = 0;
+  std::uint64_t dispatch_steps_ = 0;
   std::vector<std::vector<sim::NodeId>> partitions_;
   std::size_t live_processes_ = 0;
   std::size_t killed_processes_ = 0;

@@ -33,6 +33,7 @@ class SpinLock {
       } catch (const sim::MemoryFaultError&) {
       }
       ++spins_;
+      m_.observe_spin(sim::chan_of(cell_));
       m_.charge(probe_interval_);
     }
     ++acquisitions_;
@@ -49,6 +50,7 @@ class SpinLock {
     } catch (const sim::MemoryFaultError&) {
     }
     ++spins_;
+    m_.observe_spin(sim::chan_of(cell_));
     return false;
   }
 

@@ -87,6 +87,11 @@ class Engine {
 
   bool empty() const { return heap_.empty(); }
   std::size_t pending() const { return heap_.size(); }
+  /// Pending *fiber* events (scheduled resumes).  When this reaches zero
+  /// with live fibers remaining, the heap has quiesced to closure events
+  /// (timers, watchdogs) only: no fiber will ever run again unless one of
+  /// those closures wakes it — the trigger for Moviola's deadlock view.
+  std::size_t pending_fiber_events() const { return fiber_events_; }
 
   /// Earliest pending event time.  Only valid when !empty(); the charge()
   /// fast path uses it to prove no event can interleave before a resume.
@@ -121,6 +126,7 @@ class Engine {
   // Binary min-heap over (t, seq).  Sift with moves into a hole: one move
   // per level instead of three, and no self-move at the boundaries.
   void push(Event ev) {
+    if (ev.payload != nullptr) ++fiber_events_;
     heap_.emplace_back();
     std::size_t i = heap_.size() - 1;
     while (i > 0) {
@@ -134,6 +140,7 @@ class Engine {
 
   Event pop_min() {
     Event min = std::move(heap_.front());
+    if (min.payload != nullptr) --fiber_events_;
     Event last = std::move(heap_.back());
     heap_.pop_back();
     if (!heap_.empty()) {
@@ -153,6 +160,7 @@ class Engine {
   }
 
   std::vector<Event> heap_;
+  std::size_t fiber_events_ = 0;
   Time now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t dispatched_ = 0;

@@ -68,7 +68,10 @@ Fiber* Machine::spawn_parked(NodeId node, std::function<void()> body,
   assert(ok);
   (void)ok;
   live_link(&it->second);
-  if (observer_) observer_->on_spawn(Fiber::current(), f);
+  if (observer_) {
+    HookScope h(this);
+    observer_->on_spawn(Fiber::current(), f);
+  }
   return f;
 }
 
@@ -192,12 +195,17 @@ void Machine::charge(Time ns) {
   // post_fiber_at also never burns an engine sequence number, which is
   // unobservable: relative order among the *other* events is unchanged.
   if (fastpath_ && !fault_checks_ && observer_ == nullptr &&
-      trace_ == nullptr && !engine_.stop_requested() &&
+      trace_ == nullptr && wait_observer_ == nullptr &&
+      !engine_.stop_requested() &&
       (engine_.empty() || at < engine_.next_time())) {
     engine_.warp_to(at);
     ++fastpath_charges_;
     return;
   }
+  // A charge from inside an observer hook breaks the uncharged contract
+  // (hooks run only when an observer is attached, which forfeits the fast
+  // path above — so this check is complete here).
+  if (hook_depth_ != 0) ++hook_charges_;
   schedule_resume(c, at);
   Fiber::yield_to_engine();
   if (fault_checks_) check_kill(c);
@@ -397,7 +405,10 @@ PhysAddr Machine::alloc(NodeId node, std::size_t bytes, std::size_t align) {
 
 void Machine::free(PhysAddr addr, std::size_t bytes) {
   if (addr.node >= cfg_.nodes) return;
-  if (observer_) observer_->on_free(addr, bytes);
+  if (observer_) {
+    HookScope h(this);
+    observer_->on_free(addr, bytes);
+  }
   const auto size = static_cast<std::uint32_t>((bytes + 7) & ~std::size_t{7});
   Node& nd = node_[addr.node];
   nd.allocated -= std::min<std::size_t>(nd.allocated, size);

@@ -82,6 +82,24 @@ class Machine {
   /// edges recorded by the synchronization layers.
   bool deadlocked() const { return live_count_ != 0; }
   std::vector<Fiber*> blocked_fibers() const;
+  /// True while `f` has not finished or been reclaimed.  Wait observers
+  /// hold raw Fiber pointers across kill-unwinds (which skip the wake
+  /// hooks); this lets them prune the dead before dereferencing.  A reused
+  /// address can alias a new fiber — fine for diagnosis, as the new
+  /// fiber's name and state replace the old.
+  bool fiber_live(Fiber* f) const { return fibers_.count(f) != 0; }
+
+  /// True when live fibers remain but none has a resume scheduled: the
+  /// event heap has quiesced to closure events (timers, watchdogs) only,
+  /// so no fiber can ever run again unless a timer wakes it.  Meaningful
+  /// from engine context (a posted closure); a running fiber is by
+  /// definition not quiescent.  This is the trigger condition for
+  /// bfly::moviola's deadlock analysis.
+  bool quiescent() const {
+    return live_count_ != 0 && engine_.pending_fiber_events() == 0;
+  }
+  /// Fibers spawned and not yet finished.
+  std::size_t live_fibers() const { return live_count_; }
 
   /// Host-side substrate cost of the run so far (events, switches,
   /// switch-free charges).  Observational; see sim/stats.hpp.
@@ -220,22 +238,85 @@ class Machine {
   /// calling context.  No-ops without an observer; synchronization layers
   /// call these from the fiber performing the operation.
   void observe_release(std::uint64_t chan) {
-    if (observer_) observer_->on_release(Fiber::current(), chan);
+    if (observer_) {
+      HookScope h(this);
+      observer_->on_release(Fiber::current(), chan);
+    }
   }
   void observe_acquire(std::uint64_t chan) {
-    if (observer_) observer_->on_acquire(Fiber::current(), chan);
+    if (observer_) {
+      HookScope h(this);
+      observer_->on_acquire(Fiber::current(), chan);
+    }
   }
   /// Lock-order events for acquisition-graph lints.
   void observe_lock_acquire(std::uint64_t lock) {
-    if (observer_) observer_->on_lock_acquire(Fiber::current(), lock);
+    if (observer_) {
+      HookScope h(this);
+      observer_->on_lock_acquire(Fiber::current(), lock);
+    }
+    if (wait_observer_) {
+      HookScope h(this);
+      wait_observer_->on_hold(Fiber::current(), lock, true);
+    }
   }
   void observe_lock_release(std::uint64_t lock) {
-    if (observer_) observer_->on_lock_release(Fiber::current(), lock);
+    if (observer_) {
+      HookScope h(this);
+      observer_->on_lock_release(Fiber::current(), lock);
+    }
+    if (wait_observer_) {
+      HookScope h(this);
+      wait_observer_->on_hold(Fiber::current(), lock, false);
+    }
   }
   /// Name a range of physical memory for diagnostic reports.
   void label_memory(PhysAddr a, std::size_t bytes, std::string name) {
-    if (observer_) observer_->on_label(a, bytes, std::move(name));
+    if (observer_) {
+      HookScope h(this);
+      observer_->on_label(a, bytes, std::move(name));
+    }
   }
+
+  // --- Wait observation (deadlock analysis; see sim/observe.hpp and
+  // src/moviola).  Same uncharged contract as the hooks above. ---------------
+
+  void set_wait_observer(WaitObserver* o) { wait_observer_ = o; }
+  WaitObserver* wait_observer() const { return wait_observer_; }
+
+  /// The calling fiber is about to block on `chan`.
+  void observe_block(std::uint64_t chan, WaitKind kind) {
+    if (wait_observer_) {
+      HookScope h(this);
+      wait_observer_->on_block(Fiber::current(), chan, kind);
+    }
+  }
+  /// The calling fiber returned from a blocking wait on `chan`.
+  void observe_wake(std::uint64_t chan, WakeReason why) {
+    if (wait_observer_) {
+      HookScope h(this);
+      wait_observer_->on_wake(Fiber::current(), chan, why);
+    }
+  }
+  /// A post to `chan` with the given delivery outcome.
+  void observe_post(std::uint64_t chan, PostOutcome out) {
+    if (wait_observer_) {
+      HookScope h(this);
+      wait_observer_->on_post(Fiber::current(), chan, out);
+    }
+  }
+  /// One failed spin probe on `lock` by the calling fiber.
+  void observe_spin(std::uint64_t lock) {
+    if (wait_observer_) {
+      HookScope h(this);
+      wait_observer_->on_spin(Fiber::current(), lock);
+    }
+  }
+
+  /// Charges issued from inside an observer hook.  The hooks' contract is
+  /// strictly host-side work; a nonzero count means an observer perturbed
+  /// the run it was watching (the blocking-discipline lint reports it).
+  std::uint64_t hook_charges() const { return hook_charges_; }
 
   // --- Tracing (observability; see sim/observe.hpp and src/scope) -------------
   // Same uncharged contract as the observer hooks.  Annotation sites pass
@@ -248,17 +329,22 @@ class Machine {
   /// Open a span on the calling context's track.
   void trace_begin(const char* cat, const char* name, std::uint64_t arg = 0) {
     if (trace_) {
+      HookScope h(this);
       trace_->on_span_begin(Fiber::current(), trace_node(), cat, name, arg);
     }
   }
   /// Close the innermost open span on the calling context's track.
   void trace_end() {
-    if (trace_) trace_->on_span_end(Fiber::current(), trace_node());
+    if (trace_) {
+      HookScope h(this);
+      trace_->on_span_end(Fiber::current(), trace_node());
+    }
   }
   /// A point event on the calling context's track.
   void trace_instant(const char* cat, const char* name,
                      std::uint64_t arg = 0) {
     if (trace_) {
+      HookScope h(this);
       trace_->on_instant(Fiber::current(), trace_node(), cat, name, arg);
     }
   }
@@ -282,6 +368,20 @@ class Machine {
   }
 
  private:
+  /// RAII marker bracketing every observer-hook invocation: charge() counts
+  /// charges issued while one is live (hook_charges_), turning "charged
+  /// work inside an uncharged hook" from a silent heisenbug into a lint.
+  class HookScope {
+   public:
+    explicit HookScope(Machine* m) : m_(m) { ++m_->hook_depth_; }
+    ~HookScope() { --m_->hook_depth_; }
+    HookScope(const HookScope&) = delete;
+    HookScope& operator=(const HookScope&) = delete;
+
+   private:
+    Machine* m_;
+  };
+
   struct FiberCtl {
     std::unique_ptr<Fiber> fiber;
     NodeId node = 0;
@@ -314,8 +414,10 @@ class Machine {
   /// Report one reference to the registered observer (uncharged).
   void observe_access(PhysAddr a, std::uint32_t words, MemOp op,
                       NodeId requester) {
-    if (observer_) observer_->on_access(Fiber::current(), requester, a,
-                                        words, op);
+    if (observer_) {
+      HookScope h(this);
+      observer_->on_access(Fiber::current(), requester, a, words, op);
+    }
   }
   /// Compute completion time of a reference departing now; updates module
   /// occupancy and stats but does not charge.
@@ -325,8 +427,11 @@ class Machine {
   /// sink (uncharged; MemObserver::on_access cannot see queue time).
   void trace_reference(NodeId requester, NodeId home, std::uint32_t words,
                        Time queue_ns, MemOp op) {
-    if (trace_) trace_->on_reference(requester, home, words, queue_ns, op,
-                                     engine_.now());
+    if (trace_) {
+      HookScope h(this);
+      trace_->on_reference(requester, home, words, queue_ns, op,
+                           engine_.now());
+    }
   }
   /// Node of the calling context for trace events (kTraceHostNode when no
   /// fiber is running).
@@ -407,6 +512,9 @@ class Machine {
   std::uint64_t next_observer_id_ = 1;
   MemObserver* observer_ = nullptr;
   TraceSink* trace_ = nullptr;
+  WaitObserver* wait_observer_ = nullptr;
+  int hook_depth_ = 0;               // live HookScopes on this host stack
+  std::uint64_t hook_charges_ = 0;   // charges issued from inside a hook
 };
 
 /// RAII span: begins on construction, ends on destruction — so spans close

@@ -99,6 +99,52 @@ class MemObserver {
   virtual void on_label(PhysAddr a, std::size_t bytes, std::string name) = 0;
 };
 
+// --- Blocking / wait edges (the bfly::moviola layer) ------------------------
+
+/// What kind of object a fiber blocked on.
+enum class WaitKind : std::uint8_t {
+  kEvent,      ///< Chrysalis event (binary semaphore)
+  kDualQueue,  ///< Chrysalis dual queue dequeue
+};
+
+/// How a blocked fiber came back.
+enum class WakeReason : std::uint8_t {
+  kServed,   ///< a post/enqueue delivered a datum
+  kTimeout,  ///< a timed wait expired with no data
+};
+
+/// What happened to a posted datum.
+enum class PostOutcome : std::uint8_t {
+  kHandoff,      ///< delivered straight to a blocked waiter
+  kQueued,       ///< no waiter: queued (dual queue) or left pending (event)
+  kOverwrote,    ///< event already pending: the previous datum is LOST
+  kDroppedDead,  ///< the only candidate waiter died with its node; dropped
+};
+
+/// Host-side observer of blocking synchronization: who waits on what, who
+/// feeds what, who spins on whose lock.  Same uncharged contract as
+/// MemObserver — every callback runs in the context performing the
+/// operation, may not charge simulated time, and costs one pointer test
+/// when absent.  bfly::moviola builds its wait-for graph from these.
+class WaitObserver {
+ public:
+  virtual ~WaitObserver() = default;
+
+  /// `f` is about to block waiting on `chan` (a chan_of_oid channel).
+  virtual void on_block(Fiber* f, std::uint64_t chan, WaitKind kind) = 0;
+  /// `f` returned from a blocking wait on `chan`.
+  virtual void on_wake(Fiber* f, std::uint64_t chan, WakeReason why) = 0;
+  /// A post/enqueue to `chan` by `f` (nullptr from engine/host context).
+  virtual void on_post(Fiber* f, std::uint64_t chan, PostOutcome out) = 0;
+  /// One failed spin-lock probe by `f` on `lock` (a chan_of channel).
+  /// Spinners are runnable, not blocked — a starving spinner shows up as an
+  /// ever-growing probe streak, never as a blocked fiber.
+  virtual void on_spin(Fiber* f, std::uint64_t lock) = 0;
+  /// `f` acquired (`held` true) or released (`held` false) spin lock
+  /// `lock`.  Lets the observer map each spin edge to the current holder.
+  virtual void on_hold(Fiber* f, std::uint64_t lock, bool held) = 0;
+};
+
 /// Pseudo-node id for trace events emitted from engine/host context (no
 /// fiber running).  Real nodes are dense from 0, so the sentinel is safe.
 inline constexpr NodeId kTraceHostNode = 0xffffffffu;
