@@ -191,6 +191,9 @@ RunResult run_serving(const Scenario& sc) {
               case serve::Status::kTimeout: ++r.timeouts; break;
               case serve::Status::kShed: ++r.sheds; break;
               case serve::Status::kNoReplica: ++r.noreplica; break;
+              // This bench's fault plans kill nodes but never cut the
+              // switch, so quorum rejection cannot occur here.
+              case serve::Status::kNoQuorum: ++r.noreplica; break;
             }
           }
           ++workers_done;

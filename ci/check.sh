@@ -7,6 +7,8 @@
 #   2. fault smoke     — the fault-injection and recovery benches (fast
 #                        mode, fixed seeds) rerun verbosely so a hang or
 #                        crash in the kill/restart paths is easy to read
+#      (the chaos and partition smokes rerun the serving and switch-fault
+#       benches the same way: fast mode, fixed seeds, self-gating)
 #   3. sched-fuzz smoke— the moviola deadlock detector rides a reduced
 #                        PCT schedule sweep (10 seeds x 4 workloads); any
 #                        finding, lint or wedge on any seed is a failure
@@ -43,6 +45,9 @@ ctest --preset default -L fault-smoke --output-on-failure --verbose
 
 step "chaos smoke (tserving bench: kills + gray failure gates, fast mode)"
 ctest --preset default -L chaos-smoke --output-on-failure --verbose
+
+step "partition smoke (tpartition bench: dead card + split-brain gates, fast mode)"
+ctest --preset default -L partition-smoke --output-on-failure --verbose
 
 step "sched-fuzz smoke (moviola detector over PCT schedule seeds)"
 ctest --preset default -L sched-fuzz-smoke --output-on-failure --verbose

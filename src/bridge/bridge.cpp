@@ -284,6 +284,10 @@ bool BridgeFs::write_block_for(FileId f, std::uint32_t index, const void* data,
     // contract (dead stripe throws the Chrysalis signal, not a raw
     // machine error).
     throw chrys::ThrowSignal{chrys::kThrowNodeDead, servers_[s]->node};
+  } catch (const sim::NetUnreachableError&) {
+    // The server is cut off, not dead: same signal discipline, distinct
+    // code, so callers can retry after the heal instead of repairing.
+    throw chrys::ThrowSignal{chrys::kThrowNetUnreachable, servers_[s]->node};
   }
   const chrys::Oid reply = k_.make_dual_queue();
   Request rq;
@@ -358,13 +362,20 @@ bool BridgeFs::read_block_for(FileId f, std::uint32_t index, void* out,
     // stripe.
     k_.delete_object(reply);
     throw chrys::ThrowSignal{chrys::kThrowNodeDead, servers_[s]->node};
+  } catch (const sim::NetUnreachableError&) {
+    // A partition opened between the reply and our data pull: the block
+    // survives on the far side, but this read cannot complete.
+    k_.delete_object(reply);
+    throw chrys::ThrowSignal{chrys::kThrowNetUnreachable, servers_[s]->node};
   }
   k_.delete_object(reply);
   return true;
 }
 
-std::uint32_t BridgeFs::put_failed(Request rq, chrys::Oid reply_dq) {
+std::uint32_t BridgeFs::put_failed(Request rq, chrys::Oid reply_dq,
+                                   bool unreachable) {
   rq.failed = true;
+  rq.unreachable = unreachable;
   rq.replied = true;
   rq.reply_dq = reply_dq;
   const std::uint32_t rid = put_request(std::move(rq));
@@ -409,6 +420,10 @@ std::uint32_t BridgeFs::submit_write(FileId f, std::uint32_t index,
   } catch (const sim::NodeDeadError&) {
     // Touching the corpse revealed a silent death before any detector did.
     return put_failed(std::move(rq), reply_dq);
+  } catch (const sim::NetUnreachableError&) {
+    // No path to the server (partition or dead switch hardware): fail the
+    // request but flag it unreachable — the replica is stale, not lost.
+    return put_failed(std::move(rq), reply_dq, /*unreachable=*/true);
   }
   const std::uint32_t rid = put_request(std::move(rq));
   k_.dq_enqueue(servers_[s]->req_dq, rid);

@@ -150,6 +150,13 @@ class BridgeFs {
   std::uint32_t submit_write(FileId f, std::uint32_t index, const void* data,
                              chrys::Oid reply_dq);
   bool request_failed(std::uint32_t rid) const { return reqs_[rid].failed; }
+  /// True when a failed request failed for lack of a network path (the
+  /// server may be alive on the far side of a partition) rather than a
+  /// death.  Callers that repair on failure must not treat these replicas
+  /// as lost — their data comes back when the cut heals.
+  bool request_unreachable(std::uint32_t rid) const {
+    return reqs_[rid].unreachable;
+  }
   void finish_request(std::uint32_t rid) { release_request(rid); }
   bool abandon_request(std::uint32_t rid);
   void release_reply_queue(chrys::Oid dq);
@@ -222,6 +229,7 @@ class BridgeFs {
     void* rdata = nullptr;        // read
     std::uint64_t result = 0;     // tool results
     bool failed = false;          // server died before serving it
+    bool unreachable = false;     // failed because no path, not death
     bool abandoned = false;       // client stopped waiting; skip data moves
     bool replied = false;         // reply token enqueued (or fail-replied)
     chrys::Oid reply_dq = chrys::kNoObject;
@@ -262,7 +270,8 @@ class BridgeFs {
   void complete_abandoned(std::uint32_t rid);
   /// Immediately fail-reply a request whose stripe server is dead, without
   /// shipping anything (uncharged token so the client loop stays uniform).
-  std::uint32_t put_failed(Request rq, chrys::Oid reply_dq);
+  std::uint32_t put_failed(Request rq, chrys::Oid reply_dq,
+                           bool unreachable = false);
 
   chrys::Kernel& k_;
   sim::Machine& m_;

@@ -278,6 +278,12 @@ Oid Kernel::create_process(sim::NodeId node, std::function<void()> main,
       sars_free_[node] += block;
       throw ThrowSignal{kThrowNodeDead, node};
     }
+    // Shipping the template to a node we cannot route to fails the same
+    // way a reference would; the target may be healthy beyond the cut.
+    if (m_.faults_possible() && !m_.reachable(m_.current_node(), node)) {
+      sars_free_[node] += block;
+      throw ThrowSignal{kThrowNetUnreachable, node};
+    }
   }
 
   auto pp = std::make_unique<Process>();
@@ -308,6 +314,8 @@ Oid Kernel::create_process(sim::NodeId node, std::function<void()> main,
     } catch (const ThrowSignal&) {
       p->faulted_ = true;
     } catch (const sim::NodeDeadError&) {
+      p->faulted_ = true;
+    } catch (const sim::NetUnreachableError&) {
       p->faulted_ = true;
     } catch (const sim::MemoryFaultError&) {
       p->faulted_ = true;

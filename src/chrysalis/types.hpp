@@ -57,6 +57,7 @@ enum ThrowCode : int {
   kThrowReplayDiverged = 9,  ///< Instant Replay: execution left the log
   kThrowNodeDead = 10,       ///< operation needed a node that has died
   kThrowBrokenStream = 11,   ///< NET: the stream's writer exited or died
+  kThrowNetUnreachable = 12, ///< no healthy switch path / partition window
   kThrowUser = 100,          ///< first code available to applications
 };
 

@@ -161,6 +161,8 @@ Mesh::Mesh(chrys::Kernel& k, std::uint32_t rows, std::uint32_t cols,
               ++elements_faulted_;
             } catch (const sim::NodeDeadError&) {
               ++elements_faulted_;
+            } catch (const sim::NetUnreachableError&) {
+              ++elements_faulted_;
             } catch (const sim::MemoryFaultError&) {
               ++elements_faulted_;
             }
@@ -172,7 +174,9 @@ Mesh::Mesh(chrys::Kernel& k, std::uint32_t rows, std::uint32_t cols,
           },
           "net-" + std::to_string(ep->row_) + "," + std::to_string(ep->col_));
     } catch (const chrys::ThrowSignal& t) {
-      if (t.code != chrys::kThrowNodeDead) throw;
+      if (t.code != chrys::kThrowNodeDead &&
+          t.code != chrys::kThrowNetUnreachable)
+        throw;
       if (element_active_[i]) element_gone(i);
     }
   }

@@ -12,6 +12,7 @@ Membership::Membership(chrys::Kernel& k, RescueConfig cfg)
         "nodes get suspected");
   const std::uint32_t n = m_.nodes();
   member_.assign(n, 1);
+  unreachable_.assign(n, 0);
   daemon_up_.assign(n, 0);
   members_alive_ = n;
   last_seq_.assign(n, 0);
@@ -39,8 +40,15 @@ void Membership::start() {
       // The node died while its daemon was being built (creation charges
       // real time, and kills land mid-charge).  Same story as dead-before-
       // start: no heartbeat will ever come, the watchdog declares it.
-      if (t.code != chrys::kThrowNodeDead) throw;
-      continue;
+      if (t.code == chrys::kThrowNodeDead) continue;
+      // Starting mid-cut: the daemon template cannot be shipped across an
+      // active partition.  Skip the node rather than aborting the whole
+      // service — the watchdog will park it as suspected_unreachable.  It
+      // has no daemon, so after the heal it shows up as a (repeating)
+      // false suspicion instead of graduating back; restart the service to
+      // reinstall daemons if membership is brought up mid-partition.
+      if (t.code == chrys::kThrowNetUnreachable) continue;
+      throw;
     }
     // Process creation is expensive (a serialized pass over the global
     // template): across a whole machine this loop holds the caller's CPU
@@ -91,6 +99,11 @@ void Membership::daemon_loop(sim::NodeId n) {
       m_.write<std::uint32_t>(hb_base_.plus(n * 8), seq);
     } catch (const sim::NodeDeadError&) {
       break;  // the monitor is gone; nobody is listening
+    } catch (const sim::NetUnreachableError&) {
+      // Partitioned away from the monitor: keep trying.  Each failed
+      // attempt was charged (retries plus backoff), and the first write
+      // that lands after the heal is what graduates this node from
+      // suspected_unreachable back to a full member.
     } catch (const sim::MemoryFaultError&) {
       // A dropped heartbeat is harmless — the next one supersedes it.
     }
@@ -111,14 +124,29 @@ void Membership::watchdog_loop() {
       if (seq != last_seq_[n]) {
         last_seq_[n] = seq;
         last_move_[n] = m_.now();
+        // A heartbeat from a suspected_unreachable node means the path
+        // healed: restore it (with an epoch bump, fencing stale views).
+        if (unreachable_[n]) mark_restored(n);
         continue;
       }
       if (m_.now() - last_move_[n] <= cfg_.suspect_after) continue;
       // Stale.  Check the accusation against ground truth: the detector
       // may be wrong, and a false suspicion must never evict the living.
+      // An alive-but-unreachable node is neither a false suspicion nor a
+      // death: the detector was *right* that heartbeats stopped, but the
+      // fault is in the switch, not the node — park it in
+      // suspected_unreachable instead of excising it.
       if (m_.node_alive(n)) {
-        ++m_.stats().false_suspects;
-        last_move_[n] = m_.now();  // give it a fresh grace period
+        if (m_.reachable(cfg_.monitor_node, n)) {
+          // A flagged node whose path just healed is *expected* to be stale
+          // until its next heartbeat lands — give it a fresh grace period
+          // without booking a false suspicion; the restore happens when the
+          // sequence moves.
+          if (!unreachable_[n]) ++m_.stats().false_suspects;
+          last_move_[n] = m_.now();
+        } else if (!unreachable_[n]) {
+          mark_unreachable(n);
+        }
         continue;
       }
       declare_suspect(n);
@@ -130,7 +158,11 @@ void Membership::watchdog_loop() {
 void Membership::denounce(sim::NodeId n) {
   if (n >= member_.size() || !member_[n]) return;
   if (m_.node_alive(n)) {
-    ++m_.stats().false_suspects;
+    if (m_.reachable(cfg_.monitor_node, n)) {
+      ++m_.stats().false_suspects;
+    } else if (!unreachable_[n]) {
+      mark_unreachable(n);
+    }
     return;
   }
   declare_suspect(n);
@@ -140,14 +172,45 @@ void Membership::declare_suspect(sim::NodeId n) {
   if (!member_[n]) return;
   m_.trace_instant("rescue", "suspect", n);
   member_[n] = 0;
+  if (unreachable_[n]) {
+    // Died while partitioned away: it is a corpse now, not a suspect.
+    unreachable_[n] = 0;
+    --members_unreachable_;
+  }
   --members_alive_;
   ++epoch_;
   ++m_.stats().suspects_declared;
   history_.push_back(Suspicion{n, m_.now(), epoch_});
   // Publish the new view before notifying anyone, so a subscriber that
   // polls epoch_cell() from a task sees a consistent picture.
-  m_.write<std::uint32_t>(epoch_cell_, static_cast<std::uint32_t>(epoch_));
+  publish_epoch();
   for (const auto& s : subs_) s.fn(n);
+}
+
+void Membership::mark_unreachable(sim::NodeId n) {
+  m_.trace_instant("rescue", "unreachable", n);
+  unreachable_[n] = 1;
+  ++members_unreachable_;
+  ++epoch_;  // fence: decisions made under the old view are refusable
+  ++m_.stats().suspects_unreachable;
+  publish_epoch();
+  for (const auto& s : reach_subs_) s.fn(n, true);
+}
+
+void Membership::mark_restored(sim::NodeId n) {
+  m_.trace_instant("rescue", "restored", n);
+  unreachable_[n] = 0;
+  --members_unreachable_;
+  // The epoch bump on restore is the fence in the other direction: the
+  // healed minority re-learns the view before anyone honors its acks.
+  ++epoch_;
+  ++m_.stats().unreachable_restored;
+  publish_epoch();
+  for (const auto& s : reach_subs_) s.fn(n, false);
+}
+
+void Membership::publish_epoch() {
+  m_.write<std::uint32_t>(epoch_cell_, static_cast<std::uint32_t>(epoch_));
 }
 
 std::uint64_t Membership::subscribe(std::function<void(sim::NodeId)> fn) {
@@ -159,6 +222,21 @@ void Membership::unsubscribe(std::uint64_t id) {
   for (std::size_t i = 0; i < subs_.size(); ++i) {
     if (subs_[i].id == id) {
       subs_.erase(subs_.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+std::uint64_t Membership::subscribe_reach(
+    std::function<void(sim::NodeId, bool)> fn) {
+  reach_subs_.push_back(ReachSubscriber{next_sub_, std::move(fn)});
+  return next_sub_++;
+}
+
+void Membership::unsubscribe_reach(std::uint64_t id) {
+  for (std::size_t i = 0; i < reach_subs_.size(); ++i) {
+    if (reach_subs_[i].id == id) {
+      reach_subs_.erase(reach_subs_.begin() + static_cast<std::ptrdiff_t>(i));
       return;
     }
   }

@@ -17,9 +17,16 @@
 //   * a watchdog process on the monitor node scans the words every period
 //     (local charged reads); a node whose word has not moved for
 //     suspect_after simulated time is *suspected*;
-//   * a suspicion against a node that is in fact alive is counted as a
-//     false suspect and otherwise ignored — the detector may be wrong and
-//     must never disturb the living;
+//   * a suspicion against a node that is in fact alive is checked against
+//     the switch: if the monitor can still reach it the accusation is a
+//     *false suspect* and ignored — the detector may be wrong and must
+//     never disturb the living;
+//   * a stale node that is alive but *unreachable* (a partition window or
+//     dead switch hardware between it and the monitor) is not excised: it
+//     enters the suspected_unreachable state — still a member, flagged for
+//     routing-around — and is restored when its heartbeats resume.  Both
+//     transitions bump the epoch, so a healed minority holding a stale
+//     view is fenced: any decision tagged with the old epoch is refusable;
 //   * a confirmed suspicion bumps the membership epoch, appends to the
 //     suspicion history, publishes the new epoch to a shared-memory cell,
 //     and notifies subscribers (wire us::UniformSystem::excise_node,
@@ -93,13 +100,29 @@ class Membership {
   std::uint64_t subscribe(std::function<void(sim::NodeId)> fn);
   void unsubscribe(std::uint64_t id);
 
+  /// Register a callback run on reachability transitions: fn(n, true) when
+  /// `n` enters suspected_unreachable, fn(n, false) when it is restored.
+  /// Runs in the watchdog's (or denouncer's) process context after the
+  /// epoch has been bumped and published.  Returns an id for
+  /// unsubscribe_reach.
+  std::uint64_t subscribe_reach(std::function<void(sim::NodeId, bool)> fn);
+  void unsubscribe_reach(std::uint64_t id);
+
   /// Accuse a node directly (e.g. from a retry-exhaustion hook): checked
   /// against ground truth immediately — a live accusee is a false suspect,
   /// a dead one is declared without waiting for the heartbeat timeout.
   void denounce(sim::NodeId n);
 
-  /// Is the node in the current membership view?
+  /// Is the node in the current membership view?  An unreachable node is
+  /// still a member — partitions are expected to heal; only death excises.
   bool member(sim::NodeId n) const { return n < member_.size() && member_[n]; }
+  /// Is the node in the suspected_unreachable state (alive, a member, but
+  /// the monitor cannot reach it across the switch)?
+  bool unreachable(sim::NodeId n) const {
+    return n < unreachable_.size() && unreachable_[n];
+  }
+  /// Members currently flagged suspected_unreachable.
+  std::uint32_t members_unreachable() const { return members_unreachable_; }
   /// Members remaining in the current view.
   std::uint32_t members_alive() const { return members_alive_; }
   /// Bumped once per declared suspicion.
@@ -117,6 +140,9 @@ class Membership {
   void daemon_loop(sim::NodeId n);
   void watchdog_loop();
   void declare_suspect(sim::NodeId n);
+  void mark_unreachable(sim::NodeId n);
+  void mark_restored(sim::NodeId n);
+  void publish_epoch();
 
   chrys::Kernel& k_;
   sim::Machine& m_;
@@ -128,7 +154,9 @@ class Membership {
   std::vector<std::uint8_t> daemon_up_;  ///< per-node daemon still running
   bool watchdog_up_ = false;
   std::vector<std::uint8_t> member_;
+  std::vector<std::uint8_t> unreachable_;  ///< suspected_unreachable flags
   std::uint32_t members_alive_ = 0;
+  std::uint32_t members_unreachable_ = 0;
   std::uint64_t epoch_ = 0;
   std::vector<Suspicion> history_;
   struct Subscriber {
@@ -136,6 +164,11 @@ class Membership {
     std::function<void(sim::NodeId)> fn;
   };
   std::vector<Subscriber> subs_;
+  struct ReachSubscriber {
+    std::uint64_t id;
+    std::function<void(sim::NodeId, bool)> fn;
+  };
+  std::vector<ReachSubscriber> reach_subs_;
   std::uint64_t next_sub_ = 1;
   // Watchdog bookkeeping (host-side; the charged work is the word reads).
   std::vector<std::uint32_t> last_seq_;

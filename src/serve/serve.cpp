@@ -8,6 +8,7 @@ namespace bfly::serve {
 namespace {
 constexpr std::uint32_t kNoRid = 0xffffffffu;
 constexpr std::uint32_t kStopJob = 0xffffffffu;
+constexpr std::uint32_t kReconcileJob = 0xfffffffeu;
 constexpr std::uint32_t kNoReplicaIdx = 0xffffffffu;
 /// What a shed costs the client: the rejected request's round trip.
 constexpr sim::Time kShedCost = 100 * sim::kMicrosecond;
@@ -42,11 +43,17 @@ ReplicatedFs::ReplicatedFs(chrys::Kernel& k, bridge::BridgeFs& fs,
       m_.on_node_crash([this](sim::NodeId n) { excise_node(n); });
   if (mem_ != nullptr)
     mem_sub_ = mem_->subscribe([this](sim::NodeId n) { excise_node(n); });
+  // Partition tier: when a cut heals, replay the dirty log so the stale
+  // side converges without waiting for a foreground resync().
+  if (m_.faults_possible())
+    heal_observer_ = m_.on_partition_heal(
+        [this](std::size_t) { queue_reconcile(); });
 }
 
 ReplicatedFs::~ReplicatedFs() {
   if (crash_observer_ != 0) m_.remove_crash_observer(crash_observer_);
   if (mem_ != nullptr && mem_sub_ != 0) mem_->unsubscribe(mem_sub_);
+  if (heal_observer_ != 0) m_.remove_heal_observer(heal_observer_);
 }
 
 std::uint64_t ReplicatedFs::mix(std::uint64_t f, std::uint64_t b) {
@@ -158,6 +165,9 @@ Status ReplicatedFs::read(bridge::FileId f, std::uint32_t b, void* out) {
     for (std::uint32_t i = 0; i < r_count; ++i) {
       const std::uint32_t r = (start + attempt + i) % r_count;
       if (!replica_alive(f, b, r)) continue;
+      // Alive but on the far side of a partition (or behind dead switch
+      // hardware): read-any means any *reachable* replica will do.
+      if (!replica_reachable(f, b, r)) continue;
       any_live = true;
       if (primary_r == kNoReplicaIdx) {
         const std::uint32_t s = server_of_replica(f, b, r);
@@ -228,6 +238,10 @@ Status ReplicatedFs::read(bridge::FileId f, std::uint32_t b, void* out) {
           // block died with it.  Treat it exactly like a fail-reply: the
           // other arm (or the next attempt) can still win.
           continue;
+        } catch (const sim::NetUnreachableError&) {
+          // A partition window opened between the reply and the pull.
+          // Same recovery: let the other arm or the next rotation try.
+          continue;
         }
         won = true;
         break;
@@ -274,13 +288,62 @@ Status ReplicatedFs::write(bridge::FileId f, std::uint32_t b,
                         "above the declared capacity");
   sim::TraceSpan span(m_, "serve", "write", b);
   ++counters_.writes;
+  // A write racing a resync_block() scan of the same block can be outvoted
+  // by the replicas read before it landed and silently reverted — an acked
+  // write lost.  Stall until the scan is done; reconciliation is rare and
+  // short, and a stale *read* during it is already allowed by read-any.
+  const std::uint64_t fb =
+      (static_cast<std::uint64_t>(f) << 32) | b;
+  while (resync_busy_.count(fb) != 0) k_.delay(1 * sim::kMillisecond);
   const sim::Time deadline_at = m_.now() + cfg_.deadline;
   if (b >= nlogical_[f]) nlogical_[f] = b + 1;
   const std::uint32_t r_count = cfg_.replicas;
   const chrys::Oid dq = k_.make_dual_queue();
   std::vector<std::uint8_t> need(r_count, 1);
+  // Per-arm fate: dead arms shrink the quorum denominator (their server is
+  // a corpse; repair relocates them), unreachable arms arm the quorum rule
+  // (their server will return; the dirty log reconverges them at heal).
+  std::vector<std::uint8_t> dead_arm(r_count, 0);
+  std::vector<std::uint8_t> unreach_arm(r_count, 0);
+  std::vector<std::uint8_t> committed_arm(r_count, 0);
   std::uint32_t committed = 0;
   bool any_shed_last = false;
+
+  // An ack with any unreachable arm needs commits on a majority of the
+  // non-dead replicas — the side of the split holding fewer than half of a
+  // block's replicas must refuse, or a heal faces two acked histories.
+  // With no unreachable arm the legacy any-commit ack stands unchanged.
+  const auto decide = [&](Status on_none) -> Status {
+    std::uint32_t dead = 0, unreach = 0;
+    for (std::uint32_t r = 0; r < r_count; ++r) {
+      dead += dead_arm[r];
+      unreach += unreach_arm[r];
+    }
+    if (unreach == 0) return committed > 0 ? Status::kOk : on_none;
+    const auto log_dirty = [&](const std::vector<std::uint8_t>& arms) {
+      for (std::uint32_t r = 0; r < r_count; ++r) {
+        if (!arms[r]) continue;
+        if (dirty_.insert(key(f, b, r)).second) {
+          ++counters_.dirty_logged;
+          ++m_.stats().serve_dirty_logged;
+        }
+      }
+    };
+    const std::uint32_t quorum = (r_count - dead) / 2 + 1;
+    if (committed < quorum) {
+      // Refused — but any arm that *did* commit is now a rogue replica
+      // carrying unacked content.  Log it so the heal's majority vote
+      // reverts it; without this a post-heal read-any could surface a
+      // write the client was told failed.
+      if (committed > 0) log_dirty(committed_arm);
+      ++counters_.quorum_rejects;
+      ++m_.stats().serve_quorum_rejects;
+      m_.trace_instant("serve", "no_quorum", b);
+      return Status::kNoQuorum;
+    }
+    log_dirty(unreach_arm);
+    return Status::kOk;
+  };
 
   for (std::uint32_t attempt = 0; attempt < cfg_.retry.max_attempts();
        ++attempt) {
@@ -302,6 +365,15 @@ Status ReplicatedFs::write(bridge::FileId f, std::uint32_t b,
         ++counters_.failed_replicas;
         queue_repair(f, b, r);
         need[r] = 0;
+        dead_arm[r] = 1;
+        continue;
+      }
+      if (!replica_reachable(f, b, r)) {
+        // Alive across a partition: no repair (the replica is not lost)
+        // and no charged attempts against a cut we already know about —
+        // the arm goes to the quorum rule and, on ack, the dirty log.
+        need[r] = 0;
+        unreach_arm[r] = 1;
         continue;
       }
       const std::uint32_t s = server_of_replica(f, b, r);
@@ -336,11 +408,20 @@ Status ReplicatedFs::write(bridge::FileId f, std::uint32_t b,
         outstanding[i] = 0;
         --left;
         if (fs_.request_failed(tok)) {
-          ++counters_.failed_replicas;
-          queue_repair(f, b, rid_rep[i]);
-          need[rid_rep[i]] = 0;  // its server is dead; repair will relocate
+          if (fs_.request_unreachable(tok)) {
+            // The cut opened mid-request: partition fate, not death —
+            // no relocation; reconciliation owns this arm after the heal.
+            need[rid_rep[i]] = 0;
+            unreach_arm[rid_rep[i]] = 1;
+          } else {
+            ++counters_.failed_replicas;
+            queue_repair(f, b, rid_rep[i]);
+            need[rid_rep[i]] = 0;  // its server is dead; repair relocates
+            dead_arm[rid_rep[i]] = 1;
+          }
         } else {
           need[rid_rep[i]] = 0;
+          committed_arm[rid_rep[i]] = 1;
           ++committed;
         }
         fs_.finish_request(tok);
@@ -355,8 +436,9 @@ Status ReplicatedFs::write(bridge::FileId f, std::uint32_t b,
       m_.trace_instant("serve", "timeout", b);
       fs_.release_reply_queue(dq);
       // Partial success still serves readers; abandoned arms may or may
-      // not have committed — resync() is the converger either way.
-      return committed > 0 ? Status::kOk : Status::kTimeout;
+      // not have committed — resync() is the converger either way.  Under
+      // a partition the quorum rule overrides: no minority-side acks.
+      return decide(Status::kTimeout);
     }
     bool done = true;
     for (std::uint32_t r = 0; r < r_count; ++r)
@@ -364,8 +446,7 @@ Status ReplicatedFs::write(bridge::FileId f, std::uint32_t b,
     if (done) break;
   }
   fs_.release_reply_queue(dq);
-  if (committed > 0) return Status::kOk;
-  return any_shed_last ? Status::kShed : Status::kNoReplica;
+  return decide(any_shed_last ? Status::kShed : Status::kNoReplica);
 }
 
 // --- Excision & repair ----------------------------------------------------
@@ -426,10 +507,54 @@ void ReplicatedFs::stop_repair() {
     k_.delay(1 * sim::kMillisecond);
 }
 
+void ReplicatedFs::queue_reconcile() {
+  if (dirty_.empty() || reconcile_queued_) return;
+  reconcile_queued_ = true;
+  ++pending_repairs_;
+  // Uncharged: heal observers fire from engine context, not a process.
+  k_.dq_enqueue_uncharged(repair_dq_, kReconcileJob);
+}
+
+void ReplicatedFs::reconcile() {
+  // Sorted keys, one resync_block per distinct (file, block): the replay
+  // order is a pure function of the log's contents, so Instant Replay
+  // holds across the heal.
+  std::vector<std::uint64_t> keys(dirty_.begin(), dirty_.end());
+  std::sort(keys.begin(), keys.end());
+  for (std::size_t i = 0; i < keys.size();) {
+    const std::uint64_t fb = keys[i] >> 8;
+    std::size_t end = i;
+    while (end < keys.size() && (keys[end] >> 8) == fb) ++end;
+    const auto f = static_cast<bridge::FileId>(fb >> 32);
+    const auto b = static_cast<std::uint32_t>(fb & 0xffffffffu);
+    bool healed = true;
+    try {
+      resync_block(f, b);
+    } catch (const chrys::ThrowSignal&) {
+      // A server died (or a new cut opened) mid-reconcile: keep this
+      // block's keys dirty; a later heal or foreground resync converges.
+      healed = false;
+    }
+    if (healed) {
+      for (std::size_t kki = i; kki < end; ++kki) dirty_.erase(keys[kki]);
+      ++counters_.reconciled;
+      ++m_.stats().serve_reconciled;
+      m_.trace_instant("serve", "reconcile", b);
+    }
+    i = end;
+  }
+}
+
 void ReplicatedFs::repair_loop() {
   while (true) {
     const std::uint32_t j = k_.dq_dequeue(repair_dq_);
     if (j == kStopJob) break;
+    if (j == kReconcileJob) {
+      reconcile_queued_ = false;
+      reconcile();
+      --pending_repairs_;
+      continue;
+    }
     RepairJob job = repair_jobs_[j];
     repair_free_.push_back(j);
     bool settled = false;
@@ -519,57 +644,72 @@ std::uint32_t ReplicatedFs::live_replicas(bridge::FileId f,
   return n;
 }
 
-std::uint32_t ReplicatedFs::resync(bridge::FileId f) {
-  sim::TraceSpan span(m_, "serve", "resync", f);
+std::uint32_t ReplicatedFs::resync_block(bridge::FileId f, std::uint32_t b) {
+  // Fence concurrent writers off this block for the whole scan-vote-rewrite
+  // pass (see the stall in write()); the guard survives the throws the
+  // per-replica try/catches below can let escape.
+  const std::uint64_t fb = (static_cast<std::uint64_t>(f) << 32) | b;
+  struct BusyGuard {
+    std::unordered_set<std::uint64_t>& set;
+    std::uint64_t key;
+    ~BusyGuard() { set.erase(key); }
+  } guard{resync_busy_, fb};
+  resync_busy_.insert(fb);
   const std::uint32_t r_count = cfg_.replicas;
   std::uint32_t rewrites = 0;
   std::vector<std::vector<std::uint8_t>> copy(r_count);
-  for (std::uint32_t b = 0; b < nlogical_[f]; ++b) {
-    std::vector<std::uint8_t> okr(r_count, 0);
-    std::uint32_t have = 0;
-    for (std::uint32_t r = 0; r < r_count; ++r) {
-      copy[r].assign(bridge::kBlockSize, 0);
-      if (!replica_alive(f, b, r)) continue;
-      try {
-        if (fs_.read_block_for(f, phys_index(f, b, r), copy[r].data(),
-                               cfg_.deadline)) {
-          okr[r] = 1;
-          ++have;
-        }
-      } catch (const chrys::ThrowSignal&) {
+  std::vector<std::uint8_t> okr(r_count, 0);
+  std::uint32_t have = 0;
+  for (std::uint32_t r = 0; r < r_count; ++r) {
+    copy[r].assign(bridge::kBlockSize, 0);
+    if (!replica_alive(f, b, r)) continue;
+    try {
+      if (fs_.read_block_for(f, phys_index(f, b, r), copy[r].data(),
+                             cfg_.deadline)) {
+        okr[r] = 1;
+        ++have;
       }
-    }
-    if (have == 0) {
-      ++counters_.lost_blocks;
-      continue;
-    }
-    // Majority content vote; ties break to the lowest replica index.
-    std::uint32_t best = kNoReplicaIdx;
-    std::uint32_t best_votes = 0;
-    for (std::uint32_t r = 0; r < r_count; ++r) {
-      if (!okr[r]) continue;
-      std::uint32_t votes = 0;
-      for (std::uint32_t r2 = 0; r2 < r_count; ++r2)
-        if (okr[r2] && copy[r2] == copy[r]) ++votes;
-      if (votes > best_votes) {
-        best_votes = votes;
-        best = r;
-      }
-    }
-    for (std::uint32_t r = 0; r < r_count; ++r) {
-      if (okr[r] && copy[r] == copy[best]) continue;
-      if (!replica_alive(f, b, r)) {
-        queue_repair(f, b, r);  // relocation is the background path
-        continue;
-      }
-      try {
-        if (fs_.write_block_for(f, phys_index(f, b, r), copy[best].data(),
-                                cfg_.deadline))
-          ++rewrites;
-      } catch (const chrys::ThrowSignal&) {
-      }
+    } catch (const chrys::ThrowSignal&) {
     }
   }
+  if (have == 0) {
+    ++counters_.lost_blocks;
+    return 0;
+  }
+  // Majority content vote; ties break to the lowest replica index.
+  std::uint32_t best = kNoReplicaIdx;
+  std::uint32_t best_votes = 0;
+  for (std::uint32_t r = 0; r < r_count; ++r) {
+    if (!okr[r]) continue;
+    std::uint32_t votes = 0;
+    for (std::uint32_t r2 = 0; r2 < r_count; ++r2)
+      if (okr[r2] && copy[r2] == copy[r]) ++votes;
+    if (votes > best_votes) {
+      best_votes = votes;
+      best = r;
+    }
+  }
+  for (std::uint32_t r = 0; r < r_count; ++r) {
+    if (okr[r] && copy[r] == copy[best]) continue;
+    if (!replica_alive(f, b, r)) {
+      queue_repair(f, b, r);  // relocation is the background path
+      continue;
+    }
+    try {
+      if (fs_.write_block_for(f, phys_index(f, b, r), copy[best].data(),
+                              cfg_.deadline))
+        ++rewrites;
+    } catch (const chrys::ThrowSignal&) {
+    }
+  }
+  return rewrites;
+}
+
+std::uint32_t ReplicatedFs::resync(bridge::FileId f) {
+  sim::TraceSpan span(m_, "serve", "resync", f);
+  std::uint32_t rewrites = 0;
+  for (std::uint32_t b = 0; b < nlogical_[f]; ++b)
+    rewrites += resync_block(f, b);
   return rewrites;
 }
 

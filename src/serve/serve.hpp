@@ -29,6 +29,17 @@
 //     queue_limit sheds the request (reject-with-backpressure) instead of
 //     piling on, so offered load past saturation degrades p99 instead of
 //     collapsing goodput.
+//   * Partition tolerance: replicas that are alive but *unreachable* (a
+//     FaultPlan partition window, or all switch paths crossing dead cards)
+//     are routed around, not repaired — the node is not a corpse and its
+//     data will return.  Write-all degrades to majority-quorum: with any
+//     unreachable arm, an ack requires commits on a majority of the
+//     non-dead replicas, so a client on the minority side of a split gets
+//     kNoQuorum instead of a split-brain ack.  Every ack taken with an
+//     unreachable arm logs that arm in a dirty log; when the machine's
+//     partition heals, the repair worker replays the log through
+//     resync_block()'s majority vote, converging the stale side.  With no
+//     unreachable arms the legacy any-commit ack is unchanged.
 //
 // Everything is driven by the config's seeded PRNG plus the deterministic
 // engine, so a serving run — retries, hedges, sheds and all — is a pure
@@ -81,6 +92,7 @@ enum class Status {
   kTimeout,    ///< deadline budget exhausted
   kShed,       ///< retries exhausted, every candidate was shedding load
   kNoReplica,  ///< retries exhausted, no live replica could serve
+  kNoQuorum,   ///< partition: a majority of non-dead replicas is unreachable
 };
 
 /// Host-side counters mirrored into sim::MachineStats (serve_* fields) so
@@ -96,6 +108,9 @@ struct ServeCounters {
   std::uint64_t rereplications = 0;
   std::uint64_t failed_replicas = 0;  ///< write arms lost to dead servers
   std::uint64_t lost_blocks = 0;      ///< repairs with no surviving replica
+  std::uint64_t quorum_rejects = 0;   ///< writes refused on the minority side
+  std::uint64_t dirty_logged = 0;     ///< replica arms logged for heal-time fix
+  std::uint64_t reconciled = 0;       ///< blocks re-converged after a heal
 };
 
 class ReplicatedFs {
@@ -148,9 +163,25 @@ class ReplicatedFs {
   /// replica's server was dead are stale there until resync.
   std::uint32_t resync(bridge::FileId f);
 
+  /// One block of resync(): read every live replica, majority-vote the
+  /// canonical content (ties to the lowest replica), rewrite divergent
+  /// replicas.  Returns replicas rewritten.  This is also the heal-time
+  /// reconciliation primitive the dirty log is replayed through.
+  std::uint32_t resync_block(bridge::FileId f, std::uint32_t b);
+
+  /// Dirty-log entries awaiting heal-time reconciliation (for tests).
+  std::size_t dirty_blocks() const { return dirty_.size(); }
+
   const ServeCounters& counters() const { return counters_; }
   /// Live replicas of block b (for tests asserting convergence to N).
   std::uint32_t live_replicas(bridge::FileId f, std::uint32_t b) const;
+  /// Server index holding replica r of (f, b), redirects applied — lets
+  /// benches and tests compute which side of a partition a block's
+  /// majority lands on.
+  std::uint32_t replica_server(bridge::FileId f, std::uint32_t b,
+                               std::uint32_t r) const {
+    return server_of_replica(f, b, r);
+  }
 
  private:
   struct RepairJob {
@@ -178,12 +209,24 @@ class ReplicatedFs {
                      std::uint32_t r) const {
     return fs_.server_alive(server_of_replica(f, b, r));
   }
+  /// Alive *and* the switch can carry a reference from the calling
+  /// process's node to the replica's server.  Must run in process context.
+  bool replica_reachable(bridge::FileId f, std::uint32_t b,
+                         std::uint32_t r) const {
+    const std::uint32_t s = server_of_replica(f, b, r);
+    return fs_.server_alive(s) &&
+           m_.reachable(m_.current_node(), fs_.server_node(s));
+  }
   /// Record a successful read latency and return the current hedge
   /// threshold estimate.
   void record_latency(sim::Time t);
   sim::Time hedge_threshold() const;
   void queue_repairs_for_node(sim::NodeId n);
   void queue_repair(bridge::FileId f, std::uint32_t b, std::uint32_t r);
+  /// Hand the dirty log to the repair worker (idempotent while queued).
+  void queue_reconcile();
+  /// Replay the dirty log through resync_block(), oldest key first.
+  void reconcile();
   void repair_loop();
   /// Perform one repair job; true if the block is back to full strength or
   /// the job is moot, false if it should be retried later.
@@ -204,6 +247,14 @@ class ReplicatedFs {
   std::vector<std::uint32_t> repair_next_;  // per file: next repair slot
   // (f,b,r) -> physical index, for replicas moved by repair.
   std::unordered_map<std::uint64_t, std::uint32_t> redirect_;
+  // (f,b,r) keys acked while the arm was unreachable: the heal-time
+  // reconciliation work list.  Replayed in sorted-key order so the
+  // reconcile pass is deterministic (Instant Replay holds).
+  std::unordered_set<std::uint64_t> dirty_;
+  // Blocks (f<<32|b) a resync_block() is scanning right now.  A write
+  // landing mid-scan could be outvoted by two stale replicas and reverted
+  // after its ack; writers stall until the scan is over instead.
+  std::unordered_set<std::uint64_t> resync_busy_;
 
   // Latency ring for the hedge quantile estimate.
   std::vector<sim::Time> lat_ring_;
@@ -225,9 +276,12 @@ class ReplicatedFs {
   // failure detector both report loud kills; excise once).
   std::vector<std::uint8_t> excised_;
 
+  bool reconcile_queued_ = false;
+
   ServeCounters counters_;
   std::uint64_t crash_observer_ = 0;
   std::uint64_t mem_sub_ = 0;
+  std::uint64_t heal_observer_ = 0;
 };
 
 }  // namespace bfly::serve

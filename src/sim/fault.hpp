@@ -11,7 +11,12 @@
 //   * inject transient memory faults (parity errors) on timed references
 //     with a configurable probability;
 //   * drop or delay switch packets, modelled as extra latency (a dropped
-//     packet is retried by the PNC after a timeout).
+//     packet is retried by the PNC after a timeout, up to max_drop_retries);
+//   * kill a switch card or backplane link at time T — routes detour through
+//     the redundant column for one extra hop, and references with no healthy
+//     path raise NetUnreachableError;
+//   * partition the machine into two sides for [start, heal) — cross-cut
+//     references raise NetUnreachableError until the cut heals.
 //
 // Everything is driven by the plan's own seeded RNG, so a run remains a
 // pure function of (config, plan, program) and Instant Replay determinism
@@ -46,6 +51,35 @@ class NodeDeadError : public SimError {
 
  private:
   NodeId node_;
+};
+
+/// A timed reference could not be routed: every path between requester and
+/// home node is severed (dead switch cards/links on all candidate columns,
+/// a partition window, or the PNC exhausting its drop-retry budget).  The
+/// target node itself may be perfectly healthy — this is the network's
+/// failure, distinct from NodeDeadError — so layers above should treat the
+/// peer as *unreachable* (may come back) rather than dead (never will).
+/// The PNC's futile retries are charged before the throw.
+class NetUnreachableError : public SimError {
+ public:
+  NetUnreachableError(NodeId src, NodeId dst, const std::string& why,
+                      Time wasted = 0)
+      : SimError("node " + std::to_string(dst) + " unreachable from " +
+                 std::to_string(src) + " (" + why + ")"),
+        src_(src),
+        dst_(dst),
+        wasted_(wasted) {}
+  NodeId src() const { return src_; }
+  /// The unreachable peer (symmetric with NodeDeadError::node()).
+  NodeId node() const { return dst_; }
+  /// Time the PNC burned on futile retries; the machine charges it to the
+  /// requester before the error surfaces.
+  Time wasted() const { return wasted_; }
+
+ private:
+  NodeId src_;
+  NodeId dst_;
+  Time wasted_;
 };
 
 /// A timed reference suffered a transient (parity-style) memory fault.  The
@@ -126,8 +160,47 @@ struct FaultPlan {
     double factor = 1.0;
   };
 
+  /// A switch card (one 4x4 crossbar) dies at `at` and stays dead for the
+  /// run — the fault domain real Butterflies shipped an extra switch column
+  /// to survive.  Card `card` of stage `stage` owns output wires
+  /// [card*4, card*4+4) of that stage.  Alternate-path routing detours
+  /// around a dead card in any non-final stage for +1 hop; a dead
+  /// final-stage card severs its four destination nodes (the last column
+  /// is wired straight into the memory modules).
+  struct CardFail {
+    std::uint32_t stage = 0;
+    std::uint32_t card = 0;
+    Time at = 0;
+  };
+
+  /// A single output wire (backplane link) of a stage dies at `at`.  Finer
+  /// grain than a card: only routes crossing that wire detour.
+  struct LinkFail {
+    std::uint32_t stage = 0;
+    std::uint32_t link = 0;
+    Time at = 0;
+  };
+
+  /// A clean bisection of the machine for [start, heal): every reference
+  /// between a node in side_a and a node in side_b raises
+  /// NetUnreachableError (after the PNC's charged retry budget).  Nodes on
+  /// neither side keep full connectivity to both.  Unlike kills, a
+  /// partition heals: at `heal` cross-cut traffic flows again and
+  /// Machine::on_partition_heal observers fire.
+  struct Partition {
+    std::vector<NodeId> side_a;
+    std::vector<NodeId> side_b;
+    Time start = 0;
+    Time heal = 0;
+  };
+
   /// Nodes to kill and when.  Kills are permanent for the run.
   std::vector<NodeKill> node_kills;
+
+  /// Persistent switch-card / link deaths and partition windows.
+  std::vector<CardFail> card_fails;
+  std::vector<LinkFail> link_fails;
+  std::vector<Partition> partitions;
 
   /// Slow-node windows.  Validated like kills; windows on the same node
   /// must not overlap (two factors at one instant would be ambiguous).
@@ -141,6 +214,13 @@ struct FaultPlan {
   /// the PNC's retry: the packet re-enters the network after drop_retry_ns.
   double packet_drop_prob = 0.0;
   Time drop_retry_ns = 100 * kMicrosecond;
+
+  /// PNC retry budget per packet: after this many consecutive drops the
+  /// reference fails with NetUnreachableError instead of retrying forever
+  /// (as packet_drop_prob -> 1 an unbounded loop never terminates).  The
+  /// same budget prices the futile retries charged for a reference into a
+  /// partition.  Must be >= 1.
+  std::uint32_t max_drop_retries = 16;
 
   /// Probability that one switch packet is delayed by packet_delay_ns
   /// (models a congested or flaky switch card).
@@ -175,6 +255,45 @@ struct FaultPlan {
       validate();
     } catch (...) {
       slow_nodes.pop_back();
+      throw;
+    }
+    return *this;
+  }
+
+  /// Kill switch card `card` of stage `stage` at `at`.  Stage/card bounds
+  /// depend on machine geometry, so Machine checks them at construction.
+  FaultPlan& fail_card(std::uint32_t stage, std::uint32_t card, Time at) {
+    card_fails.push_back(CardFail{stage, card, at});
+    try {
+      validate();
+    } catch (...) {
+      card_fails.pop_back();
+      throw;
+    }
+    return *this;
+  }
+
+  /// Kill output wire `link` of stage `stage` at `at`.
+  FaultPlan& fail_link(std::uint32_t stage, std::uint32_t link, Time at) {
+    link_fails.push_back(LinkFail{stage, link, at});
+    try {
+      validate();
+    } catch (...) {
+      link_fails.pop_back();
+      throw;
+    }
+    return *this;
+  }
+
+  /// Partition the machine into side_a | side_b for [start, heal).
+  FaultPlan& partition(std::vector<NodeId> side_a, std::vector<NodeId> side_b,
+                       Time start, Time heal) {
+    partitions.push_back(
+        Partition{std::move(side_a), std::move(side_b), start, heal});
+    try {
+      validate();
+    } catch (...) {
+      partitions.pop_back();
       throw;
     }
     return *this;
@@ -219,12 +338,68 @@ struct FaultPlan {
                          " — one factor at a time per node");
       }
     }
+    if (max_drop_retries == 0)
+      throw SimError("FaultPlan: max_drop_retries must be >= 1 (the PNC "
+                     "always sends the packet at least once)");
+    for (std::size_t i = 0; i < card_fails.size(); ++i) {
+      const CardFail& c = card_fails[i];
+      if (c.at == 0)
+        throw SimError("FaultPlan: card fail at Time 0 — the machine must "
+                       "come up before it can fail; use any nonzero time");
+      for (std::size_t j = 0; j < i; ++j)
+        if (card_fails[j].stage == c.stage && card_fails[j].card == c.card)
+          throw SimError("FaultPlan: duplicate fail of switch card " +
+                         std::to_string(c.card) + " at stage " +
+                         std::to_string(c.stage) +
+                         " (card deaths are permanent)");
+    }
+    for (std::size_t i = 0; i < link_fails.size(); ++i) {
+      const LinkFail& l = link_fails[i];
+      if (l.at == 0)
+        throw SimError("FaultPlan: link fail at Time 0 — the machine must "
+                       "come up before it can fail; use any nonzero time");
+      for (std::size_t j = 0; j < i; ++j)
+        if (link_fails[j].stage == l.stage && link_fails[j].link == l.link)
+          throw SimError("FaultPlan: duplicate fail of link " +
+                         std::to_string(l.link) + " at stage " +
+                         std::to_string(l.stage) +
+                         " (link deaths are permanent)");
+    }
+    for (std::size_t i = 0; i < partitions.size(); ++i) {
+      const Partition& p = partitions[i];
+      if (p.side_a.empty() || p.side_b.empty())
+        throw SimError("FaultPlan: partition with an empty side — a cut "
+                       "needs nodes on both sides");
+      if (p.start == 0)
+        throw SimError("FaultPlan: partition starting at Time 0 — the "
+                       "machine must come up connected; use any nonzero "
+                       "start");
+      if (p.heal <= p.start)
+        throw SimError("FaultPlan: ill-ordered partition window [" +
+                       std::to_string(p.start) + ", " +
+                       std::to_string(p.heal) +
+                       ") — heal must come after start");
+      for (NodeId a : p.side_a)
+        for (NodeId b : p.side_b)
+          if (a == b)
+            throw SimError("FaultPlan: node " + std::to_string(a) +
+                           " listed on both sides of a partition — a node "
+                           "cannot be cut off from itself");
+      for (std::size_t j = 0; j < i; ++j) {
+        const Partition& o = partitions[j];
+        if (p.start < o.heal && o.start < p.heal)
+          throw SimError("FaultPlan: overlapping partition windows — two "
+                         "simultaneous cuts would make reachability "
+                         "ambiguous; serialize them");
+      }
+    }
   }
 
   bool any() const {
     return !node_kills.empty() || !slow_nodes.empty() ||
-           mem_fault_prob > 0.0 || packet_drop_prob > 0.0 ||
-           packet_delay_prob > 0.0;
+           !card_fails.empty() || !link_fails.empty() ||
+           !partitions.empty() || mem_fault_prob > 0.0 ||
+           packet_drop_prob > 0.0 || packet_delay_prob > 0.0;
   }
 
  private:

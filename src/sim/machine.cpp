@@ -25,6 +25,7 @@ Machine::Machine(MachineConfig cfg, FaultPlan faults)
   if (faults_.any()) {
     fault_checks_ = true;
     fabric_.configure_faults(faults_, &fault_rng_);
+    fabric_.set_stats(&stats_);
     // Re-validate the whole kill list: a plan assembled by hand (directly
     // into node_kills) must hit the same duplicate / Time-0 checks as one
     // built through kill().
@@ -39,6 +40,38 @@ Machine::Machine(MachineConfig cfg, FaultPlan faults)
         throw SimError("FaultPlan: bad node in slow window");
     }
     has_slow_ = !faults_.slow_nodes.empty();
+    for (const FaultPlan::CardFail& c : faults_.card_fails) {
+      if (c.stage >= fabric_.stages() || c.card >= fabric_.cards())
+        throw SimError("FaultPlan: bad stage/card in card fail");
+      engine_.post_at(c.at, [this, s = c.stage, cd = c.card] {
+        fabric_.fail_card(s, cd);
+      });
+    }
+    for (const FaultPlan::LinkFail& l : faults_.link_fails) {
+      if (l.stage >= fabric_.stages() || l.link >= fabric_.wires())
+        throw SimError("FaultPlan: bad stage/link in link fail");
+      engine_.post_at(l.at, [this, s = l.stage, w = l.link] {
+        fabric_.fail_link(s, w);
+      });
+    }
+    for (const FaultPlan::Partition& p : faults_.partitions) {
+      Cut cut;
+      cut.start = p.start;
+      cut.heal = p.heal;
+      cut.side.assign(cfg_.nodes, 0);
+      for (NodeId n : p.side_a) {
+        if (n >= cfg_.nodes)
+          throw SimError("FaultPlan: bad node in partition side");
+        cut.side[n] = 1;
+      }
+      for (NodeId n : p.side_b) {
+        if (n >= cfg_.nodes)
+          throw SimError("FaultPlan: bad node in partition side");
+        cut.side[n] = 2;
+      }
+      cuts_.push_back(std::move(cut));
+    }
+    has_cuts_ = !cuts_.empty();
   }
 }
 
@@ -323,6 +356,61 @@ void Machine::do_kill(NodeId n, bool silent) {
   }
 }
 
+bool Machine::cut_between(NodeId a, NodeId b) const {
+  const Time now = engine_.now();
+  for (const Cut& c : cuts_) {
+    if (now < c.start || now >= c.heal) continue;
+    const std::int8_t sa = c.side[a];
+    const std::int8_t sb = c.side[b];
+    // Nodes listed on neither side keep full connectivity to both.
+    if (sa != 0 && sb != 0 && sa != sb) return true;
+  }
+  return false;
+}
+
+bool Machine::reachable(NodeId a, NodeId b) const {
+  if (a >= cfg_.nodes || b >= cfg_.nodes) return false;
+  if (a == b) return true;
+  if (has_cuts_ && cut_between(a, b)) return false;
+  return fabric_.has_path(a, b);
+}
+
+void Machine::check_reach(NodeId req, NodeId home) {
+  if (req == home || !cut_between(req, home)) return;
+  ++stats_.net_unreachable_refs;
+  // The requester pays the PNC's full futile retry budget: issue overhead
+  // plus max_drop_retries timeouts into the void.  Giving up is never
+  // cheaper than succeeding, so retry loops above stay honestly priced.
+  charge(cfg_.issue_overhead_ns +
+         static_cast<Time>(faults_.max_drop_retries) * faults_.drop_retry_ns);
+  throw NetUnreachableError(req, home, "partition window");
+}
+
+std::uint64_t Machine::on_partition_heal(std::function<void(std::size_t)> fn) {
+  const std::uint64_t id = next_observer_id_++;
+  heal_observers_.push_back(HealObserver{id, std::move(fn)});
+  // Heal events are posted lazily on first subscription: a plan whose heal
+  // lies past the workload's natural end would otherwise keep every
+  // unobserved run alive until the cut closed.
+  if (!heal_events_posted_) {
+    heal_events_posted_ = true;
+    for (std::size_t i = 0; i < cuts_.size(); ++i)
+      if (cuts_[i].heal > engine_.now())
+        engine_.post_at(cuts_[i].heal, [this, i] { fire_heal(i); });
+  }
+  return id;
+}
+
+void Machine::remove_heal_observer(std::uint64_t id) {
+  std::erase_if(heal_observers_,
+                [id](const HealObserver& o) { return o.id == id; });
+}
+
+void Machine::fire_heal(std::size_t idx) {
+  for (std::size_t i = 0; i < heal_observers_.size(); ++i)
+    heal_observers_[i].fn(idx);
+}
+
 void Machine::check_node(NodeId home) const {
   if (home >= cfg_.nodes) throw SimError("bad node in address");
 }
@@ -446,7 +534,17 @@ std::size_t Machine::allocated_on(NodeId node) const {
 Time Machine::reference_finish(NodeId req, NodeId home, std::uint32_t words,
                                Time* queue_ns) {
   const Time t = engine_.now() + cfg_.issue_overhead_ns;
-  const Time arrive = fabric_.route(req, home, t, words);
+  Time arrive;
+  try {
+    arrive = fabric_.route(req, home, t, words);
+  } catch (const NetUnreachableError& e) {
+    // Dead switch card with no detour, or the PNC's drop-retry budget ran
+    // out: the requester pays for the issue plus every futile retry, then
+    // the error surfaces with no data moved.
+    ++stats_.net_unreachable_refs;
+    charge(cfg_.issue_overhead_ns + e.wasted());
+    throw;
+  }
   Node& h = node_[home];
   const Time start = std::max(arrive, h.module_busy_until);
   if (queue_ns) *queue_ns = start - arrive;
@@ -473,7 +571,10 @@ double Machine::slow_factor(NodeId n) const {
 void Machine::reference(PhysAddr a, std::uint32_t words, MemOp op) {
   const NodeId req = current_node();
   check_node(a.node);
-  if (fault_checks_) check_target(a.node);
+  if (fault_checks_) {
+    check_target(a.node);
+    if (has_cuts_) check_reach(req, a.node);
+  }
   observe_access(a, words, op, req);
   Time q = 0;
   const Time finish = reference_finish(req, a.node, words, &q);
@@ -530,6 +631,10 @@ void Machine::block_copy(PhysAddr dst, PhysAddr src, std::size_t bytes) {
   if (fault_checks_) {
     check_target(src.node);
     check_target(dst.node);
+    if (has_cuts_) {
+      check_reach(req, src.node);
+      check_reach(req, dst.node);
+    }
   }
   const std::uint32_t words = word_count(bytes);
   observe_access(src, words, MemOp::kRead, req);
@@ -570,7 +675,10 @@ void Machine::block_read(void* host_dst, PhysAddr src, std::size_t bytes) {
   if (bytes == 0) return;
   const NodeId req = current_node();
   check_node(src.node);
-  if (fault_checks_) check_target(src.node);
+  if (fault_checks_) {
+    check_target(src.node);
+    if (has_cuts_) check_reach(req, src.node);
+  }
   const std::uint32_t words = word_count(bytes);
   observe_access(src, words, MemOp::kRead, req);
   Time q = 0;
@@ -597,7 +705,10 @@ void Machine::block_write(PhysAddr dst, const void* host_src,
   if (bytes == 0) return;
   const NodeId req = current_node();
   check_node(dst.node);
-  if (fault_checks_) check_target(dst.node);
+  if (fault_checks_) {
+    check_target(dst.node);
+    if (has_cuts_) check_reach(req, dst.node);
+  }
   const std::uint32_t words = word_count(bytes);
   observe_access(dst, words, MemOp::kWrite, req);
   Time q = 0;
@@ -624,7 +735,10 @@ void Machine::access_words(PhysAddr a, std::uint32_t n, bool write) {
   if (n == 0) return;
   const NodeId req = current_node();
   check_node(a.node);
-  if (fault_checks_) check_target(a.node);
+  if (fault_checks_) {
+    check_target(a.node);
+    if (has_cuts_) check_reach(req, a.node);
+  }
   // Aggregate traffic: counted for contention lints, never race-checked
   // (these calls model reference volume, not individual data accesses).
   observe_access(a, n, MemOp::kAggregate, req);

@@ -122,6 +122,22 @@ class Machine {
   bool node_alive(NodeId n) const { return !node_dead_[n]; }
   std::uint32_t dead_nodes() const { return dead_nodes_count_; }
 
+  /// True when a timed reference from `a` to `b` could currently complete:
+  /// no active partition window cuts the pair and the switch fabric still
+  /// has a healthy path (default or detour).  Says nothing about whether
+  /// `b` is alive — dead and unreachable are distinct conditions (see
+  /// NodeDeadError vs NetUnreachableError).  Host-side and uncharged, so
+  /// recovery layers can consult ground truth without perturbing the run.
+  bool reachable(NodeId a, NodeId b) const;
+
+  /// Register a callback fired in engine context when a partition window
+  /// heals (argument: index into faults().partitions).  Registering posts
+  /// the plan's heal events, which keeps the engine running until the last
+  /// subscribed heal — layers that reconcile on heal (bfly::serve) want
+  /// exactly that.  Returns a handle for remove_heal_observer.
+  std::uint64_t on_partition_heal(std::function<void(std::size_t)> fn);
+  void remove_heal_observer(std::uint64_t id);
+
   /// Gray-failure stretch for `n`'s memory module at the current simulated
   /// time: 1.0 when healthy, the plan's factor inside a slow window.  Layers
   /// that model their own service stages off the memory path (Bridge's disk
@@ -477,6 +493,12 @@ class Machine {
   void check_target(NodeId home);
   void do_kill(NodeId n, bool silent);
   void maybe_mem_fault(NodeId home);
+  /// True when an active partition window separates a and b right now.
+  bool cut_between(NodeId a, NodeId b) const;
+  /// Raise NetUnreachableError (after charging the PNC's futile retry
+  /// budget) when a timed operation crosses an active partition.
+  void check_reach(NodeId req, NodeId home);
+  void fire_heal(std::size_t idx);
 
   MachineConfig cfg_;
   FaultPlan faults_;
@@ -503,6 +525,21 @@ class Machine {
   bool has_slow_ = false;      // plan carries slow-node windows
   std::vector<std::uint8_t> node_dead_;
   std::uint32_t dead_nodes_count_ = 0;
+  // Partition windows, precomputed as per-node side maps (0 = unlisted,
+  // 1 = side_a, 2 = side_b) for O(1) cut checks on the reference path.
+  struct Cut {
+    Time start = 0;
+    Time heal = 0;
+    std::vector<std::int8_t> side;
+  };
+  std::vector<Cut> cuts_;
+  bool has_cuts_ = false;
+  struct HealObserver {
+    std::uint64_t id;
+    std::function<void(std::size_t)> fn;
+  };
+  std::vector<HealObserver> heal_observers_;
+  bool heal_events_posted_ = false;
   struct DeathObserver {
     std::uint64_t id;
     std::function<void(NodeId)> fn;

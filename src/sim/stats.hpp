@@ -53,9 +53,16 @@ struct MachineStats {
   std::uint64_t mem_faults_injected = 0;  ///< transient faults raised
   std::uint64_t dead_node_refs = 0;       ///< references that hit a dead node
 
+  // Network fault-domain accounting (switch cards/links/partitions).
+  std::uint64_t net_unreachable_refs = 0;  ///< references with no usable path
+  std::uint64_t alt_routed = 0;            ///< packets detoured (+1 hop)
+  std::uint64_t drops_exhausted = 0;       ///< PNC retry budgets exhausted
+
   // Rescue-layer accounting (bfly::rescue; zero when no detector runs).
   std::uint64_t suspects_declared = 0;   ///< dead nodes found by heartbeat loss
   std::uint64_t false_suspects = 0;      ///< accusations of nodes still alive
+  std::uint64_t suspects_unreachable = 0;  ///< alive nodes flagged partitioned
+  std::uint64_t unreachable_restored = 0;  ///< partitioned nodes heard again
   std::uint64_t checkpoints_taken = 0;   ///< quiesced checkpoints written
   std::uint64_t restart_count = 0;       ///< runs resumed from a checkpoint
 
@@ -66,6 +73,9 @@ struct MachineStats {
   std::uint64_t serve_sheds = 0;           ///< requests rejected by admission
   std::uint64_t serve_timeouts = 0;        ///< requests that ran out of budget
   std::uint64_t serve_rereplications = 0;  ///< blocks re-replicated after loss
+  std::uint64_t serve_quorum_rejects = 0;  ///< writes refused: no majority
+  std::uint64_t serve_dirty_logged = 0;    ///< replicas dirty-logged at ack
+  std::uint64_t serve_reconciled = 0;      ///< dirty replicas healed post-cut
 
   explicit MachineStats(std::size_t n = 0) : node(n) {}
 
@@ -73,8 +83,13 @@ struct MachineStats {
     for (auto& s : node) s = NodeStats{};
     mem_faults_injected = 0;
     dead_node_refs = 0;
+    net_unreachable_refs = 0;
+    alt_routed = 0;
+    drops_exhausted = 0;
     suspects_declared = 0;
     false_suspects = 0;
+    suspects_unreachable = 0;
+    unreachable_restored = 0;
     checkpoints_taken = 0;
     restart_count = 0;
     serve_retries = 0;
@@ -83,6 +98,9 @@ struct MachineStats {
     serve_sheds = 0;
     serve_timeouts = 0;
     serve_rereplications = 0;
+    serve_quorum_rejects = 0;
+    serve_dirty_logged = 0;
+    serve_reconciled = 0;
   }
 
   /// Fault + rescue counters as a JSON fragment (no braces), for benches
@@ -91,8 +109,13 @@ struct MachineStats {
     json::Writer w(json::Writer::kFragment);
     w.kv("mem_faults_injected", mem_faults_injected)
         .kv("dead_node_refs", dead_node_refs)
+        .kv("net_unreachable_refs", net_unreachable_refs)
+        .kv("alt_routed", alt_routed)
+        .kv("drops_exhausted", drops_exhausted)
         .kv("suspects_declared", suspects_declared)
         .kv("false_suspects", false_suspects)
+        .kv("suspects_unreachable", suspects_unreachable)
+        .kv("unreachable_restored", unreachable_restored)
         .kv("checkpoints_taken", checkpoints_taken)
         .kv("restart_count", restart_count)
         .kv("serve_retries", serve_retries)
@@ -100,7 +123,10 @@ struct MachineStats {
         .kv("serve_hedge_wins", serve_hedge_wins)
         .kv("serve_sheds", serve_sheds)
         .kv("serve_timeouts", serve_timeouts)
-        .kv("serve_rereplications", serve_rereplications);
+        .kv("serve_rereplications", serve_rereplications)
+        .kv("serve_quorum_rejects", serve_quorum_rejects)
+        .kv("serve_dirty_logged", serve_dirty_logged)
+        .kv("serve_reconciled", serve_reconciled);
     return w.take();
   }
 

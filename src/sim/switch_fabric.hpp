@@ -8,6 +8,20 @@
 // contention is "almost negligible" on the real machine, so by default we
 // model only per-hop latency.  Optional port-occupancy modelling is provided
 // for the ablation bench that verifies the claim inside our own model.
+//
+// Fault domains: large Butterfly configurations shipped an extra switch
+// column precisely to provide redundant paths around failed switch cards.
+// We model that here: a FaultPlan can kill a 4x4 switch card or a single
+// backplane link; routes whose default path crosses dead silicon detour via
+// the redundant column — the packet enters the banyan on a different input
+// row (a re-randomized path digit) for one extra hop of latency.  The card
+// at stage s is identified by every digit of the wire position EXCEPT digit
+// s (the digit that stage switches), so early-stage cards depend on source
+// digits (avoidable by detour) while the final column is fully
+// destination-determined — it is wired straight into the memory modules and
+// a dead final card severs its four nodes, exactly the unavoidable fault
+// domain the real machine had.  When no healthy path exists the reference
+// raises NetUnreachableError with the PNC's futile retry budget charged.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +30,7 @@
 #include "sim/config.hpp"
 #include "sim/fault.hpp"
 #include "sim/rng.hpp"
+#include "sim/stats.hpp"
 #include "sim/time.hpp"
 
 namespace bfly::sim {
@@ -29,16 +44,37 @@ class SwitchFabric {
   /// machine RNG stream is untouched.  No-op when the plan injects nothing.
   void configure_faults(const FaultPlan& plan, Rng* rng);
 
+  /// Machine-wide counters for alt-routes / exhausted retry budgets; the
+  /// fabric reports into them when set (Machine wires this at construction).
+  void set_stats(MachineStats* s) { stats_ = s; }
+
   /// Number of switch stages a packet traverses.
   std::uint32_t stages() const { return stages_; }
+
+  /// Wire positions per stage (4^stages — the virtual position space; for
+  /// non-power-of-4 machines the physical wires fold onto it modulo nodes).
+  std::uint32_t wires() const { return reach_; }
+  /// 4x4 switch cards per stage.
+  std::uint32_t cards() const { return reach_ / 4; }
 
   /// Pure pipeline latency of one traversal (no contention).
   Time traversal_ns() const { return stages_ * hop_ns_; }
 
+  /// Kill card `card` of stage `stage` / output wire `link` of `stage`.
+  /// Permanent for the run.  Machine schedules these from the FaultPlan.
+  void fail_card(std::uint32_t stage, std::uint32_t card);
+  void fail_link(std::uint32_t stage, std::uint32_t link);
+
+  /// True when some path (default or detour) from src to dst is healthy.
+  /// Always true while no card/link has failed yet.
+  bool has_path(NodeId src, NodeId dst) const;
+
   /// Charge one packet of `words` 32-bit words through the network at time
   /// `depart`, from `src` to `dst`.  Returns the time the head of the packet
   /// arrives at the destination module.  With contention modelling enabled,
-  /// the packet queues at each stage's output port.
+  /// the packet queues at each stage's output port.  Raises
+  /// NetUnreachableError when every path crosses dead silicon or the PNC's
+  /// drop-retry budget runs out (`wasted()` carries the burned retry time).
   Time route(NodeId src, NodeId dst, Time depart, std::uint32_t words);
 
   /// Total time packets spent queueing in the switch (0 unless contention
@@ -51,9 +87,26 @@ class SwitchFabric {
 
  private:
   std::uint32_t port_index(std::uint32_t stage, NodeId src, NodeId dst) const;
+  /// Virtual wire position occupied after stage `stage` (unfolded space).
+  std::uint32_t wire_at(std::uint32_t stage, std::uint32_t src,
+                        NodeId dst) const;
+  /// Card owning `wire` at `stage`: the wire position with digit `stage`
+  /// removed.
+  std::uint32_t card_at(std::uint32_t stage, std::uint32_t wire) const;
+  /// True when the path entering the banyan at row `vsrc` crosses a dead
+  /// card or link on the way to `dst`.
+  bool path_blocked(std::uint32_t vsrc, NodeId dst) const;
+  /// First healthy entry row for src->dst (the default row `src`, or a
+  /// deterministic detour scan), or kNoPath.
+  std::uint32_t pick_entry(NodeId src, NodeId dst) const;
+  [[noreturn]] void throw_unreachable(NodeId src, NodeId dst,
+                                      const char* why);
+
+  static constexpr std::uint32_t kNoPath = 0xffffffffu;
 
   std::uint32_t nodes_;
   std::uint32_t stages_;
+  std::uint32_t reach_;  // 4^stages_: virtual wire positions per stage
   Time hop_ns_;
   bool model_contention_;
   Time port_service_ns_;
@@ -66,10 +119,19 @@ class SwitchFabric {
   Rng* fault_rng_ = nullptr;
   double drop_prob_ = 0.0;
   double delay_prob_ = 0.0;
-  Time drop_retry_ns_ = 0;
+  Time drop_retry_ns_ = 100 * kMicrosecond;
   Time delay_ns_ = 0;
+  std::uint32_t max_drop_retries_ = 16;
   std::uint64_t packets_dropped_ = 0;
   std::uint64_t packets_delayed_ = 0;
+
+  // Persistent path health (empty until the first card/link failure fires;
+  // routing skips every health check while path_faults_ is false, so plans
+  // without them stay byte-identical).
+  bool path_faults_ = false;
+  std::vector<std::uint8_t> card_dead_;  // stages x cards()
+  std::vector<std::uint8_t> link_dead_;  // stages x wires()
+  MachineStats* stats_ = nullptr;
 };
 
 }  // namespace bfly::sim

@@ -178,6 +178,8 @@ void UniformSystem::manager_loop(std::uint32_t worker) {
         ++tasks_faulted_;
       } catch (const sim::NodeDeadError&) {
         ++tasks_faulted_;
+      } catch (const sim::NetUnreachableError&) {
+        ++tasks_faulted_;
       } catch (const sim::MemoryFaultError&) {
         ++tasks_faulted_;
       }

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "us/uniform_system.hpp"
@@ -179,6 +181,126 @@ TEST(Membership, ZeroFaultAnswerIsUnchangedByTheInstrumentation) {
     return out;
   };
   EXPECT_EQ(run(false), run(true));
+}
+
+TEST(Membership, PartitionedNodesAreSuspectedUnreachableNotExcised) {
+  // A 50/50 cut separates the monitor (node 0) from nodes 4-7 for 140 ms.
+  // Their heartbeats stall, but they are alive: the watchdog must flag them
+  // suspected_unreachable — still members, never excised, never counted as
+  // false suspects — and graduate them back when the cut heals.  Every
+  // transition bumps the epoch, fencing any stale view a healed minority
+  // might still hold.  The cut opens at 80 ms: bringing up 8 daemons plus
+  // the watchdog costs ~35 ms of simulated time (create_process charges a
+  // serialized template pass), and the service must be fully up pre-cut.
+  sim::FaultPlan plan;
+  plan.partition({0, 1, 2, 3}, {4, 5, 6, 7}, 80 * sim::kMillisecond,
+                 220 * sim::kMillisecond);
+  Machine m(butterfly1(8), plan);
+  chrys::Kernel k(m);
+  Membership mem(k);  // monitor on node 0, side A
+  std::vector<std::pair<sim::NodeId, bool>> transitions;
+  mem.subscribe_reach([&](sim::NodeId n, bool entering) {
+    transitions.push_back({n, entering});
+  });
+  std::uint32_t excisions = 0;
+  mem.subscribe([&](sim::NodeId) { ++excisions; });
+  std::uint64_t epoch_mid = 0;
+  k.create_process(0, [&] {
+    mem.start();
+    ASSERT_LT(m.now(), 80 * sim::kMillisecond) << "service must be up pre-cut";
+    auto until = [&](sim::Time t) { if (m.now() < t) k.delay(t - m.now()); };
+    until(160 * sim::kMillisecond);  // deep inside the window
+    for (sim::NodeId n = 4; n < 8; ++n) {
+      EXPECT_TRUE(mem.member(n)) << "node " << n << " must stay a member";
+      EXPECT_TRUE(mem.unreachable(n)) << "node " << n;
+    }
+    EXPECT_FALSE(mem.unreachable(1)) << "same-side node untouched";
+    EXPECT_EQ(mem.members_unreachable(), 4u);
+    epoch_mid = mem.epoch();
+    until(300 * sim::kMillisecond);  // well past heal: heartbeats resumed
+    for (sim::NodeId n = 4; n < 8; ++n)
+      EXPECT_FALSE(mem.unreachable(n)) << "node " << n << " not restored";
+    EXPECT_EQ(mem.members_unreachable(), 0u);
+    mem.stop();
+  });
+  m.run();
+  ASSERT_FALSE(m.deadlocked());
+  // Ground truth: alive-but-unreachable is neither a declared suspicion nor
+  // a false positive — it is its own state.
+  EXPECT_EQ(m.stats().suspects_declared, 0u);
+  EXPECT_EQ(m.stats().false_suspects, 0u);
+  EXPECT_EQ(m.stats().suspects_unreachable, 4u);
+  EXPECT_EQ(m.stats().unreachable_restored, 4u);
+  EXPECT_EQ(mem.members_alive(), 8u);
+  EXPECT_TRUE(mem.history().empty());
+  // Epoch fencing: 4 bumps entering the cut, 4 more on restore.
+  EXPECT_EQ(epoch_mid, 4u);
+  EXPECT_EQ(mem.epoch(), 8u);
+  ASSERT_EQ(transitions.size(), 8u);
+  std::vector<sim::NodeId> entered, restored;
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(transitions[i].second, i < 4)
+        << "all enters precede all restores";
+    (transitions[i].second ? entered : restored).push_back(transitions[i].first);
+  }
+  std::sort(entered.begin(), entered.end());
+  std::sort(restored.begin(), restored.end());
+  EXPECT_EQ(entered, (std::vector<sim::NodeId>{4, 5, 6, 7}));
+  EXPECT_EQ(restored, (std::vector<sim::NodeId>{4, 5, 6, 7}));
+  EXPECT_EQ(excisions, 0u);
+}
+
+TEST(Membership, DenounceOfAPartitionedNodeFlagsInsteadOfExcising) {
+  // The retry-exhaustion accusation path must make the same distinction the
+  // watchdog does: an accusee the monitor cannot reach is alive, so it is
+  // flagged suspected_unreachable rather than declared or dismissed.
+  sim::FaultPlan plan;
+  plan.partition({0}, {3}, 10 * sim::kMillisecond, 100 * sim::kMillisecond);
+  Machine m(butterfly1(4), plan);
+  chrys::Kernel k(m);
+  Membership mem(k);  // never started: denounce alone drives it
+  k.create_process(0, [&] {
+    k.delay(50 * sim::kMillisecond);  // inside the window
+    mem.denounce(3);
+    mem.denounce(3);  // already flagged: second accusation is a no-op
+  });
+  m.run();
+  ASSERT_FALSE(m.deadlocked());
+  EXPECT_TRUE(mem.member(3));
+  EXPECT_TRUE(mem.unreachable(3));
+  EXPECT_EQ(mem.members_unreachable(), 1u);
+  EXPECT_EQ(mem.epoch(), 1u);
+  EXPECT_EQ(m.stats().suspects_unreachable, 1u);
+  EXPECT_EQ(m.stats().false_suspects, 0u);
+  EXPECT_EQ(m.stats().suspects_declared, 0u);
+}
+
+TEST(Membership, DeathWhilePartitionedGraduatesToExcision) {
+  // A node that dies while flagged suspected_unreachable: the later verdict
+  // wins.  The declaration clears the unreachable flag so the two counters
+  // never double-book one node.
+  sim::FaultPlan plan;
+  plan.partition({0}, {3}, 10 * sim::kMillisecond, 200 * sim::kMillisecond);
+  plan.kill_silent(3, 60 * sim::kMillisecond);
+  Machine m(butterfly1(4), plan);
+  chrys::Kernel k(m);
+  Membership mem(k);
+  k.create_process(0, [&] {
+    k.delay(30 * sim::kMillisecond);
+    mem.denounce(3);  // alive but cut off: flagged
+    EXPECT_TRUE(mem.unreachable(3));
+    k.delay(50 * sim::kMillisecond);  // node 3 is dead now
+    mem.denounce(3);  // the accusation sticks this time
+  });
+  m.run();
+  ASSERT_FALSE(m.deadlocked());
+  EXPECT_FALSE(mem.member(3));
+  EXPECT_FALSE(mem.unreachable(3));
+  EXPECT_EQ(mem.members_unreachable(), 0u);
+  EXPECT_EQ(m.stats().suspects_declared, 1u);
+  EXPECT_EQ(m.stats().suspects_unreachable, 1u);
+  EXPECT_EQ(m.stats().unreachable_restored, 0u);
+  EXPECT_EQ(mem.epoch(), 2u);
 }
 
 TEST(Membership, ConfigSanityIsEnforced) {

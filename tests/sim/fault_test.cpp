@@ -338,6 +338,186 @@ TEST(FaultPlan, SlowNodeIsDeterministic) {
   EXPECT_EQ(run_once(), run_once());
 }
 
+// --- Switch-level fault domains and partition windows ---------------------
+
+TEST(FaultPlan, PartitionWindowsAreValidatedAtBuildTime) {
+  FaultPlan plan;
+  // Empty sides, Time-0 starts, ill-ordered windows and nodes listed on
+  // both sides are plan bugs; the rejected window must not linger.
+  EXPECT_THROW(plan.partition({}, {1}, kMillisecond, 2 * kMillisecond),
+               SimError);
+  EXPECT_THROW(plan.partition({0}, {1}, 0, kMillisecond), SimError);
+  EXPECT_THROW(plan.partition({0}, {1}, 2 * kMillisecond, kMillisecond),
+               SimError);
+  EXPECT_THROW(
+      plan.partition({0, 1}, {1, 2}, kMillisecond, 2 * kMillisecond),
+      SimError);
+  EXPECT_TRUE(plan.partitions.empty());
+  plan.partition({0}, {1}, kMillisecond, 5 * kMillisecond);
+  // Two simultaneous cuts would make reachability ambiguous.
+  EXPECT_THROW(
+      plan.partition({2}, {3}, 4 * kMillisecond, 6 * kMillisecond),
+      SimError);
+  EXPECT_EQ(plan.partitions.size(), 1u);
+  // Back-to-back windows are fine ([start, heal) half-open).
+  plan.partition({2}, {3}, 5 * kMillisecond, 6 * kMillisecond);
+  EXPECT_TRUE(plan.any());
+}
+
+TEST(FaultPlan, CardLinkAndRetryBudgetValidation) {
+  FaultPlan plan;
+  EXPECT_THROW(plan.fail_card(0, 1, 0), SimError);  // Time-0 card death
+  plan.fail_card(0, 1, kMillisecond);
+  EXPECT_THROW(plan.fail_card(0, 1, 2 * kMillisecond), SimError);  // dup
+  EXPECT_EQ(plan.card_fails.size(), 1u);
+  EXPECT_THROW(plan.fail_link(1, 3, 0), SimError);
+  plan.fail_link(1, 3, kMillisecond);
+  EXPECT_THROW(plan.fail_link(1, 3, 5 * kMillisecond), SimError);
+  EXPECT_EQ(plan.link_fails.size(), 1u);
+  // Geometry bounds are machine-dependent, so Machine checks them.
+  FaultPlan bad_stage;
+  bad_stage.fail_card(7, 0, kMillisecond);  // butterfly1(16) has 2 stages
+  EXPECT_THROW(Machine(butterfly1(16), bad_stage), SimError);
+  // The PNC always sends a packet at least once; hand-edited plans with a
+  // zero retry budget are caught by Machine's re-validation.
+  FaultPlan zero_budget;
+  zero_budget.packet_drop_prob = 0.1;
+  zero_budget.max_drop_retries = 0;
+  EXPECT_THROW(zero_budget.validate(), SimError);
+  EXPECT_THROW(Machine(butterfly1(16), zero_budget), SimError);
+}
+
+TEST(FaultPlan, DeadCardDetoursReferencesAfterItsDeathTime) {
+  // A planned card death fires at its time: the same remote read costs the
+  // healthy latency before and one extra hop after.
+  FaultPlan plan;
+  plan.fail_card(0, 1, 5 * kMillisecond);  // stage-0 card of srcs with n%4==1
+  Machine m(butterfly1(16), plan);
+  const PhysAddr a = m.alloc(10, 64);
+  Time before = 0, after = 0;
+  m.spawn(1, [&] {
+    Time t0 = m.now();
+    (void)m.read<std::uint32_t>(a);
+    before = m.now() - t0;
+    m.charge(10 * kMillisecond);
+    t0 = m.now();
+    (void)m.read<std::uint32_t>(a);
+    after = m.now() - t0;
+  });
+  m.run();
+  EXPECT_EQ(after, before + 400u) << "+1 hop through the redundant column";
+  EXPECT_EQ(m.stats().alt_routed, 1u);
+  EXPECT_EQ(m.stats().net_unreachable_refs, 0u);
+}
+
+TEST(FaultPlan, DeadFinalColumnCardMakesItsNodesUnreachable) {
+  FaultPlan plan;
+  plan.fail_card(1, 2, kMillisecond);  // final column: owns nodes 8..11
+  Machine m(butterfly1(16), plan);
+  const PhysAddr severed = m.alloc(9, 64);
+  bool threw = false;
+  Time wasted = 0, paid = 0;
+  m.spawn(0, [&] {
+    m.charge(5 * kMillisecond);
+    EXPECT_FALSE(m.reachable(0, 9));
+    EXPECT_TRUE(m.node_alive(9)) << "unreachable, not dead";
+    const Time t0 = m.now();
+    try {
+      (void)m.read<std::uint32_t>(severed);
+    } catch (const NetUnreachableError& e) {
+      threw = true;
+      wasted = e.wasted();
+      paid = m.now() - t0;
+    }
+  });
+  m.run();
+  EXPECT_TRUE(threw);
+  EXPECT_GT(wasted, 0u);
+  EXPECT_GE(paid, wasted) << "futile PNC retries are charged, not free";
+  EXPECT_GE(m.stats().net_unreachable_refs, 1u);
+  EXPECT_EQ(m.stats().dead_node_refs, 0u);
+}
+
+TEST(FaultPlan, CrossCutReferencesThrowUntilThePartitionHeals) {
+  FaultPlan plan;
+  plan.partition({0, 1}, {2, 3}, 5 * kMillisecond, 20 * kMillisecond);
+  Machine m(butterfly1(4), plan);
+  const PhysAddr far_side = m.alloc(2, 64);
+  const PhysAddr same_side = m.alloc(1, 64);
+  std::uint32_t cross_ok = 0, cross_cut = 0;
+  m.spawn(0, [&] {
+    (void)m.read<std::uint32_t>(far_side);  // before the cut
+    ++cross_ok;
+    m.charge(10 * kMillisecond);  // inside the window now
+    EXPECT_FALSE(m.reachable(0, 2));
+    EXPECT_FALSE(m.reachable(3, 1)) << "cut is symmetric";
+    EXPECT_TRUE(m.reachable(0, 1)) << "same side stays connected";
+    EXPECT_TRUE(m.reachable(2, 3));
+    const Time t0 = m.now();
+    try {
+      (void)m.read<std::uint32_t>(far_side);
+    } catch (const NetUnreachableError& e) {
+      ++cross_cut;
+      EXPECT_EQ(e.node(), 2u);
+      EXPECT_GE(m.now() - t0,
+                16 * (100 * kMicrosecond));  // charged retry budget
+    }
+    (void)m.read<std::uint32_t>(same_side);  // unaffected by the cut
+    m.charge(15 * kMillisecond);  // past heal: connectivity is back
+    EXPECT_TRUE(m.reachable(0, 2));
+    (void)m.read<std::uint32_t>(far_side);
+    ++cross_ok;
+  });
+  m.run();
+  EXPECT_FALSE(m.deadlocked());
+  EXPECT_EQ(cross_ok, 2u);
+  EXPECT_EQ(cross_cut, 1u);
+  EXPECT_EQ(m.stats().net_unreachable_refs, 1u);
+}
+
+TEST(FaultPlan, HealObserversFireAtTheHealInstant) {
+  FaultPlan plan;
+  plan.partition({0}, {1}, kMillisecond, 8 * kMillisecond);
+  Machine m(butterfly1(4), plan);
+  std::vector<std::pair<std::size_t, Time>> fired;
+  const auto id = m.on_partition_heal(
+      [&](std::size_t idx) { fired.push_back({idx, m.now()}); });
+  m.spawn(2, [&] { m.charge(2 * kMillisecond); });
+  // Subscribing posts the heal event, which keeps the engine alive through
+  // the window even though the workload finishes earlier.
+  EXPECT_EQ(m.run(), 8 * kMillisecond);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].first, 0u);
+  EXPECT_EQ(fired[0].second, 8 * kMillisecond);
+  m.remove_heal_observer(id);
+}
+
+TEST(FaultPlan, PartitionedRunIsDeterministic) {
+  auto run_once = [] {
+    FaultPlan plan;
+    plan.partition({0, 1}, {2, 3}, 2 * kMillisecond, 30 * kMillisecond);
+    Machine m(butterfly1(4), plan);
+    const PhysAddr a = m.alloc(2, 64);
+    std::uint64_t cut_refs = 0;
+    m.spawn(0, [&] {
+      for (int i = 0; i < 40; ++i) {
+        m.charge(kMillisecond);
+        try {
+          (void)m.read<std::uint32_t>(a);
+        } catch (const NetUnreachableError&) {
+          ++cut_refs;
+        }
+      }
+    });
+    const Time t = m.run();
+    return std::pair<Time, std::uint64_t>(t, cut_refs);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_GT(a.second, 0u);
+  EXPECT_EQ(a, b);
+}
+
 TEST(RetryPolicy, FixedScheduleDoublesToCap) {
   const RetryPolicy p{4, 100, 350, 0.0};
   EXPECT_EQ(p.max_attempts(), 4u);
