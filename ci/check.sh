@@ -12,6 +12,8 @@
 #   3. sched-fuzz smoke— the moviola deadlock detector rides a reduced
 #                        PCT schedule sweep (10 seeds x 4 workloads); any
 #                        finding, lint or wedge on any seed is a failure
+#   3b. parsim smoke   — the parallel host engine's A/B determinism suite
+#                        and host-thread primitive tests (label parsim-smoke)
 #   4. scope smoke     — a traced Gauss run exports a Chrome trace, then
 #                        the standalone validator re-checks the file on
 #                        disk (parses, monotone timestamps, balanced B/E)
@@ -19,6 +21,9 @@
 #                        min-time, printing the BENCH_host_sim.json row.
 #                        NON-GATING: CI machines have wildly variable
 #                        throughput, so a slow run only warns
+#   5b. parsim tsan    — test_parsim_core (the fiber-free mailbox/barrier/
+#                        driver suite) rebuilt under ThreadSanitizer.
+#                        NON-GATING while the stage beds in
 #   6. asan preset     — ASan+UBSan build, full ctest suite
 #   7. lint            — clang-tidy over src/ against the compile database
 #                        (skips with a notice when clang-tidy isn't installed;
@@ -52,6 +57,9 @@ ctest --preset default -L partition-smoke --output-on-failure --verbose
 step "sched-fuzz smoke (moviola detector over PCT schedule seeds)"
 ctest --preset default -L sched-fuzz-smoke --output-on-failure --verbose
 
+step "parsim smoke (parallel host engine: A/B determinism + primitives)"
+ctest --preset default -L parsim-smoke --output-on-failure
+
 step "scope smoke (traced Gauss -> Chrome trace -> validator)"
 ./build/tools/trace_gauss build/scope_ci_trace.json build/scope_ci_metrics.json
 ./build/tools/trace_validate build/scope_ci_trace.json
@@ -64,6 +72,18 @@ if BFLY_HOST_SIM_OUT=build/BENCH_host_sim_ci.json \
   :
 else
   echo "perf smoke failed (non-gating; host throughput varies in CI)"
+fi
+
+step "parsim tsan smoke (mailbox/barrier/driver under TSan, non-gating)"
+# Only the fiber-free test_parsim_core binary runs under TSan: ThreadSanitizer
+# does not understand ucontext fiber switches, so the Machine-level suites
+# stay on the ASan preset below.  Non-gating while the stage beds in — a TSan
+# finding prints loudly but does not fail the job.
+if cmake --preset tsan && cmake --build --preset tsan -j "$JOBS" &&
+    ./build-tsan/tests/test_parsim_core; then
+  :
+else
+  echo "parsim tsan smoke failed (non-gating; see output above)"
 fi
 
 step "configure + build (asan preset)"

@@ -1,0 +1,66 @@
+// Sense-reversing spin barrier for the window protocol.
+//
+// Three barriers bound every window (see driver.cpp), so barrier cost is the
+// parallel engine's synchronization overhead — arrive_and_wait() therefore
+// returns the host nanoseconds the caller spent waiting, which the driver
+// sums into its barrier-overhead statistic.
+//
+// The spin yields to the OS after a short burst: simulation shards are
+// frequently oversubscribed (more worker threads than host cores, e.g. the
+// 8-shard bench sweep on a small CI box), and a pure spin would deadlock the
+// scheduler's patience if not the barrier itself.
+//
+// Memory ordering: the last arriver publishes with a release store on the
+// sense word; waiters spin with acquire loads.  Everything written by any
+// participant before the barrier is visible to every participant after it —
+// the property the mailbox drain and the shared window-edge word rely on
+// (and that ThreadSanitizer checks in the parsim core tests).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace bfly::parsim {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::uint32_t parties)
+      : parties_(parties), remaining_(parties) {}
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  /// Block until all parties arrive.  Returns host ns spent waiting.
+  std::uint64_t arrive_and_wait() {
+    const bool sense = sense_.load(std::memory_order_relaxed);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last arriver: reset for the next phase and release the others.
+      remaining_.store(parties_, std::memory_order_relaxed);
+      sense_.store(!sense, std::memory_order_release);
+      return 0;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    std::uint32_t spins = 0;
+    while (sense_.load(std::memory_order_acquire) == sense) {
+      if (++spins >= kSpinBurst) {
+        spins = 0;
+        std::this_thread::yield();
+      }
+    }
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  }
+
+ private:
+  static constexpr std::uint32_t kSpinBurst = 256;
+
+  const std::uint32_t parties_;
+  std::atomic<std::uint32_t> remaining_;
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace bfly::parsim

@@ -1,0 +1,88 @@
+#include "parsim/driver.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace bfly::parsim {
+
+Driver::Driver(ShardProgram& prog, std::uint32_t shards,
+               std::uint32_t threads, sim::Time lookahead)
+    : prog_(prog),
+      shards_(shards),
+      threads_(std::max(1u, std::min(threads, shards))),
+      lookahead_(lookahead),
+      next_(shards, kTimeNever),
+      barrier_(std::max(1u, std::min(threads, shards))) {}
+
+void Driver::compute_edge() {
+  // Worker 0 only, between the first and second barrier of a window.
+  sim::Time min = kTimeNever;
+  for (sim::Time t : next_) min = std::min(min, t);
+  if (min == kTimeNever || failed_.load(std::memory_order_relaxed)) {
+    done_ = true;
+    return;
+  }
+  // Advance by at least one time unit: shard_window executes strictly
+  // below the edge, so a zero lookahead would otherwise never execute the
+  // minimum event and the loop would spin forever.  Every real fabric has
+  // lookahead >= one switch hop; the floor only matters for degenerate
+  // programs, which thereby serialize to one-tick lockstep windows.
+  // Saturating add keeps a pathological lookahead from wrapping the edge
+  // back below the minimum.
+  const sim::Time advance = std::max<sim::Time>(lookahead_, 1);
+  edge_ = (min > kTimeNever - advance) ? kTimeNever : min + advance;
+  ++stats_.windows;
+}
+
+void Driver::worker(std::uint32_t w) {
+  std::uint64_t waited = 0;
+  while (true) {
+    if (!failed_.load(std::memory_order_relaxed)) {
+      try {
+        for (std::uint32_t s = w; s < shards_; s += threads_) {
+          prog_.shard_drain(s);
+          next_[s] = prog_.shard_next_time(s);
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> g(error_mu_);
+        if (!error_) error_ = std::current_exception();
+        failed_.store(true, std::memory_order_relaxed);
+      }
+    }
+    waited += barrier_.arrive_and_wait();
+    if (w == 0) compute_edge();
+    waited += barrier_.arrive_and_wait();
+    if (done_) break;
+    if (!failed_.load(std::memory_order_relaxed)) {
+      try {
+        for (std::uint32_t s = w; s < shards_; s += threads_)
+          prog_.shard_window(s, edge_);
+      } catch (...) {
+        std::lock_guard<std::mutex> g(error_mu_);
+        if (!error_) error_ = std::current_exception();
+        failed_.store(true, std::memory_order_relaxed);
+      }
+    }
+    waited += barrier_.arrive_and_wait();
+  }
+  barrier_wait_ns_.fetch_add(waited, std::memory_order_relaxed);
+}
+
+void Driver::run() {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> extra;
+  extra.reserve(threads_ - 1);
+  for (std::uint32_t w = 1; w < threads_; ++w)
+    extra.emplace_back([this, w] { worker(w); });
+  worker(0);  // the calling thread is worker 0
+  for (std::thread& t : extra) t.join();
+  stats_.barrier_wait_ns = barrier_wait_ns_.load(std::memory_order_relaxed);
+  stats_.run_wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  if (error_) std::rethrow_exception(error_);
+}
+
+}  // namespace bfly::parsim

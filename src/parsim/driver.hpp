@@ -1,0 +1,104 @@
+// Conservative time-window driver for sharded discrete-event simulation.
+//
+// The driver owns the host threads and the window protocol; the simulation
+// itself stays behind the ShardProgram interface, so this layer never
+// depends on Machine, fibers, or memory modules (which is also what makes it
+// unit-testable under ThreadSanitizer without fiber annotations).
+//
+// Protocol per window, with shard s statically owned by worker s % threads:
+//
+//   1. drain    — each worker moves its shards' mailbox batches into their
+//                 event heaps, then publishes each shard's next event time;
+//   2. barrier  — worker 0 computes the global window edge
+//                 min(next times) + lookahead (or declares the run done
+//                 when every shard is idle and every mailbox empty);
+//   3. barrier  — everyone reads the edge;
+//   4. window   — each shard executes events strictly before the edge;
+//                 cross-shard sends go to mailboxes;
+//   5. barrier  — sends become visible, loop to 1.
+//
+// Safety argument (the "hop-latency lookahead"): every cross-shard message
+// sent by an event at time t arrives no earlier than t + lookahead, and
+// every event executed this window has t >= T (the global minimum), so all
+// arrivals land at or past T + lookahead — exactly the edge no shard
+// executes up to.  See DESIGN.md §4f for the full sketch.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <vector>
+
+#include "parsim/barrier.hpp"
+#include "sim/time.hpp"
+
+namespace bfly::parsim {
+
+/// Sentinel next-event time for an idle shard.
+inline constexpr sim::Time kTimeNever = std::numeric_limits<sim::Time>::max();
+
+/// The simulation side of the protocol.  All three hooks are called on the
+/// worker thread that owns the shard, never concurrently for one shard.
+class ShardProgram {
+ public:
+  virtual ~ShardProgram() = default;
+
+  /// Move the shard's pending mailbox messages into its event heap.
+  virtual void shard_drain(std::uint32_t shard) = 0;
+
+  /// Earliest pending event time for the shard, kTimeNever when idle.
+  /// Called after shard_drain in the same phase, so it must include the
+  /// just-drained messages.
+  virtual sim::Time shard_next_time(std::uint32_t shard) = 0;
+
+  /// Execute every event with time strictly before `edge`.
+  virtual void shard_window(std::uint32_t shard, sim::Time edge) = 0;
+};
+
+struct DriverStats {
+  std::uint64_t windows = 0;          ///< window iterations executed
+  std::uint64_t barrier_wait_ns = 0;  ///< host ns blocked in barriers, all threads
+  std::uint64_t run_wall_ns = 0;      ///< host wall time of run()
+};
+
+class Driver {
+ public:
+  /// `lookahead` must lower-bound the simulated latency of every cross-shard
+  /// message (the Machine passes the full switch traversal).  A zero
+  /// lookahead still terminates — each window then runs exactly the events
+  /// at the global minimum time — but degenerates to lockstep.
+  Driver(ShardProgram& prog, std::uint32_t shards, std::uint32_t threads,
+         sim::Time lookahead);
+
+  /// Run windows until every shard is idle.  Rethrows the first exception a
+  /// worker callback raised (the run is unrecoverable past that point).
+  void run();
+
+  const DriverStats& stats() const { return stats_; }
+
+ private:
+  void worker(std::uint32_t w);
+  void compute_edge();
+
+  ShardProgram& prog_;
+  const std::uint32_t shards_;
+  const std::uint32_t threads_;
+  const sim::Time lookahead_;
+
+  // Window-protocol shared state.  Plain fields: every cross-thread
+  // hand-off happens across a SpinBarrier (acquire/release), and each
+  // next_[s] slot has exactly one writer per phase.
+  std::vector<sim::Time> next_;
+  sim::Time edge_ = 0;
+  bool done_ = false;
+  std::atomic<bool> failed_{false};
+  std::exception_ptr error_;
+  std::mutex error_mu_;
+  SpinBarrier barrier_;
+  std::atomic<std::uint64_t> barrier_wait_ns_{0};
+  DriverStats stats_;
+};
+
+}  // namespace bfly::parsim

@@ -1,0 +1,57 @@
+// Cross-shard mailbox: one per destination shard.
+//
+// Senders (other shards' worker threads, mid-window) push under a short
+// mutex; the owning shard drains at the start of the next window, after the
+// driver's barrier, and sorts the batch into the deterministic delivery
+// order (msg_before).  The mutex is per *destination* shard — striping by
+// destination keeps contention bounded by the fan-in of one shard, and the
+// critical section is a vector push_back.
+//
+// Determinism does not depend on arrival interleaving: whatever order sends
+// land in the vector, drain() sorts by (arrive, src_node, seq), all three of
+// which are host-schedule-independent.
+#pragma once
+
+#include <algorithm>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "parsim/msg.hpp"
+
+namespace bfly::parsim {
+
+class Mailbox {
+ public:
+  void send(Msg&& m) {
+    std::lock_guard<std::mutex> g(mu_);
+    in_.push_back(std::move(m));
+  }
+
+  /// Move every pending message into *out (appending), sorted into
+  /// deterministic delivery order.  Called by the owning shard only, between
+  /// windows, so no sender races the sort.
+  void drain(std::vector<Msg>* out) {
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      if (in_.empty()) return;
+      std::move(in_.begin(), in_.end(), std::back_inserter(*out));
+      in_.clear();
+    }
+    std::sort(out->begin(), out->end(), msg_before);
+  }
+
+  /// Messages currently queued (sent but not yet drained).  Exact between
+  /// windows; a point-in-time snapshot mid-window.  Feeds the global
+  /// quiescence check: a non-empty mailbox means pending fiber work.
+  std::size_t size() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return in_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Msg> in_;
+};
+
+}  // namespace bfly::parsim

@@ -1,0 +1,73 @@
+// Cross-shard messages for the parallel host engine.
+//
+// When a Machine runs with host_shards > 1, every simulated interaction that
+// crosses a shard boundary — a remote memory reference, a block transfer
+// leg, a wakeup of a fiber on another shard — travels as a Msg through a
+// Mailbox (mailbox.hpp) and is applied by the *owning* shard at the message's
+// simulated arrival time.  The conservative window protocol (driver.hpp)
+// guarantees a message is always delivered at least one switch traversal in
+// the simulated future, so no shard ever receives a message for a time it
+// has already executed past.
+//
+// Delivery order is part of the determinism contract: messages are sorted by
+// (arrive, src_node, seq), where seq is a per-sender-*node* counter.  None
+// of those three keys depends on the number of shards or host threads, which
+// is what makes a parallel run bit-identical across host_shards = 2/4/8 and
+// any thread count (see DESIGN.md §4f).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/observe.hpp"
+#include "sim/time.hpp"
+
+namespace bfly::parsim {
+
+enum class MsgKind : std::uint8_t {
+  kRef,         ///< single remote reference (read/write/atomic); round trip
+  kAccessWords, ///< aggregate n-word reference burst; round trip
+  kBlockRead,   ///< block-transfer head + stream from a remote module
+  kBlockWrite,  ///< block-transfer into a remote module (round trip when
+                ///< waiter != nullptr, fire-and-forget apply otherwise)
+  kReply,       ///< completion for any round-trip request
+  kWake,        ///< cross-shard Machine::wakeup()
+};
+
+/// Word-level operation carried by a kRef request.  The data side of the
+/// reference is applied by the home shard at arrival time, which linearizes
+/// atomics exactly like the real PNC: in memory-module arrival order.
+enum class RefOp : std::uint8_t {
+  kRead,
+  kWrite,
+  kFetchAdd,
+  kFetchOr,
+  kTestAndSet,
+};
+
+struct Msg {
+  sim::Time arrive = 0;       ///< simulated delivery time at the destination
+  std::uint64_t seq = 0;      ///< per-sender-node sequence (tie-break)
+  std::uint32_t src_node = 0; ///< sending node (tie-break before seq)
+  MsgKind kind = MsgKind::kRef;
+  RefOp op = RefOp::kRead;    ///< for kRef
+  std::uint32_t words = 0;    ///< reference width in 32-bit words
+  std::uint32_t bytes = 0;    ///< exact byte count for data movement
+  sim::PhysAddr addr;         ///< target address (addr.node = home module)
+  std::uint64_t value = 0;    ///< operand out / result back (<= 8 bytes)
+  sim::Time t0 = 0;           ///< request: issue time; block reply: head time
+  sim::Time queue_ns = 0;     ///< reply: queue share measured at the home
+  void* waiter = nullptr;     ///< requester context (FiberCtl* / Fiber*)
+  std::uint32_t waiter_shard = 0;  ///< shard to route the reply to
+  std::vector<std::uint8_t> blob;  ///< block-transfer payload (else empty)
+};
+
+/// Deterministic delivery order.  Strict weak; total for distinct messages
+/// because (src_node, seq) never repeats within a run.
+inline bool msg_before(const Msg& a, const Msg& b) {
+  if (a.arrive != b.arrive) return a.arrive < b.arrive;
+  if (a.src_node != b.src_node) return a.src_node < b.src_node;
+  return a.seq < b.seq;
+}
+
+}  // namespace bfly::parsim

@@ -1,0 +1,466 @@
+// A/B determinism suite for the parallel host engine (ISSUE 9 satellite 3).
+//
+// Three contracts are pinned here:
+//
+//  1. *Shard/thread invariance* — for k >= 2 shards, results (memory,
+//     per-node stats, elapsed time) are identical across shard counts and
+//     across host thread counts, because every req != home reference flows
+//     through arrival-time-stamped messages delivered in (arrive, src_node,
+//     seq) order.  The host schedule can never leak into the simulation.
+//  2. *Serial equality on uncontended workloads* — a single fiber issues
+//     references one at a time, so issue order == arrival order and the
+//     split-phase engine reproduces the serial engine exactly, k = 1 vs 2
+//     vs 4, for every operation kind.
+//  3. *Forfeit byte-identity* — workloads that demote to the serial engine
+//     (US/SMP/Kernel apps, FaultPlans, replay monitors) produce the same
+//     bytes at host_shards = 1, 2, 4, because they all run the same serial
+//     engine.  Instant Replay logs compare equal field-wise.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "apps/gauss.hpp"
+#include "apps/sort.hpp"
+#include "replay/instant_replay.hpp"
+#include "rescue/checkpoint.hpp"
+#include "serve/serve.hpp"
+#include "sim/config.hpp"
+#include "sim/fault.hpp"
+#include "sim/machine.hpp"
+
+namespace bfly {
+namespace {
+
+using sim::butterfly1;
+using sim::Machine;
+using sim::PhysAddr;
+using sim::Time;
+
+sim::MachineConfig par_cfg(std::uint32_t nodes, std::uint32_t shards,
+                           std::uint32_t threads, bool fastpath = true) {
+  sim::MachineConfig cfg = butterfly1(nodes);
+  cfg.host_shards = shards;
+  cfg.host_threads = threads;
+  cfg.host_fastpath = fastpath;
+  return cfg;
+}
+
+std::vector<std::uint64_t> snapshot_stats(Machine& m) {
+  std::vector<std::uint64_t> out;
+  for (const auto& ns : m.stats().node) {
+    out.push_back(ns.local_refs);
+    out.push_back(ns.remote_refs);
+    out.push_back(ns.serviced_remote);
+    out.push_back(ns.stall_ns);
+    out.push_back(ns.queue_ns);
+    out.push_back(ns.compute_ns);
+    out.push_back(ns.block_words);
+  }
+  return out;
+}
+
+// --- Contract 1: contended mesh, shard/thread invariance -------------------
+
+struct MeshOut {
+  Time elapsed = 0;
+  std::vector<std::uint8_t> memory;       // journals + counters + cells + blocks
+  std::vector<std::uint64_t> stats;
+  const char* forfeit = "";
+  sim::ParallelRunStats ps;
+
+  bool operator==(const MeshOut& o) const {
+    return elapsed == o.elapsed && memory == o.memory && stats == o.stats;
+  }
+};
+
+// 64 fibers, one per node, all hammering each other's counters, cells and
+// block buffers — heavy cross-shard contention in every direction, plus one
+// park/wakeup pair that always crosses a shard boundary for k >= 2.
+MeshOut run_mesh(std::uint32_t shards, std::uint32_t threads,
+                 bool fastpath = true) {
+  constexpr std::uint32_t kNodes = 64;
+  constexpr std::uint32_t kRounds = 6;
+  Machine m(par_cfg(kNodes, shards, threads, fastpath));
+  std::vector<PhysAddr> counter(kNodes), cell(kNodes), block(kNodes),
+      journal(kNodes);
+  for (std::uint32_t n = 0; n < kNodes; ++n) {
+    counter[n] = m.alloc(n, 8);
+    cell[n] = m.alloc(n, 8);
+    block[n] = m.alloc(n, 64);
+    journal[n] = m.alloc(n, 4 * (kRounds + 2));
+  }
+
+  sim::Fiber* sleeper = m.spawn_parked(0, [&] {
+    m.poke<std::uint32_t>(journal[0].plus(4 * kRounds),
+                          static_cast<std::uint32_t>(m.now() & 0xffffffffu));
+  });
+
+  for (std::uint32_t n = 0; n < kNodes; ++n) {
+    m.spawn(n, [&, n] {
+      std::uint32_t acc = n;
+      for (std::uint32_t i = 0; i < kRounds; ++i) {
+        m.charge(50 * ((n + i) % 9 + 1));
+        acc ^= m.fetch_add_u32(counter[(n * 5 + i * 11) % kNodes], n + 1);
+        acc += m.read<std::uint32_t>(cell[(n + i * 17) % kNodes]);
+        m.write<std::uint32_t>(cell[n], acc + i);
+        if (i == 2) {
+          std::uint8_t buf[64];
+          for (std::uint32_t j = 0; j < 64; ++j)
+            buf[j] = static_cast<std::uint8_t>(acc + j);
+          m.block_write(block[(n + 9) % kNodes], buf, 64);
+        }
+        if (i == 3) {
+          std::uint8_t buf[64];
+          m.block_read(buf, block[(n + 13) % kNodes], 64);
+          acc += buf[0] + buf[63];
+        }
+        if (i == 4) m.block_copy(block[(n + 3) % kNodes], block[n], 64);
+        m.access_words(cell[(n + i * 7) % kNodes], 3, /*write=*/i % 2 == 1);
+        acc ^= m.fetch_or_u32(counter[(n + i) % kNodes], 1u << (n % 31));
+        m.poke<std::uint32_t>(
+            journal[n].plus(4 * i),
+            acc ^ static_cast<std::uint32_t>(m.now() & 0xffffffffu));
+      }
+      if (n == kNodes - 1) {
+        m.charge(2 * sim::kMillisecond);  // sleeper is parked by now
+        m.wakeup(sleeper);
+      }
+      m.charge(1000);
+    });
+  }
+
+  MeshOut out;
+  out.elapsed = m.run();
+  for (std::uint32_t n = 0; n < kNodes; ++n) {
+    std::uint8_t buf[64];
+    auto grab = [&](PhysAddr a, std::size_t bytes) {
+      m.peek_bytes(buf, a, bytes);
+      out.memory.insert(out.memory.end(), buf, buf + bytes);
+    };
+    grab(journal[n], 4 * (kRounds + 2));
+    grab(counter[n], 8);
+    grab(cell[n], 8);
+    grab(block[n], 64);
+  }
+  out.stats = snapshot_stats(m);
+  out.forfeit = m.parallel_forfeit();
+  out.ps = m.parallel_stats();
+  return out;
+}
+
+TEST(ParsimDeterminism, MeshIsShardAndThreadCountInvariant) {
+  const MeshOut golden = run_mesh(2, 1);
+  ASSERT_EQ(golden.forfeit, nullptr);
+  ASSERT_EQ(golden.ps.shards, 2u);
+  ASSERT_GT(golden.ps.messages, 0u);
+  ASSERT_GT(golden.ps.windows, 0u);
+
+  struct Case {
+    std::uint32_t shards, threads;
+  };
+  for (const Case c : {Case{2, 2}, Case{2, 4}, Case{4, 1}, Case{4, 2},
+                       Case{4, 4}, Case{8, 2}, Case{8, 4}}) {
+    const MeshOut got = run_mesh(c.shards, c.threads);
+    EXPECT_EQ(got.forfeit, nullptr);
+    EXPECT_EQ(got.ps.shards, c.shards);
+    EXPECT_TRUE(got == golden)
+        << "divergence at shards=" << c.shards << " threads=" << c.threads
+        << " (elapsed " << got.elapsed << " vs " << golden.elapsed << ")";
+  }
+}
+
+TEST(ParsimDeterminism, MeshIsFastpathInvariant) {
+  const MeshOut on = run_mesh(2, 2, /*fastpath=*/true);
+  const MeshOut off = run_mesh(2, 2, /*fastpath=*/false);
+  EXPECT_TRUE(on == off)
+      << "the charge() fast path must be a pure host optimization";
+}
+
+// --- Contract 2: single fiber, serial equality -----------------------------
+
+struct SoloOut {
+  Time elapsed = 0;
+  std::vector<std::uint8_t> memory;
+  std::vector<std::uint64_t> stats;
+
+  bool operator==(const SoloOut& o) const {
+    return elapsed == o.elapsed && memory == o.memory && stats == o.stats;
+  }
+};
+
+// One fiber on node 0 visits every node with every operation kind.  With a
+// single fiber there is no contention, so issue order == arrival order and
+// the split-phase parallel engine must reproduce the serial engine bit for
+// bit — including elapsed time and queue/stall accounting.
+SoloOut run_solo(std::uint32_t shards) {
+  constexpr std::uint32_t kNodes = 16;
+  Machine m(par_cfg(kNodes, shards, /*threads=*/2));
+  std::vector<PhysAddr> word(kNodes), blk(kNodes), blk2(kNodes);
+  for (std::uint32_t n = 0; n < kNodes; ++n) {
+    word[n] = m.alloc(n, 16);
+    blk[n] = m.alloc(n, 96);
+    blk2[n] = m.alloc(n, 96);
+  }
+
+  m.spawn(0, [&] {
+    std::uint64_t acc = 1;
+    for (std::uint32_t n = 0; n < kNodes; ++n) {
+      m.charge(300);
+      m.write<std::uint64_t>(word[n], acc * 0x9e3779b97f4a7c15ULL);
+      acc += m.read<std::uint64_t>(word[n]);
+      acc += m.fetch_add_u32(word[n].plus(8), static_cast<std::uint32_t>(n));
+      acc += m.fetch_or_u32(word[n].plus(8), 1u << (n % 31));
+      acc += m.test_and_set(word[n].plus(12));
+      m.access_words(word[n], 5, /*write=*/false);
+      m.access_words(word[n], 4, /*write=*/true);
+      std::uint8_t buf[96];
+      for (std::uint32_t j = 0; j < 96; ++j)
+        buf[j] = static_cast<std::uint8_t>(acc + j * 3);
+      m.block_write(blk[n], buf, 96);
+      std::uint8_t back[96];
+      m.block_read(back, blk[n], 96);
+      acc += back[95];
+      m.block_copy(blk2[n], blk[(n + 1) % kNodes], 96);
+      m.block_copy(blk2[(n + 5) % kNodes], blk[n], 64);
+    }
+    m.write<std::uint64_t>(word[0], acc);
+    m.charge(10 * sim::kMicrosecond);  // dominate fire-and-forget tails
+  });
+
+  SoloOut out;
+  out.elapsed = m.run();
+  for (std::uint32_t n = 0; n < kNodes; ++n) {
+    std::uint8_t buf[96];
+    auto grab = [&](PhysAddr a, std::size_t bytes) {
+      m.peek_bytes(buf, a, bytes);
+      out.memory.insert(out.memory.end(), buf, buf + bytes);
+    };
+    grab(word[n], 16);
+    grab(blk[n], 96);
+    grab(blk2[n], 96);
+  }
+  out.stats = snapshot_stats(m);
+  return out;
+}
+
+TEST(ParsimDeterminism, UncontendedSingleFiberMatchesSerialExactly) {
+  const SoloOut serial = run_solo(1);
+  const SoloOut two = run_solo(2);
+  const SoloOut four = run_solo(4);
+  EXPECT_TRUE(two == serial)
+      << "k=2 elapsed " << two.elapsed << " vs serial " << serial.elapsed;
+  EXPECT_TRUE(four == serial)
+      << "k=4 elapsed " << four.elapsed << " vs serial " << serial.elapsed;
+}
+
+// --- Contract 3: forfeited workloads are byte-identical --------------------
+
+TEST(ParsimForfeitIdentity, GaussUsAndSmpAreShardCountIndependent) {
+  apps::GaussConfig gc;
+  gc.n = 24;
+  gc.processors = 8;
+  gc.memory_nodes = 8;
+  for (auto solve : {apps::gauss_us, apps::gauss_smp}) {
+    apps::GaussResult base;
+    for (int i = 0; std::uint32_t shards : {1u, 2u, 4u}) {
+      Machine m(par_cfg(16, shards, 2));
+      const apps::GaussResult r = solve(m, gc);
+      if (shards > 1) {
+        EXPECT_NE(m.parallel_forfeit(), nullptr);
+      }
+      EXPECT_EQ(m.parallel_stats().shards, 0u);
+      if (i++ == 0) {
+        base = r;
+        EXPECT_LT(apps::gauss_error(r, gc.n, gc.seed), 1e-6);
+      } else {
+        EXPECT_EQ(r.elapsed, base.elapsed) << "shards=" << shards;
+        EXPECT_EQ(r.solution, base.solution) << "shards=" << shards;
+      }
+    }
+  }
+}
+
+TEST(ParsimForfeitIdentity, BitonicSortIsShardCountIndependent) {
+  apps::SortConfig sc;
+  sc.n = 256;
+  sc.processors = 4;
+  apps::SortResult base;
+  for (int i = 0; std::uint32_t shards : {1u, 2u, 4u}) {
+    Machine m(par_cfg(16, shards, 2));
+    const apps::SortResult r = apps::bitonic_sort(m, sc);
+    EXPECT_FALSE(r.deadlocked);
+    if (i++ == 0) {
+      base = r;
+      EXPECT_TRUE(std::is_sorted(r.keys.begin(), r.keys.end()));
+    } else {
+      EXPECT_EQ(r.elapsed, base.elapsed) << "shards=" << shards;
+      EXPECT_EQ(r.keys, base.keys) << "shards=" << shards;
+    }
+  }
+}
+
+// Instant Replay log equality: the racy CREW monitor cell (Kernel +
+// Monitor both force a forfeit) must record the *same interleaving* at any
+// host_shards setting.
+struct RacyOut {
+  std::vector<std::uint32_t> order;
+  replay::Log log;
+  Time elapsed = 0;
+};
+
+RacyOut run_racy(std::uint32_t shards) {
+  constexpr std::uint32_t kActors = 3;
+  constexpr std::uint32_t kRounds = 4;
+  Machine m(par_cfg(8, shards, 2));
+  chrys::Kernel k(m);
+  replay::Monitor mon(k, kActors);
+  RacyOut out;
+  const std::uint32_t obj = mon.register_object(0, "counter");
+  mon.set_mode(replay::Mode::kRecord);
+
+  sim::Rng jitter(1111);
+  std::vector<Time> delays;
+  for (std::uint32_t i = 0; i < kActors * kRounds; ++i)
+    delays.push_back((1 + jitter.below(40)) * 100 * sim::kMicrosecond);
+
+  for (std::uint32_t a = 0; a < kActors; ++a) {
+    k.create_process(a % m.nodes(), [&, a] {
+      for (std::uint32_t r = 0; r < kRounds; ++r) {
+        k.delay(delays[a * kRounds + r]);
+        mon.begin_write(a, obj);
+        out.order.push_back(a);
+        m.charge(500 * sim::kMicrosecond);
+        mon.end_write(a, obj);
+      }
+    });
+  }
+  out.elapsed = m.run();
+  out.log = mon.take_log();
+  return out;
+}
+
+void expect_logs_equal(const replay::Log& a, const replay::Log& b) {
+  ASSERT_EQ(a.per_actor.size(), b.per_actor.size());
+  for (std::size_t i = 0; i < a.per_actor.size(); ++i) {
+    ASSERT_EQ(a.per_actor[i].size(), b.per_actor[i].size()) << "actor " << i;
+    for (std::size_t j = 0; j < a.per_actor[i].size(); ++j) {
+      const replay::AccessEntry& x = a.per_actor[i][j];
+      const replay::AccessEntry& y = b.per_actor[i][j];
+      EXPECT_EQ(x.object, y.object);
+      EXPECT_EQ(x.version, y.version);
+      EXPECT_EQ(x.readers, y.readers);
+      EXPECT_EQ(x.is_write, y.is_write);
+      EXPECT_EQ(x.at, y.at);
+    }
+  }
+}
+
+TEST(ParsimForfeitIdentity, InstantReplayLogsAreShardCountIndependent) {
+  const RacyOut one = run_racy(1);
+  const RacyOut two = run_racy(2);
+  const RacyOut four = run_racy(4);
+  EXPECT_EQ(one.order, two.order);
+  EXPECT_EQ(one.order, four.order);
+  EXPECT_EQ(one.elapsed, two.elapsed);
+  EXPECT_EQ(one.elapsed, four.elapsed);
+  expect_logs_equal(one.log, two.log);
+  expect_logs_equal(one.log, four.log);
+}
+
+// FaultPlan-active chaos cell (compact version of tests/serve/chaos_test):
+// silent kills + replicated serving + failure detection.  The FaultPlan
+// forfeits the parallel engine, so every shard count replays the identical
+// chaotic run.
+struct ChaosOut {
+  Time elapsed = 0;
+  std::uint64_t ok = 0, failed = 0;
+  std::uint64_t content_hash = 0;
+  const char* forfeit = "";
+
+  bool operator==(const ChaosOut& o) const {
+    return elapsed == o.elapsed && ok == o.ok && failed == o.failed &&
+           content_hash == o.content_hash;
+  }
+};
+
+ChaosOut run_chaos_cell(std::uint32_t shards) {
+  sim::FaultPlan plan;
+  plan.kill_silent(1, 300 * sim::kMillisecond);
+  sim::MachineConfig cfg = par_cfg(16, shards, 2);
+  Machine m(cfg, plan);
+  chrys::Kernel k(m);
+  ChaosOut out;
+  constexpr std::uint32_t kBlocks = 4;
+  constexpr std::uint32_t kOps = 12;
+
+  k.create_process(15, [&] {
+    bridge::BridgeFs fs(k, 8);
+    {
+      rescue::RescueConfig rc;
+      rc.monitor_node = 14;
+      rescue::Membership mem(k, rc);
+      serve::ServeConfig sc;
+      sc.hedge_floor = 60 * sim::kMillisecond;
+      sc.min_hedge_samples = 1u << 20;
+      serve::ReplicatedFs rfs(k, fs, &mem, sc);
+      const bridge::FileId f = rfs.open("parsim-chaos", kBlocks);
+      std::vector<std::uint8_t> blk(bridge::kBlockSize), back(
+          bridge::kBlockSize);
+      for (std::uint32_t b = 0; b < kBlocks; ++b) {
+        for (std::size_t i = 0; i < blk.size(); ++i)
+          blk[i] = static_cast<std::uint8_t>(b * 41 + i * 7);
+        if (rfs.write(f, b, blk.data()) == serve::Status::kOk)
+          ++out.ok;
+        else
+          ++out.failed;
+      }
+      mem.start();
+      sim::Rng pace(7);
+      for (std::uint32_t op = 0; op < kOps; ++op) {
+        k.delay((1 + pace.below(30)) * 10 * sim::kMillisecond);
+        const std::uint32_t b = op % kBlocks;
+        serve::Status st;
+        if (op % 3 == 2) {
+          for (std::size_t i = 0; i < blk.size(); ++i)
+            blk[i] = static_cast<std::uint8_t>(op + b * 41 + i * 7);
+          st = rfs.write(f, b, blk.data());
+        } else {
+          st = rfs.read(f, b, back.data());
+        }
+        if (st == serve::Status::kOk)
+          ++out.ok;
+        else
+          ++out.failed;
+      }
+      for (std::uint32_t b = 0; b < kBlocks; ++b) {
+        if (rfs.read(f, b, back.data()) != serve::Status::kOk) continue;
+        for (std::size_t i = 0; i < back.size(); ++i)
+          out.content_hash = out.content_hash * 1099511628211ULL + back[i];
+      }
+      mem.stop();
+    }
+    fs.shutdown();
+  });
+
+  out.elapsed = m.run();
+  out.forfeit = m.parallel_forfeit();
+  return out;
+}
+
+TEST(ParsimForfeitIdentity, FaultPlanChaosCellIsShardCountIndependent) {
+  const ChaosOut one = run_chaos_cell(1);
+  const ChaosOut two = run_chaos_cell(2);
+  const ChaosOut four = run_chaos_cell(4);
+  EXPECT_STREQ(one.forfeit, "host_shards=1");
+  EXPECT_STREQ(two.forfeit, "fault plan or kill_node active");
+  EXPECT_STREQ(four.forfeit, "fault plan or kill_node active");
+  EXPECT_GT(one.ok, 0u);
+  EXPECT_TRUE(two == one);
+  EXPECT_TRUE(four == one);
+}
+
+}  // namespace
+}  // namespace bfly
