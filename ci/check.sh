@@ -12,7 +12,11 @@
 #   3. sched-fuzz smoke— the moviola deadlock detector rides a reduced
 #                        PCT schedule sweep (10 seeds x 4 workloads); any
 #                        finding, lint or wedge on any seed is a failure
-#   3b. parsim smoke   — the parallel host engine's A/B determinism suite
+#   3b. sync smoke     — the scalable-synchronization suites (MCS, tree
+#                        barrier, idle counters, observer contract) plus
+#                        the tsync weak-scaling bench's self-gates at
+#                        256/1K nodes (label sync-smoke)
+#   3c. parsim smoke   — the parallel host engine's A/B determinism suite
 #                        and host-thread primitive tests (label parsim-smoke)
 #   4. scope smoke     — a traced Gauss run exports a Chrome trace, then
 #                        the standalone validator re-checks the file on
@@ -56,6 +60,9 @@ ctest --preset default -L partition-smoke --output-on-failure --verbose
 
 step "sched-fuzz smoke (moviola detector over PCT schedule seeds)"
 ctest --preset default -L sched-fuzz-smoke --output-on-failure --verbose
+
+step "sync smoke (MCS/tree-barrier/counter suites + tsync scaling gates)"
+ctest --preset default -L sync-smoke --output-on-failure
 
 step "parsim smoke (parallel host engine: A/B determinism + primitives)"
 ctest --preset default -L parsim-smoke --output-on-failure

@@ -43,6 +43,9 @@ enum class RefOp : std::uint8_t {
   kFetchAdd,
   kFetchOr,
   kTestAndSet,
+  kSwap,  ///< atomic exchange (operand in, previous value back)
+  kCas,   ///< compare-and-swap; operand packs (expect << 32) | desired,
+          ///< previous value back (caller compares against expect)
 };
 
 struct Msg {

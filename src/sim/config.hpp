@@ -24,6 +24,18 @@ namespace bfly::sim {
 /// Identifies one processing node (processor + memory module).
 using NodeId = std::uint32_t;
 
+/// Which synchronization primitives the runtime layers default to.  The
+/// 1988 style (centralized spin locks, one hot completion counter) is what
+/// the paper's software actually did; the scalable style (MCS queue locks,
+/// combining-tree barriers, per-node distributed counters — see src/sync)
+/// is what the Ultracomputer -> exascale line of work replaced it with.
+/// Only layers that consult it change behaviour; the machine model itself
+/// is identical under both.
+enum class SyncStrategy : std::uint8_t {
+  kCentral1988,  ///< hot-word spin locks and counters, as on the Butterfly
+  kScalable,     ///< MCS / combining-tree / distributed-counter primitives
+};
+
 struct MachineConfig {
   /// Number of processing nodes; Rochester's machine had 128 (max 256).
   std::uint32_t nodes = 128;
@@ -61,6 +73,20 @@ struct MachineConfig {
   /// Per-word occupancy of one switch output port when contention modelling
   /// is enabled (32 Mbit/s per path => ~1 us per 32-bit word).
   Time switch_port_service_ns = 1000;
+  /// Ultracomputer-style combining of fetch-and-adds that meet at a switch
+  /// stage (Gottlieb et al.).  Only meaningful together with
+  /// model_switch_contention: combining exists to relieve the hot-spot
+  /// tree saturation that the contention model creates.  Off by default so
+  /// existing contention runs keep their exact timing.
+  bool switch_combining = false;
+
+  // --- Synchronization strategy (consulted by src/sync and the US) --------
+  /// Which primitive family runtime layers pick when offered a choice (the
+  /// Uniform System's completion counter, sync::make_* helpers).
+  SyncStrategy sync_strategy = SyncStrategy::kCentral1988;
+  /// Fan-in of the combining-tree barrier when the scalable strategy is
+  /// selected (2..8 are sensible; 4 matches the switch radix).
+  std::uint32_t barrier_arity = 4;
 
   // --- Operating system cost knobs (used by the Chrysalis layer) ----------
   /// Mapping or unmapping one segment costs "over 1 ms" (Section 2.1).
@@ -161,6 +187,45 @@ inline MachineConfig butterfly_plus(std::uint32_t nodes = 128) {
   c.proc_create_serial_ns = 250 * kMicrosecond;
   c.proc_switch_ns = 25 * kMicrosecond;
   c.thread_switch_ns = 8 * kMicrosecond;
+  return c;
+}
+
+/// A deliberately anachronistic profile for the scalable-synchronization
+/// story (ROADMAP item 2): per-node compute runs at hundreds of MIPS while
+/// the interconnect keeps multi-hop switch latencies, so the remote:local
+/// ratio grows from the Butterfly's ~5-15x to ~100x.  This is the regime
+/// the Ultracomputer -> exascale survey traces, where a centralized spin
+/// lock or counter saturates its home module long before 16K nodes while
+/// MCS locks, combining trees, and per-node counters keep scaling.  Local
+/// reference: 5 + 10 = 15 ns; remote: 5 + 2x(6x150) + 10 ~ 1.8 us at 4K
+/// nodes.  Selects the scalable primitives by default; benches A/B against
+/// the 1988 ones by flipping sync_strategy back.
+inline MachineConfig exascale_ish(std::uint32_t nodes = 4096) {
+  MachineConfig c;
+  c.nodes = nodes;
+  c.memory_per_node = 1u << 20;
+  c.issue_overhead_ns = 5;
+  c.module_service_ns = 10;
+  c.switch_hop_ns = 150;
+  c.block_word_ns = 4;
+  c.int_op_ns = 2;
+  c.flop_ns = 4;
+  c.switch_port_service_ns = 40;
+  c.sar_map_ns = 20 * kMicrosecond;
+  c.catch_enter_ns = kMicrosecond;
+  c.catch_leave_ns = kMicrosecond;
+  c.event_post_ns = 2 * kMicrosecond;
+  c.event_wait_ns = 3 * kMicrosecond;
+  c.dq_enqueue_ns = 3 * kMicrosecond;
+  c.dq_dequeue_ns = 4 * kMicrosecond;
+  c.proc_create_local_ns = 50 * kMicrosecond;
+  c.proc_create_serial_ns = 20 * kMicrosecond;
+  c.proc_switch_ns = 5 * kMicrosecond;
+  c.thread_switch_ns = kMicrosecond;
+  c.sync_strategy = SyncStrategy::kScalable;
+  // Thousands of fibers per run: keep host stacks lean (lazily committed,
+  // so resident cost tracks actual use).
+  c.fiber_stack_bytes = 64 * 1024;
   return c;
 }
 

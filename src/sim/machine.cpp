@@ -105,6 +105,8 @@ Machine::Machine(MachineConfig cfg, FaultPlan faults)
     shards = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
   }
   eff_shards_ = std::min(std::max(shards, 1u), cfg_.nodes);
+  combining_ = fabric_.combining();
+  if (combining_) fabric_.set_stats(&stats_);
   if (faults_.any()) {
     fault_checks_ = true;
     fabric_.configure_faults(faults_, &fault_rng_);
@@ -770,13 +772,57 @@ std::uint32_t Machine::fetch_add_u32(PhysAddr a, std::uint32_t delta) {
   if (par_active_)
     return static_cast<std::uint32_t>(
         par_word_op(a, 1, 4, parsim::RefOp::kFetchAdd, delta));
-  reference(a, 1, MemOp::kAtomic);
+  if (combining_)
+    combining_fetch_add_reference(a);
+  else
+    reference(a, 1, MemOp::kAtomic);
   auto* p = raw(a, 4);
   std::uint32_t old;
   std::memcpy(&old, p, 4);
   const std::uint32_t nv = old + delta;
   std::memcpy(p, &nv, 4);
   return old;
+}
+
+void Machine::combining_fetch_add_reference(PhysAddr a) {
+  const NodeId req = current_node();
+  check_node(a.node);
+  if (fault_checks_) {
+    check_target(a.node);
+    if (has_cuts_) check_reach(req, a.node);
+  }
+  observe_access(a, 1, MemOp::kAtomic, req);
+  const std::uint64_t key = chan_of(a);
+  NodeStats& s = stats_.node[req];
+  Time fin = 0;
+  if (req != a.node &&
+      fabric_.combine_add(key, engine_.now() + cfg_.issue_overhead_ns,
+                          &fin)) {
+    // Follower: merged at a switch stage; never touches the home module.
+    ++s.remote_refs;
+    trace_reference(req, a.node, 1, 0, MemOp::kAtomic);
+    const Time d = fin > engine_.now() ? fin - engine_.now() : 0;
+    s.stall_ns += d;
+    charge(d);
+  } else {
+    // Leader (or local): a normal contended reference, opening a combining
+    // window that stays live until the reply fans back down.
+    Time q = 0;
+    const Time finish = reference_finish(req, a.node, 1, &q);
+    if (req == a.node) {
+      ++s.local_refs;
+    } else {
+      ++s.remote_refs;
+      ++stats_.node[a.node].serviced_remote;
+    }
+    s.queue_ns += q;
+    trace_reference(req, a.node, 1, q, MemOp::kAtomic);
+    if (req != a.node) fabric_.record_add(key, finish);
+    const Time d = finish - engine_.now();
+    s.stall_ns += d;
+    charge(d);
+  }
+  if (fault_checks_) maybe_mem_fault(a.node);
 }
 
 std::uint32_t Machine::fetch_or_u32(PhysAddr a, std::uint32_t bits) {
@@ -802,6 +848,34 @@ std::uint32_t Machine::test_and_set(PhysAddr a) {
   std::memcpy(&old, p, 4);
   const std::uint32_t one = 1;
   std::memcpy(p, &one, 4);
+  return old;
+}
+
+std::uint32_t Machine::swap_u32(PhysAddr a, std::uint32_t v) {
+  if (par_active_)
+    return static_cast<std::uint32_t>(
+        par_word_op(a, 1, 4, parsim::RefOp::kSwap, v));
+  reference(a, 1, MemOp::kAtomic);
+  auto* p = raw(a, 4);
+  std::uint32_t old;
+  std::memcpy(&old, p, 4);
+  std::memcpy(p, &v, 4);
+  return old;
+}
+
+std::uint32_t Machine::cas_u32(PhysAddr a, std::uint32_t expect,
+                               std::uint32_t desired) {
+  if (par_active_) {
+    const std::uint64_t operand =
+        (static_cast<std::uint64_t>(expect) << 32) | desired;
+    return static_cast<std::uint32_t>(
+        par_word_op(a, 1, 4, parsim::RefOp::kCas, operand));
+  }
+  reference(a, 1, MemOp::kAtomic);
+  auto* p = raw(a, 4);
+  std::uint32_t old;
+  std::memcpy(&old, p, 4);
+  if (old == expect) std::memcpy(p, &desired, 4);
   return old;
 }
 
@@ -1589,6 +1663,23 @@ std::uint64_t Machine::par_apply_word(PhysAddr a, parsim::RefOp op,
       std::memcpy(&old, p, 4);
       const std::uint32_t one = 1;
       std::memcpy(p, &one, 4);
+      return old;
+    }
+    case parsim::RefOp::kSwap: {
+      auto* p = raw(a, 4);
+      std::uint32_t old;
+      std::memcpy(&old, p, 4);
+      const auto nv = static_cast<std::uint32_t>(operand);
+      std::memcpy(p, &nv, 4);
+      return old;
+    }
+    case parsim::RefOp::kCas: {
+      auto* p = raw(a, 4);
+      std::uint32_t old;
+      std::memcpy(&old, p, 4);
+      const auto expect = static_cast<std::uint32_t>(operand >> 32);
+      const auto desired = static_cast<std::uint32_t>(operand);
+      if (old == expect) std::memcpy(p, &desired, 4);
       return old;
     }
   }

@@ -292,11 +292,21 @@ class Machine {
     std::memcpy(raw(a, sizeof(T)), &v, sizeof(T));
   }
 
-  /// PNC atomic operations (linearized at completion time).
+  /// PNC atomic operations (linearized at completion time).  When switch
+  /// combining is armed (MachineConfig::switch_combining + contention
+  /// modelling), concurrent fetch_add_u32 calls on one word may merge at a
+  /// switch stage instead of queueing at the home module — see
+  /// SwitchFabric::combine_add; the data result is identical either way.
   std::uint32_t fetch_add_u32(PhysAddr a, std::uint32_t delta);
   std::uint32_t fetch_or_u32(PhysAddr a, std::uint32_t bits);
   /// Atomically set the word to 1; returns the previous value.
   std::uint32_t test_and_set(PhysAddr a);
+  /// Atomic exchange: store `v`, return the previous value.
+  std::uint32_t swap_u32(PhysAddr a, std::uint32_t v);
+  /// Compare-and-swap: store `desired` iff the word equals `expect`.
+  /// Returns the previous value (== expect exactly when the store landed).
+  std::uint32_t cas_u32(PhysAddr a, std::uint32_t expect,
+                        std::uint32_t desired);
 
   /// Microcoded block transfer between physical locations.  Charged as one
   /// round trip plus a per-word streaming cost; occupies the source and
@@ -511,6 +521,10 @@ class Machine {
   }
   /// Compute completion time of a reference departing now; updates module
   /// occupancy and stats but does not charge.
+  /// The fetch_add reference path with switch combining armed: either
+  /// merges into an in-flight add's window or leads a new transaction and
+  /// opens one.  Charged like reference(a, 1, kAtomic).
+  void combining_fetch_add_reference(PhysAddr a);
   Time reference_finish(NodeId requester, NodeId home, std::uint32_t words,
                         Time* queue_ns);
   /// Report one finished reference with its contention share to the trace
@@ -647,6 +661,7 @@ class Machine {
   mutable std::mutex fiber_mu_;
 
   bool fault_checks_ = false;  // any fault possible this run
+  bool combining_ = false;     // switch combining armed (fetch_add hot path)
   bool has_slow_ = false;      // plan carries slow-node windows
   std::vector<std::uint8_t> node_dead_;
   std::uint32_t dead_nodes_count_ = 0;

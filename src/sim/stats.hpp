@@ -77,6 +77,14 @@ struct MachineStats {
   std::uint64_t serve_dirty_logged = 0;    ///< replicas dirty-logged at ack
   std::uint64_t serve_reconciled = 0;      ///< dirty replicas healed post-cut
 
+  // Synchronization accounting (chrys::SpinLock, src/sync, the combining
+  // fabric).  Machine-wide aggregates: benches and the Stats JSON no longer
+  // depend on keeping every lock instance alive to read its counters.
+  std::uint64_t lock_acquisitions = 0;  ///< SpinLock + McsLock acquires
+  std::uint64_t lock_spins = 0;         ///< failed probes (remote or local)
+  std::uint64_t barrier_episodes = 0;   ///< barrier episodes completed
+  std::uint64_t combined_adds = 0;      ///< fetch-adds merged at a switch
+
   explicit MachineStats(std::size_t n = 0) : node(n) {}
 
   void reset() {
@@ -101,6 +109,21 @@ struct MachineStats {
     serve_quorum_rejects = 0;
     serve_dirty_logged = 0;
     serve_reconciled = 0;
+    lock_acquisitions = 0;
+    lock_spins = 0;
+    barrier_episodes = 0;
+    combined_adds = 0;
+  }
+
+  /// Synchronization counters as a JSON fragment (no braces), for benches
+  /// that emit one JSON object per configuration.
+  std::string sync_json() const {
+    json::Writer w(json::Writer::kFragment);
+    w.kv("lock_acquisitions", lock_acquisitions)
+        .kv("lock_spins", lock_spins)
+        .kv("barrier_episodes", barrier_episodes)
+        .kv("combined_adds", combined_adds);
+    return w.take();
   }
 
   /// Fault + rescue counters as a JSON fragment (no braces), for benches

@@ -22,10 +22,38 @@ SwitchFabric::SwitchFabric(const MachineConfig& cfg)
       reach_(1u << (2 * ceil_log4(cfg.nodes))),
       hop_ns_(cfg.switch_hop_ns),
       model_contention_(cfg.model_switch_contention),
-      port_service_ns_(cfg.switch_port_service_ns) {
+      port_service_ns_(cfg.switch_port_service_ns),
+      combining_(cfg.model_switch_contention && cfg.switch_combining) {
   if (model_contention_) {
     port_busy_.assign(static_cast<std::size_t>(stages_) * nodes_, 0);
   }
+}
+
+bool SwitchFabric::combine_add(std::uint64_t cell, Time issue, Time* finish) {
+  if (!combining_) return false;
+  auto it = add_windows_.find(cell);
+  if (it == add_windows_.end()) return false;
+  AddWindow& w = it->second;
+  // The add meets the leader's wait-buffer entry one hop in; past the
+  // window the entry is gone and this add must lead a fresh transaction.
+  if (issue + hop_ns_ >= w.until) {
+    add_windows_.erase(it);
+    return false;
+  }
+  // Combined: the merged operand rides the leader's transaction, and the
+  // reply de-combines on the way back down — an uncontended round trip plus
+  // one extra hop, no earlier than the previous combiner's reply.
+  const Time own = issue + 2 * traversal_ns() + hop_ns_;
+  w.finish = std::max(w.finish, own);
+  *finish = w.finish;
+  ++combined_adds_;
+  if (stats_) ++stats_->combined_adds;
+  return true;
+}
+
+void SwitchFabric::record_add(std::uint64_t cell, Time finish) {
+  if (!combining_) return;
+  add_windows_[cell] = AddWindow{finish, finish};
 }
 
 std::uint32_t SwitchFabric::port_index(std::uint32_t stage, NodeId src,

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/config.hpp"
@@ -81,6 +82,29 @@ class SwitchFabric {
   /// modelling is on).
   Time contention_ns() const { return contention_ns_; }
 
+  // --- Switch combining (Ultracomputer-style fetch-and-add) ---------------
+  // When MachineConfig::switch_combining is set (together with contention
+  // modelling), concurrent fetch-and-adds to one hot word that meet at a
+  // switch stage merge into a single upstream transaction: the first add in
+  // flight is the *leader* and pays the full contended traversal + module
+  // service; any add to the same cell issued while the leader's wait-buffer
+  // entry is live (until its reply fans back down) is a *follower* that
+  // never reaches the module at all — it completes at its own uncontended
+  // round trip plus one de-combining hop, no earlier than the previous
+  // combiner.  Machine::fetch_add_u32 drives these two hooks; everything is
+  // inert unless combining is armed.
+
+  bool combining() const { return combining_; }
+  /// Try to merge an add to `cell` issued at `issue`.  On success bumps the
+  /// combined counter and returns the follower's completion time in
+  /// `*finish`.  `cell` is the chan_of key of the hot word.
+  bool combine_add(std::uint64_t cell, Time issue, Time* finish);
+  /// Open a combining window for `cell`: a leader's request is in flight
+  /// and its reply lands at `finish` (followers may merge until then).
+  void record_add(std::uint64_t cell, Time finish);
+  /// Fetch-adds that merged at a switch instead of reaching the module.
+  std::uint64_t combined_adds() const { return combined_adds_; }
+
   /// Packets dropped (and retried) / delayed by fault injection.
   std::uint64_t packets_dropped() const { return packets_dropped_; }
   std::uint64_t packets_delayed() const { return packets_delayed_; }
@@ -132,6 +156,18 @@ class SwitchFabric {
   std::vector<std::uint8_t> card_dead_;  // stages x cards()
   std::vector<std::uint8_t> link_dead_;  // stages x wires()
   MachineStats* stats_ = nullptr;
+
+  // Combining windows, keyed by hot word (chan_of).  `until` is when the
+  // leader's reply passes back through the combining stage (window closes);
+  // `finish` chains follower completions so de-combined replies stay in
+  // issue order.  Stale windows are pruned lazily on miss.
+  struct AddWindow {
+    Time until = 0;
+    Time finish = 0;
+  };
+  bool combining_ = false;
+  std::unordered_map<std::uint64_t, AddWindow> add_windows_;
+  std::uint64_t combined_adds_ = 0;
 };
 
 }  // namespace bfly::sim

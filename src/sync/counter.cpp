@@ -1,0 +1,118 @@
+#include "sync/counter.hpp"
+
+#include <string>
+
+namespace bfly::sync {
+
+// --- CentralCounter --------------------------------------------------------
+
+CentralCounter::CentralCounter(sim::Machine& m, sim::NodeId home,
+                               const std::string& label)
+    : m_(m) {
+  cell_ = m_.alloc(home, 8);
+  m_.poke<std::uint32_t>(cell_, 0);
+  m_.label_memory(cell_, 8, label);
+}
+
+std::uint32_t CentralCounter::add(std::uint32_t delta) {
+  return m_.fetch_add_u32(cell_, delta);
+}
+
+std::uint32_t CentralCounter::read() { return m_.read<std::uint32_t>(cell_); }
+
+std::uint32_t CentralCounter::peek_total() {
+  return m_.peek<std::uint32_t>(cell_);
+}
+
+void CentralCounter::poke_adjust(std::int32_t delta) {
+  const std::uint32_t v = m_.peek<std::uint32_t>(cell_);
+  m_.poke<std::uint32_t>(cell_, v + static_cast<std::uint32_t>(delta));
+}
+
+// --- DistributedCounter ----------------------------------------------------
+
+DistributedCounter::DistributedCounter(
+    sim::Machine& m, const std::vector<sim::NodeId>& cell_nodes,
+    const std::string& label)
+    : m_(m) {
+  cells_.reserve(cell_nodes.size());
+  dead_.assign(cell_nodes.size(), 0);
+  for (std::uint32_t i = 0; i < cell_nodes.size(); ++i) {
+    // A node already dead at construction still gets a (useless) cell — on
+    // node 0, so probes fail cleanly rather than faulting the allocator.
+    const sim::NodeId home = m_.node_alive(cell_nodes[i]) ? cell_nodes[i] : 0;
+    const sim::PhysAddr c = m_.alloc(home, 8);
+    m_.poke<std::uint32_t>(c, 0);
+    m_.label_memory(c, 8, label + "[" + std::to_string(i) + "]");
+    cells_.push_back(c);
+    node_slot_.emplace(cell_nodes[i], i);  // first mapping wins
+  }
+}
+
+std::uint32_t DistributedCounter::slot_of(sim::NodeId n) const {
+  const auto it = node_slot_.find(n);
+  if (it != node_slot_.end()) return it->second;
+  return n % static_cast<std::uint32_t>(cells_.size());
+}
+
+void DistributedCounter::fold(std::uint32_t i) {
+  if (dead_[i]) return;
+  folded_ += m_.peek<std::uint32_t>(cells_[i]);
+  m_.poke<std::uint32_t>(cells_[i], 0);
+  dead_[i] = 1;
+}
+
+std::uint32_t DistributedCounter::add(std::uint32_t delta) {
+  const std::uint32_t start = slot_of(m_.current_node());
+  const auto n = static_cast<std::uint32_t>(cells_.size());
+  for (std::uint32_t k = 0; k < n; ++k) {
+    const std::uint32_t i = (start + k) % n;
+    if (dead_[i]) continue;
+    try {
+      (void)m_.fetch_add_u32(cells_[i], delta);
+      m_.observe_release(sim::chan_of(cells_[0]));
+      return kUnknown;
+    } catch (const sim::NodeDeadError&) {
+      // Cell's home died since we mapped it: retire it and spill to the
+      // next live cell.  (MemoryFaultError — transient — propagates; the
+      // caller's retry policy owns that.)
+      fold(i);
+    }
+  }
+  // Every cell's home is dead; the count still has to survive.
+  folded_ += delta;
+  return kUnknown;
+}
+
+std::uint32_t DistributedCounter::read() {
+  std::uint32_t total = folded_;
+  for (std::uint32_t i = 0; i < cells_.size(); ++i) {
+    if (dead_[i]) continue;
+    try {
+      total += m_.read<std::uint32_t>(cells_[i]);
+    } catch (const sim::NodeDeadError&) {
+      fold(i);  // self-healing: a death we never heard about
+      total += m_.peek<std::uint32_t>(cells_[i]);  // folded to 0; harmless
+    }
+  }
+  m_.observe_acquire(sim::chan_of(cells_[0]));
+  return total;
+}
+
+std::uint32_t DistributedCounter::peek_total() {
+  std::uint32_t total = folded_;
+  for (std::uint32_t i = 0; i < cells_.size(); ++i)
+    if (!dead_[i]) total += m_.peek<std::uint32_t>(cells_[i]);
+  return total;
+}
+
+void DistributedCounter::poke_adjust(std::int32_t delta) {
+  folded_ += static_cast<std::uint32_t>(delta);
+}
+
+void DistributedCounter::excise(sim::NodeId n) {
+  for (std::uint32_t i = 0; i < cells_.size(); ++i)
+    if (cells_[i].node == n) fold(i);
+}
+
+}  // namespace bfly::sync

@@ -13,6 +13,8 @@ constexpr std::uint32_t kNoTask = 0xfffffffeu;
 constexpr sim::Time kDispatchOverhead = 15 * sim::kMicrosecond;
 // CPU held while searching a free list inside the allocator lock.
 constexpr sim::Time kAllocWork = 100 * sim::kMicrosecond;
+// How often a wait_idle waiter re-scans a distributed (inexact) counter.
+constexpr sim::Time kIdlePollInterval = 250 * sim::kMicrosecond;
 
 // Clears a spin-lock word host-side if an exception (in particular a
 // FiberKill unwinding a dying node) escapes while the lock is held.  A dead
@@ -62,10 +64,22 @@ void UniformSystem::initialize() {
   k_.give_to_system(work_queue_);  // shared by all managers
 
   // Shared-heap metadata lives on node 0 (a mild hot spot, as on the real
-  // system).
-  outstanding_ = m_.alloc(0, 8);
-  m_.poke<std::uint32_t>(outstanding_, 0);
-  m_.label_memory(outstanding_, 8, "US.outstanding");
+  // system).  The outstanding-task counter is the strategy's choice: the
+  // 1988 hot cell on node 0, or one cell per pool processor.
+  sync::CounterKind kind = cfg_.idle_counter;
+  if (kind == sync::CounterKind::kAuto)
+    kind = m_.config().sync_strategy == sim::SyncStrategy::kScalable
+               ? sync::CounterKind::kDistributed
+               : sync::CounterKind::kCentral;
+  if (kind == sync::CounterKind::kDistributed) {
+    std::vector<sim::NodeId> cell_nodes(procs_);
+    for (std::uint32_t w = 0; w < procs_; ++w) cell_nodes[w] = w;
+    idle_counter_ = std::make_unique<sync::DistributedCounter>(
+        m_, cell_nodes, "US.outstanding");
+  } else {
+    idle_counter_ = std::make_unique<sync::CentralCounter>(m_, 0,
+                                                           "US.outstanding");
+  }
   rr_counter_ = m_.alloc(0, 8);
   m_.poke<std::uint32_t>(rr_counter_, 0);
   m_.label_memory(rr_counter_, 8, "US.rr_counter");
@@ -191,7 +205,10 @@ void UniformSystem::manager_loop(std::uint32_t worker) {
     // of: "reissue the task" / "apply the owed decrement" / "all settled".
     inflight_[worker] = kNoTask;
     decrementing_[worker] = 1;
-    const std::uint32_t before = fetch_add_retry(outstanding_, 0xffffffffu);
+    // With a distributed counter this add is local and returns kUnknown —
+    // no manager can tell it drained the count, so nobody posts and the
+    // waiter polls instead (see wait_idle).
+    const std::uint32_t before = counter_add_retry(0xffffffffu);
     decrementing_[worker] = 0;
     if (before == 1 && waiter_proc_ != chrys::kNoObject) {
       // Post first, clear second: if this node dies inside the post's
@@ -238,6 +255,34 @@ std::uint32_t UniformSystem::read_u32_retry(sim::PhysAddr a) {
   }
 }
 
+std::uint32_t UniformSystem::counter_add_retry(std::uint32_t d) {
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    try {
+      return idle_counter_->add(d);
+    } catch (const sim::MemoryFaultError& e) {
+      if (attempt + 1 >= std::max(1u, cfg_.retry.attempts)) {
+        if (retry_exhausted_) retry_exhausted_(e.node());
+        throw;
+      }
+      m_.charge(cfg_.retry.backoff(attempt));
+    }
+  }
+}
+
+std::uint32_t UniformSystem::counter_read_retry() {
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    try {
+      return idle_counter_->read();
+    } catch (const sim::MemoryFaultError& e) {
+      if (attempt + 1 >= std::max(1u, cfg_.retry.attempts)) {
+        if (retry_exhausted_) retry_exhausted_(e.node());
+        throw;
+      }
+      m_.charge(cfg_.retry.backoff(attempt));
+    }
+  }
+}
+
 void UniformSystem::excise_node(sim::NodeId n) {
   // A live node must never be excised: its manager is still running and
   // would later double-apply every completion we faked here.  Membership
@@ -253,13 +298,15 @@ void UniformSystem::handle_node_death(sim::NodeId n) {
   --managers_alive_;
   ++nodes_lost_;
   if (decrementing_[n]) {
-    // The task body finished but the node died before its outstanding_
+    // The task body finished but the node died before its outstanding-count
     // decrement landed; apply it on the dead manager's behalf (host-side —
     // the simulated store was lost with the node).
     decrementing_[n] = 0;
-    const std::uint32_t v = m_.peek<std::uint32_t>(outstanding_);
-    m_.poke<std::uint32_t>(outstanding_, v - 1);
+    idle_counter_->poke_adjust(-1);
   }
+  // Retire the dead node's counter cell (its value folds host-side, so
+  // the count survives the node).
+  idle_counter_->excise(n);
   if (inflight_[n] != kNoTask) {
     // The claimed descriptor died with its manager mid-run: put it back at
     // the front of the queue for a survivor.  At-least-once semantics —
@@ -273,7 +320,7 @@ void UniformSystem::handle_node_death(sim::NodeId n) {
   // Rescue a stranded wait_idle: either the work drained exactly as the
   // last manager died, or there is nobody left to drain it.
   if (waiter_proc_ != chrys::kNoObject &&
-      (managers_alive_ == 0 || m_.peek<std::uint32_t>(outstanding_) == 0)) {
+      (managers_alive_ == 0 || idle_counter_->peek_total() == 0)) {
     waiter_proc_ = chrys::kNoObject;
     k_.event_post(idle_event_, 0);
   }
@@ -283,7 +330,7 @@ void UniformSystem::gen_task(TaskFn fn, std::uint32_t arg) {
   table_.push_back(TaskRec{std::move(fn), arg});
   const auto tid = static_cast<std::uint32_t>(table_.size() - 1);
   m_.trace_instant("us", "gen_task", tid);
-  (void)fetch_add_retry(outstanding_, 1);
+  (void)counter_add_retry(1);
   enqueue_descriptor(tid);
 }
 
@@ -294,7 +341,7 @@ void UniformSystem::gen_on_index(std::uint32_t lo, std::uint32_t hi,
   // One shared TaskRec; the per-index argument rides in the descriptor's
   // low bits via distinct records (kept simple: one record per index, the
   // closure is shared).
-  (void)fetch_add_retry(outstanding_, hi - lo);
+  (void)counter_add_retry(hi - lo);
   for (std::uint32_t i = lo; i < hi; ++i) {
     table_.push_back(TaskRec{fn, i});
     enqueue_descriptor(static_cast<std::uint32_t>(table_.size() - 1));
@@ -309,15 +356,29 @@ void UniformSystem::wait_idle() {
   // The span's *end* is what matters downstream: scope::Tracer treats it as
   // a phase barrier in the critical-path report.
   sim::TraceSpan span(m_, "us", "wait_idle");
+  if (!idle_counter_->exact()) {
+    // Distributed cells: no completion can tell it drained the count, so
+    // the waiter polls the aggregated sum.  A charged scan never reads a
+    // false zero while only decrements are in flight, and the untimed peek
+    // re-confirms the zero against cells folded by crash handlers.
+    for (;;) {
+      if (counter_read_retry() == 0 && idle_counter_->peek_total() == 0)
+        return;
+      // Whole pool dead: the queued tasks will never run.  Return degraded
+      // instead of polling forever.
+      if (managers_alive_ == 0) return;
+      k_.delay(kIdlePollInterval);
+    }
+  }
   chrys::Process& p = k_.self();
-  if (read_u32_retry(outstanding_) == 0) return;
+  if (counter_read_retry() == 0) return;
   // Whole pool dead: the queued tasks will never run, and nobody is left to
   // post the idle event.  Return degraded instead of parking forever.
   if (managers_alive_ == 0) return;
   idle_event_ = k_.make_event(p.oid());
   waiter_proc_ = p.oid();
   // Re-check: the last task may have completed while we created the event.
-  if (read_u32_retry(outstanding_) == 0) {
+  if (counter_read_retry() == 0) {
     if (waiter_proc_ != chrys::kNoObject) {
       // No manager claimed the post: nothing outstanding, just clean up.
       waiter_proc_ = chrys::kNoObject;

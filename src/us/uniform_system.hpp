@@ -21,11 +21,13 @@
 #include <cstdint>
 #include <functional>
 #include <deque>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "chrysalis/kernel.hpp"
 #include "chrysalis/spinlock.hpp"
+#include "sync/counter.hpp"
 
 namespace bfly::us {
 
@@ -63,6 +65,10 @@ struct UsConfig {
   /// retry.attempts tries the fault is treated as permanent (the exhaustion
   /// hook fires, then the error propagates).
   sim::RetryPolicy retry;
+  /// Outstanding-task counter strategy.  kAuto follows the machine's
+  /// MachineConfig::sync_strategy: the 1988 single hot cell on node 0, or
+  /// per-processor distributed cells whose waiter polls the aggregated sum.
+  sync::CounterKind idle_counter = sync::CounterKind::kAuto;
 };
 
 class UniformSystem {
@@ -76,6 +82,8 @@ class UniformSystem {
   chrys::Kernel& kernel() { return k_; }
   sim::Machine& machine() { return m_; }
   std::uint32_t processors() const { return procs_; }
+  /// The outstanding-task counter (valid after initialize()).
+  sync::IdleCounter& idle_counter() { return *idle_counter_; }
 
   /// Convenience: initialize, run `main` as a process on node 0, shut the
   /// managers down when it returns, and run the machine to completion.
@@ -191,6 +199,9 @@ class UniformSystem {
   // propagate — those are permanent.
   std::uint32_t fetch_add_retry(sim::PhysAddr a, std::uint32_t d);
   std::uint32_t read_u32_retry(sim::PhysAddr a);
+  // Same bounded retry, through the counter strategy.
+  std::uint32_t counter_add_retry(std::uint32_t d);
+  std::uint32_t counter_read_retry();
 
   chrys::Kernel& k_;
   sim::Machine& m_;
@@ -209,9 +220,10 @@ class UniformSystem {
   sim::PhysAddr rr_counter_{};  // round-robin scatter cursor (on node 0)
   std::size_t heap_in_use_ = 0;
 
-  // Completion tracking: outstanding-task counter in shared memory (node 0)
-  // plus an event owned by the waiting process.
-  sim::PhysAddr outstanding_{};
+  // Completion tracking: outstanding-task counter in shared memory (central
+  // on node 0, or distributed per processor) plus — for the central,
+  // exact() counter only — an event owned by the waiting process.
+  std::unique_ptr<sync::IdleCounter> idle_counter_;
   chrys::Oid idle_event_ = chrys::kNoObject;
   chrys::Oid waiter_proc_ = chrys::kNoObject;
   std::uint64_t tasks_run_ = 0;
